@@ -1,0 +1,68 @@
+// Shared configuration for the paper-reproduction benches.
+//
+// Every bench binary prints the rows of one paper table/figure on the
+// default experiment setup: the paper's 10-minute periods of 20 x 30 s
+// slots, 144 periods/day, the 94.5 mW-peak panel, and a bank sized by the
+// offline pipeline on a seeded multi-day training trace.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "solar/trace_generator.hpp"
+#include "task/benchmarks.hpp"
+#include "util/table.hpp"
+
+namespace solsched::bench {
+
+/// The experiments' time base: full paper-scale days.
+inline solar::TimeGrid paper_grid(std::size_t n_days = 1) {
+  return solar::default_grid(n_days);
+}
+
+/// Deterministic trace generator shared by all benches.
+inline solar::TraceGenerator paper_generator(std::uint64_t seed = 2015) {
+  solar::TraceGeneratorConfig config;
+  config.seed = seed;
+  return solar::TraceGenerator(config);
+}
+
+/// Node with physics defaults on the paper grid. Day tests start with an
+/// empty bank: the first capacitor selection then happens while storage is
+/// drained, exactly the regime Eq. 22's switch gate is designed for.
+inline nvp::NodeConfig paper_node() {
+  nvp::NodeConfig node;
+  node.grid = paper_grid();
+  return node;
+}
+
+/// Offline pipeline configuration used across benches.
+inline core::PipelineConfig paper_pipeline(std::size_t n_caps = 4) {
+  core::PipelineConfig config;
+  config.n_caps = n_caps;
+  return config;
+}
+
+/// Trains a controller for `graph` on `train_days` of seeded weather.
+inline core::TrainedController train_for(const task::TaskGraph& graph,
+                                         std::size_t train_days,
+                                         std::size_t n_caps = 4,
+                                         std::uint64_t seed = 2015) {
+  const auto grid = paper_grid();
+  const auto gen = paper_generator(seed);
+  // Start the Markov weather from a partly-cloudy day so the training
+  // climate mixes bright and dark days (diverse sizing + DBN coverage).
+  const auto trace =
+      gen.generate_days(train_days, grid, solar::DayKind::kPartlyCloudy);
+  nvp::NodeConfig node = paper_node();
+  return core::train_pipeline(graph, trace, node, paper_pipeline(n_caps));
+}
+
+/// Prints a section header in a stable, greppable format.
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+}
+
+}  // namespace solsched::bench

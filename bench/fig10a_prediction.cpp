@@ -1,0 +1,59 @@
+// Figure 10(a): DMR and planning complexity vs. solar prediction length.
+//
+// The long-term planner optimizes within windows of 12 / 24 / 48 / 96
+// hours. Within a window the forecast degrades with lookahead (relative
+// error grows per day ahead), so a longer horizon first helps — energy can
+// be banked across nights — and eventually hurts slightly as plans chase
+// phantom solar. The paper finds the same: best DMR at 48 h, slow
+// degradation at 96 h, while complexity grows with the window.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/optimal.hpp"
+
+using namespace solsched;
+
+int main() {
+  bench::print_header("Figure 10a", "Prediction length sweep (rand1, 1 month)");
+
+  const auto grid = bench::paper_grid();
+  const auto graph = task::random_case(1);
+  const auto trace = bench::paper_generator(777).generate_days(
+      30, grid, solar::DayKind::kPartlyCloudy);
+  nvp::NodeConfig node = bench::paper_node();
+
+  util::TextTable table;
+  table.set_header({"prediction length", "DMR", "planned DMR",
+                    "DP evaluations", "plan time (ms)", "windows"});
+  const double hours[] = {12.0, 24.0, 48.0, 96.0};
+  for (double h : hours) {
+    sched::OptimalConfig config;
+    config.horizon_periods = static_cast<std::size_t>(
+        h * 3600.0 / grid.period_s());
+    config.forecast_noise = 0.5;  // Relative error growth per lookahead day.
+    sched::OptimalScheduler planner(config);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = nvp::simulate(graph, trace, planner, node);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    const double planned_dmr =
+        static_cast<double>(planner.planned_total_misses()) /
+        static_cast<double>(trace.grid().total_periods() * graph.size());
+    table.add_row({util::fmt(h, 0) + "h",
+                   util::fmt_pct(result.overall_dmr()),
+                   util::fmt_pct(planned_dmr),
+                   std::to_string(planner.dp_evaluations()),
+                   std::to_string(ms),
+                   std::to_string((trace.grid().total_periods() +
+                                   config.horizon_periods - 1) /
+                                  config.horizon_periods)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nexpected shape: DMR improves with horizon, bottoms out "
+              "around ~48h, then degrades slowly as long-range forecasts "
+              "blur; planning cost grows with the window\n");
+  return 0;
+}

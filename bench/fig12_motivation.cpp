@@ -1,0 +1,92 @@
+// Figures 1 & 2: the paper's motivating examples, regenerated.
+//
+// Fig. 1 — why long-term scheduling: a single-period-optimal policy looks
+// fine during the day but collapses at night; the long-term policy accepts
+// slightly more daytime misses to bank energy and wins overall.
+//
+// Fig. 2 — why distributed capacitor sizing: migration efficiency vs.
+// capacitor size for a small/short and a large/long migration pattern; the
+// optima differ, so no single capacitor serves both.
+#include "bench_common.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/lsa_inter.hpp"
+#include "sched/optimal.hpp"
+#include "storage/migration.hpp"
+
+using namespace solsched;
+
+int main() {
+  bench::print_header("Figures 1-2", "Motivating examples");
+
+  // ---- Fig. 1: day vs. night DMR of short-sighted vs. long-term ---------
+  {
+    const auto grid = bench::paper_grid();
+    const auto graph = task::wam_benchmark();
+    // A bright day followed by a rainy one: the long-term policy must save
+    // across the boundary, the single-period policy has no reason to.
+    const auto gen = bench::paper_generator();
+    const auto days = std::vector<solar::SolarTrace>{
+        gen.generate_day(solar::DayKind::kClear, grid),
+        gen.generate_day(solar::DayKind::kRainy, grid)};
+    const auto trace = solar::SolarTrace::concat_days(days);
+    nvp::NodeConfig node = bench::paper_node();
+    node.capacities_f = {60.0};
+
+    sched::LsaInterScheduler shortsighted;
+    sched::OptimalScheduler longterm;
+    const auto r_short = nvp::simulate(graph, trace, shortsighted, node);
+    const auto r_long = nvp::simulate(graph, trace, longterm, node);
+
+    auto split_dmr = [&](const nvp::SimResult& r, bool daytime) {
+      double acc = 0.0;
+      std::size_t count = 0;
+      for (const auto& p : r.periods) {
+        const bool is_day = p.solar_in_j > 0.5;  // Any meaningful harvest.
+        if (is_day != daytime) continue;
+        acc += p.dmr;
+        ++count;
+      }
+      return count ? acc / static_cast<double>(count) : 0.0;
+    };
+
+    util::TextTable table;
+    table.set_header({"policy", "daytime DMR", "dark DMR", "overall"});
+    table.add_row({"single-period (LSA [3])",
+                   util::fmt_pct(split_dmr(r_short, true)),
+                   util::fmt_pct(split_dmr(r_short, false)),
+                   util::fmt_pct(r_short.overall_dmr())});
+    table.add_row({"long-term (this paper)",
+                   util::fmt_pct(split_dmr(r_long, true)),
+                   util::fmt_pct(split_dmr(r_long, false)),
+                   util::fmt_pct(r_long.overall_dmr())});
+    std::printf("\nFig. 1 — long-term scheduling motivation (WAM, a clear "
+                "day then a rainy day, single 60 F capacitor):\n%s",
+                table.str().c_str());
+    std::printf("the long-term policy may concede daytime periods but wins "
+                "the night, and the total\n");
+  }
+
+  // ---- Fig. 2: migration efficiency vs. capacitor size ------------------
+  {
+    const auto reg = storage::RegulatorModel::fitted_default();
+    const auto leak = storage::LeakageModel::fitted_default();
+    util::TextTable table;
+    table.set_header({"capacity", "small/short (3J, 30min)",
+                      "large/long (40J, 500min)"});
+    const storage::MigrationPattern small{3.0, 1800.0, 0.25, 0.25};
+    const storage::MigrationPattern large{40.0, 30000.0, 0.25, 0.25};
+    for (double c : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+      table.add_row(
+          {util::fmt(c, 1) + "F",
+           util::fmt_pct(
+               storage::migrate_coarse(c, reg, leak, small).efficiency),
+           util::fmt_pct(
+               storage::migrate_coarse(c, reg, leak, large).efficiency)});
+    }
+    std::printf("\nFig. 2 — distributed sizing motivation:\n%s",
+                table.str().c_str());
+    std::printf("the efficiency peak moves with the migration pattern: no "
+                "single capacitor is right for both\n");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5: tested efficiencies of the input and output regulators.
+//
+// Prints the synthetic "measured" points (the stand-in for the paper's
+// bench measurements) and the cubic least-squares fit the coarse model
+// uses, over the capacitor voltage range.
+#include "bench_common.hpp"
+#include "storage/regulator.hpp"
+#include "util/mathx.hpp"
+
+using namespace solsched;
+
+int main() {
+  bench::print_header("Figure 5", "Regulator efficiencies vs. voltage");
+
+  const auto in_points = storage::RegulatorModel::synth_measurements(
+      storage::RegulatorModel::input_law(), 25, 0.3, 5.0, 0.015, 7);
+  const auto out_points = storage::RegulatorModel::synth_measurements(
+      storage::RegulatorModel::output_law(), 25, 0.3, 5.0, 0.015, 7 ^ 0xff);
+  const auto in_fit = storage::RegulatorCurve::fit(in_points);
+  const auto out_fit = storage::RegulatorCurve::fit(out_points);
+
+  util::TextTable table;
+  table.set_header({"V (V)", "eta_chr meas", "eta_chr fit", "eta_dis meas",
+                    "eta_dis fit"});
+  for (std::size_t i = 0; i < in_points.size(); i += 2) {
+    table.add_row({util::fmt(in_points[i].voltage_v, 2),
+                   util::fmt_pct(in_points[i].efficiency),
+                   util::fmt_pct(in_fit.eta(in_points[i].voltage_v)),
+                   util::fmt_pct(out_points[i].efficiency),
+                   util::fmt_pct(out_fit.eta(out_points[i].voltage_v))});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("fit RMSE: input %.4f, output %.4f\n", in_fit.fit_rmse(),
+              out_fit.fit_rmse());
+  std::printf("shape check: both efficiencies rise with voltage and level "
+              "off near %.0f%% / %.0f%% at 5 V\n",
+              100.0 * in_fit.eta(5.0), 100.0 * out_fit.eta(5.0));
+  return 0;
+}

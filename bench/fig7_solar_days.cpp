@@ -1,0 +1,44 @@
+// Figure 7: solar power of four representative individual days.
+//
+// Prints the harvested power (mW) of the four archetype days at half-hour
+// resolution plus the daily energy totals. Day1 (clear) through Day4
+// (rainy) span the paper's high-to-low yield spread.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+using namespace solsched;
+
+int main() {
+  bench::print_header("Figure 7", "Solar power of four representative days");
+
+  const auto grid = bench::paper_grid();
+  const auto gen = bench::paper_generator();
+  const auto days = gen.four_representative_days(grid);
+  const char* names[] = {"Day1(Clear)", "Day2(PartlyCloudy)",
+                         "Day3(Overcast)", "Day4(Rainy)"};
+
+  util::TextTable table;
+  table.set_header({"hour", names[0], names[1], names[2], names[3]});
+  const std::size_t slots_per_hour =
+      static_cast<std::size_t>(3600.0 / grid.dt_s);
+  for (std::size_t hour = 0; hour < 24; ++hour) {
+    std::vector<std::string> row{std::to_string(hour) + ":00"};
+    for (const auto& day : days) {
+      double acc = 0.0;
+      for (std::size_t s = 0; s < slots_per_hour; ++s)
+        acc += day.at_flat(hour * slots_per_hour + s);
+      row.push_back(util::fmt(
+          util::w_to_mw(acc / static_cast<double>(slots_per_hour)), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s(values: mean harvested power per hour, mW)\n",
+              table.str().c_str());
+
+  std::printf("\ndaily harvested energy:");
+  for (std::size_t d = 0; d < days.size(); ++d)
+    std::printf("  %s = %.0f J", names[d], days[d].total_energy_j());
+  std::printf("\npeak slot power: %.1f mW (panel ceiling 94.5 mW)\n",
+              util::w_to_mw(days[0].peak_power_w()));
+  return 0;
+}

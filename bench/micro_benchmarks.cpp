@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks of the hot kernels: capacitor slot
+// update, PMU slot resolution, DBN forward pass, per-period optimizer
+// evaluation, WCMA prediction, and trace generation.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "sched/period_optimizer.hpp"
+#include "solar/predictor.hpp"
+
+using namespace solsched;
+
+namespace {
+
+void BM_SuperCapChargeDischarge(benchmark::State& state) {
+  storage::SuperCapacitor cap(
+      storage::CapParams{10.0, 0.5, 5.0},
+      storage::RegulatorModel::fitted_default(),
+      storage::LeakageModel::fitted_default());
+  double toggle = 1.0;
+  for (auto _ : state) {
+    if (toggle > 0)
+      benchmark::DoNotOptimize(cap.charge(1.0));
+    else
+      benchmark::DoNotOptimize(cap.discharge(0.8));
+    cap.apply_leakage(30.0);
+    toggle = -toggle;
+  }
+}
+BENCHMARK(BM_SuperCapChargeDischarge);
+
+void BM_PmuRunSlot(benchmark::State& state) {
+  storage::CapacitorBank bank({1.0, 10.0, 50.0, 100.0},
+                              storage::RegulatorModel::fitted_default(),
+                              storage::LeakageModel::fitted_default());
+  bank.selected().set_usable_energy_j(20.0);
+  const storage::Pmu pmu;
+  double solar = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmu.run_slot(solar, 0.04, bank, 30.0));
+    solar = solar < 0.09 ? solar + 0.001 : 0.01;
+  }
+}
+BENCHMARK(BM_PmuRunSlot);
+
+void BM_DbnForward(benchmark::State& state) {
+  static const core::TrainedController controller =
+      bench::train_for(task::random_case(1), 2, 2);
+  ann::Vector x(controller.model.dbn->n_inputs(), 0.4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(controller.model.dbn->predict(x));
+}
+BENCHMARK(BM_DbnForward);
+
+void BM_PeriodOptimizerEvaluate(benchmark::State& state) {
+  const auto graph = task::wam_benchmark();
+  const sched::PeriodOptimizer optimizer(
+      graph, storage::PmuConfig{}, storage::RegulatorModel::fitted_default(),
+      storage::LeakageModel::fitted_default(), 0.5, 5.0, 30.0);
+  const std::vector<double> solar(20, 0.04);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(optimizer.evaluate({}, solar, 10.0, 2.0));
+}
+BENCHMARK(BM_PeriodOptimizerEvaluate);
+
+void BM_PeriodOptimizerPareto(benchmark::State& state) {
+  const auto graph = task::wam_benchmark();
+  const sched::PeriodOptimizer optimizer(
+      graph, storage::PmuConfig{}, storage::RegulatorModel::fitted_default(),
+      storage::LeakageModel::fitted_default(), 0.5, 5.0, 30.0);
+  const std::vector<double> solar(20, 0.03);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(optimizer.pareto_options(solar, 10.0, 2.0));
+}
+BENCHMARK(BM_PeriodOptimizerPareto);
+
+void BM_WcmaPredict(benchmark::State& state) {
+  const auto grid = bench::paper_grid();
+  const auto trace = bench::paper_generator().generate_day(
+      solar::DayKind::kPartlyCloudy, grid);
+  solar::WcmaPredictor predictor(grid.slots_per_day());
+  for (std::size_t f = 0; f < grid.slots_per_day() / 2; ++f)
+    predictor.observe(trace.at_flat(f));
+  for (auto _ : state) benchmark::DoNotOptimize(predictor.predict(20));
+}
+BENCHMARK(BM_WcmaPredict);
+
+void BM_TraceGenerateDay(benchmark::State& state) {
+  const auto gen = bench::paper_generator();
+  const auto grid = bench::paper_grid();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        gen.generate_day(solar::DayKind::kPartlyCloudy, grid));
+}
+BENCHMARK(BM_TraceGenerateDay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Section 6.5: algorithm overhead.
+//
+// Models the coarse-grained (per-period DBN analysis) and fine-grained
+// (per-slot scheduling) procedures on the paper's 93.5 kHz node with
+// soft-float MAC costing, and verifies the <3% energy-share claim. Also
+// times both procedures on the host for reference.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/overhead.hpp"
+#include "nvp/node_sim.hpp"
+
+using namespace solsched;
+
+int main() {
+  bench::print_header("Sec 6.5", "Algorithm overhead");
+
+  const auto graph = task::wam_benchmark();
+  const core::TrainedController controller = bench::train_for(graph, 6);
+  const core::OverheadReport report =
+      core::estimate_overhead(controller, graph);
+
+  util::TextTable table;
+  table.set_header({"procedure", "MACs", "time @93.5kHz", "power", "paper"});
+  table.add_row({"coarse (DBN analysis)", std::to_string(report.coarse_macs),
+                 util::fmt(report.coarse_time_s, 2) + " s", "3.0 mW",
+                 "14.6 s / 3.0 mW"});
+  table.add_row({"fine (slot scheduling)", std::to_string(report.fine_macs),
+                 util::fmt(report.fine_time_s, 2) + " s", "2.94 mW",
+                 "3.47 s / 2.94 mW"});
+  std::printf("%s", table.str().c_str());
+
+  std::printf("\noverhead energy per period: %.4f J vs workload %.2f J "
+              "-> fraction %s (paper: < 3%%)\n",
+              report.overhead_energy_j, report.workload_energy_j,
+              util::fmt_pct(report.energy_fraction, 2).c_str());
+
+  // Host-side timing of the real implementations, for scale.
+  {
+    const auto grid = bench::paper_grid();
+    const auto day = bench::paper_generator().generate_day(
+        solar::DayKind::kPartlyCloudy, grid);
+    auto policy = core::make_proposed(controller);
+    const auto t0 = std::chrono::steady_clock::now();
+    nvp::simulate(graph, day, *policy, controller.node);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    const double per_period =
+        static_cast<double>(us) / static_cast<double>(grid.total_periods());
+    std::printf("host reference: full online day simulated in %lld us "
+                "(%.1f us per period incl. 20 slot decisions)\n",
+                static_cast<long long>(us), per_period);
+  }
+  return 0;
+}

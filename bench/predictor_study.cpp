@@ -1,0 +1,51 @@
+// Predictor study (supporting the Fig. 10a discussion).
+//
+// The paper attributes the prediction-length sweet spot to "the locality of
+// correlation in solar power": forecasts are useful over a horizon set by
+// the weather's autocorrelation. This bench measures exactly that — mean
+// absolute error of the WCMA [3], EWMA, and Pro-Energy predictors on the
+// experiment climate, as a function of horizon, against the trace's own
+// standard deviation (the error of an uninformed climatology forecast).
+#include "bench_common.hpp"
+#include "solar/predictor.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+using namespace solsched;
+
+int main() {
+  bench::print_header("Predictor study",
+                      "Forecast error vs. horizon (30 mixed days)");
+
+  const auto grid = bench::paper_grid();
+  const auto trace = bench::paper_generator(555).generate_days(
+      30, grid, solar::DayKind::kPartlyCloudy);
+
+  solar::WcmaPredictor wcma(grid.slots_per_day());
+  solar::EwmaPredictor ewma(grid.slots_per_day());
+  solar::ProEnergyPredictor pro(grid.slots_per_day());
+
+  util::TextTable table;
+  table.set_header({"horizon", "WCMA (mW)", "EWMA (mW)", "Pro-Energy (mW)"});
+  const std::size_t slots_per_hour =
+      static_cast<std::size_t>(3600.0 / grid.dt_s);
+  for (double hours : {0.05, 0.5, 2.0, 6.0, 24.0, 48.0}) {
+    const auto h = std::max<std::size_t>(
+        1, static_cast<std::size_t>(hours * static_cast<double>(slots_per_hour)));
+    table.add_row(
+        {util::fmt(hours, 2) + "h",
+         util::fmt(util::w_to_mw(solar::evaluate_predictor_mae(wcma, trace, h)), 2),
+         util::fmt(util::w_to_mw(solar::evaluate_predictor_mae(ewma, trace, h)), 2),
+         util::fmt(util::w_to_mw(solar::evaluate_predictor_mae(pro, trace, h)), 2)});
+  }
+  std::printf("%s", table.str().c_str());
+
+  std::printf("\ntrace mean power %.2f mW, stddev %.2f mW (an uninformed "
+              "climatology forecast errs at roughly the stddev)\n",
+              util::w_to_mw(util::mean(trace.raw())),
+              util::w_to_mw(util::stddev(trace.raw())));
+  std::printf("reading: beyond a few hours every predictor converges to "
+              "climatology — the locality of correlation behind the "
+              "Fig. 10a prediction-length plateau\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// ECG wearable what-if study.
+//
+// A designer sizing a solar ECG patch wants to know: how does deadline
+// miss rate trade against panel area, and what does the WCMA forecast
+// error look like on this climate? This example sweeps the panel scale
+// (0.5x .. 2x the paper's 15.75 cm^2 panel), evaluates predictors, and
+// compares the proposed scheduler against the baselines at each size.
+//
+// Build & run:  ./build/examples/ecg_wearable
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "solar/predictor.hpp"
+#include "solar/trace_generator.hpp"
+#include "task/benchmarks.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace solsched;
+
+int main() {
+  const solar::TimeGrid grid = solar::default_grid();
+  const task::TaskGraph graph = task::ecg_benchmark();
+  std::printf("ECG patch: %zu tasks, %.1f J per 10-minute period, %.0f J "
+              "per day\n",
+              graph.size(), graph.total_energy_j(),
+              graph.total_energy_j() * static_cast<double>(grid.n_periods));
+
+  solar::TraceGeneratorConfig gen_config;
+  gen_config.seed = 11;
+  const solar::TraceGenerator generator(gen_config);
+  const auto base_training =
+      generator.generate_days(10, grid, solar::DayKind::kPartlyCloudy);
+  const auto base_test =
+      generator.generate_days(3, grid, solar::DayKind::kOvercast);
+
+  // --- Predictor quality on this climate --------------------------------
+  {
+    solar::WcmaPredictor wcma(grid.slots_per_day());
+    solar::EwmaPredictor ewma(grid.slots_per_day());
+    util::TextTable table;
+    table.set_header({"horizon", "WCMA MAE (mW)", "EWMA MAE (mW)"});
+    for (std::size_t h : {1u, 10u, 20u, 60u}) {
+      table.add_row({std::to_string(h) + " slots",
+                     util::fmt(util::w_to_mw(solar::evaluate_predictor_mae(
+                                   wcma, base_training, h)),
+                               2),
+                     util::fmt(util::w_to_mw(solar::evaluate_predictor_mae(
+                                   ewma, base_training, h)),
+                               2)});
+    }
+    std::printf("\nforecast error on the training climate:\n%s",
+                table.str().c_str());
+  }
+
+  // --- Panel size sweep ---------------------------------------------------
+  std::printf("\npanel scale sweep (3 overcast days, DMR per policy):\n");
+  util::TextTable table;
+  table.set_header({"panel scale", "harvest (J/day)", "Inter-task",
+                    "Proposed", "Optimal"});
+  for (double scale : {0.5, 1.0, 1.5, 2.0}) {
+    const auto training = base_training.scaled(scale);
+    const auto test = base_test.scaled(scale);
+
+    nvp::NodeConfig node;
+    node.grid = grid;
+    const core::TrainedController controller =
+        core::train_pipeline(graph, training, node, core::PipelineConfig{});
+    core::ComparisonConfig config;
+    config.run_intra = false;
+    const auto rows =
+        core::run_comparison(graph, test, node, &controller, config);
+    table.add_row({util::fmt(scale, 2) + "x",
+                   util::fmt(test.total_energy_j() / 3.0, 0),
+                   util::fmt_pct(core::row_of(rows, "Inter-task").dmr),
+                   util::fmt_pct(core::row_of(rows, "Proposed").dmr),
+                   util::fmt_pct(core::row_of(rows, "Optimal").dmr)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nreading: the scheduler buys a chunk of the DMR a bigger "
+              "panel would — compare the Proposed column against the "
+              "Inter-task one a row lower\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Tuning the online thresholds (E_th and δ, Sec. 5.2).
+//
+// The paper notes the DMR depends on "the thresholds in the selection
+// method"; this tool sweeps both on a validation trace and prints the DMR
+// surface, plus a LUT-online vs. DBN-online comparison — everything a user
+// needs to pick deployment values.
+//
+// Build & run:  ./build/examples/threshold_tuning
+#include <cstdio>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/lut_scheduler.hpp"
+#include "solar/trace_generator.hpp"
+#include "task/benchmarks.hpp"
+#include "util/table.hpp"
+
+using namespace solsched;
+
+int main() {
+  const solar::TimeGrid grid = solar::default_grid();
+  const task::TaskGraph graph = task::wam_benchmark();
+
+  solar::TraceGeneratorConfig gen_config;
+  gen_config.seed = 2016;
+  const solar::TraceGenerator generator(gen_config);
+  const auto training =
+      generator.generate_days(10, grid, solar::DayKind::kPartlyCloudy);
+  const auto validation =
+      generator.generate_days(5, grid, solar::DayKind::kOvercast);
+
+  nvp::NodeConfig node;
+  node.grid = grid;
+  const core::TrainedController controller =
+      core::train_pipeline(graph, training, node, core::PipelineConfig{});
+
+  // --- E_th x delta sweep -------------------------------------------------
+  std::printf("validation DMR over (E_th, delta):\n");
+  util::TextTable table;
+  table.set_header({"E_th \\ delta", "0.1", "0.3", "0.5", "1.0"});
+  for (double e_th : {2.0, 10.0, 20.0, 40.0}) {
+    std::vector<std::string> row{util::fmt(e_th, 0) + " J"};
+    for (double delta : {0.1, 0.3, 0.5, 1.0}) {
+      sched::ProposedConfig config = controller.online;
+      config.e_th_j = e_th;
+      config.delta = delta;
+      sched::ProposedScheduler policy(controller.model, config);
+      const auto result =
+          nvp::simulate(graph, validation, policy, controller.node);
+      row.push_back(util::fmt_pct(result.overall_dmr()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.str().c_str());
+
+  // --- DBN online vs. raw LUT online --------------------------------------
+  {
+    auto dbn_policy = core::make_proposed(controller);
+    const double dbn_dmr =
+        nvp::simulate(graph, validation, *dbn_policy, controller.node)
+            .overall_dmr();
+
+    auto lut = std::make_shared<sched::Lut>(controller.lut);
+    sched::LutScheduler lut_policy(lut, controller.node.capacities_f,
+                                   graph.size(), controller.online);
+    const double lut_dmr =
+        nvp::simulate(graph, validation, lut_policy, controller.node)
+            .overall_dmr();
+    std::printf("\nonline policy head-to-head: DBN %.1f%% vs raw LUT "
+                "nearest-neighbour %.1f%% (LUT has %zu entries; the DBN "
+                "compresses and generalizes them)\n",
+                100.0 * dbn_dmr, 100.0 * lut_dmr, controller.lut.size());
+  }
+  return 0;
+}

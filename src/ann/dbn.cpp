@@ -1,0 +1,69 @@
+#include "ann/dbn.hpp"
+
+#include <stdexcept>
+
+namespace solsched::ann {
+namespace {
+
+std::vector<std::size_t> full_sizes(std::size_t n_in, std::size_t n_out,
+                                    const std::vector<std::size_t>& hidden) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(hidden.size() + 2);
+  sizes.push_back(n_in);
+  for (std::size_t h : hidden) sizes.push_back(h);
+  sizes.push_back(n_out);
+  return sizes;
+}
+
+}  // namespace
+
+Dbn::Dbn(std::size_t n_inputs, std::size_t n_outputs, DbnConfig config)
+    : config_(std::move(config)),
+      net_(full_sizes(n_inputs, n_outputs, config_.hidden_sizes),
+           config_.seed) {}
+
+Dbn Dbn::from_network(Mlp network) {
+  DbnConfig config;
+  config.hidden_sizes.clear();
+  Dbn dbn(network.n_inputs(), network.n_outputs(), config);
+  dbn.net_ = std::move(network);
+  return dbn;
+}
+
+DbnTrainReport Dbn::train(const std::vector<Sample>& samples) {
+  if (samples.empty())
+    throw std::invalid_argument("Dbn::train: empty sample set");
+
+  DbnTrainReport report;
+
+  // Greedy layer-wise RBM pretraining: each RBM learns to model the
+  // activations of the layer below.
+  std::vector<Vector> layer_data;
+  layer_data.reserve(samples.size());
+  for (const auto& s : samples) layer_data.push_back(s.x);
+
+  std::size_t below = net_.n_inputs();
+  for (std::size_t l = 0; l < config_.hidden_sizes.size(); ++l) {
+    const std::size_t width = config_.hidden_sizes[l];
+    Rbm rbm(below, width, config_.seed + 17 * (l + 1));
+    rbm.train(layer_data, config_.pretrain);
+    report.rbm_reconstruction_mse.push_back(
+        rbm.reconstruction_mse(layer_data));
+
+    // Inject the pretrained weights into the MLP layer.
+    net_.set_layer(l, rbm.weights(), rbm.hidden_bias());
+
+    // Propagate the data one layer up for the next RBM.
+    std::vector<Vector> next;
+    next.reserve(layer_data.size());
+    for (const auto& v : layer_data) next.push_back(rbm.hidden_probs(v));
+    layer_data = std::move(next);
+    below = width;
+  }
+
+  // Supervised fine-tuning of the whole stack (BP network on top).
+  report.finetune_loss = net_.train(samples, config_.finetune);
+  return report;
+}
+
+}  // namespace solsched::ann

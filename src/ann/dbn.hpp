@@ -1,0 +1,62 @@
+// Deep belief network (paper Fig. 6).
+//
+// Hidden layers are pretrained greedily as a stack of RBMs on the inputs
+// (unsupervised); the stack then initializes an MLP whose final layer (the
+// paper's "visible layer" / BP network) is trained supervised by
+// back-propagation through the whole net. Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/mlp.hpp"
+#include "ann/rbm.hpp"
+
+namespace solsched::ann {
+
+/// DBN hyper-parameters.
+struct DbnConfig {
+  std::vector<std::size_t> hidden_sizes = {24, 12};
+  RbmTrainConfig pretrain{};
+  MlpTrainConfig finetune{};
+  std::uint64_t seed = 1234;
+};
+
+/// Training diagnostics.
+struct DbnTrainReport {
+  std::vector<double> rbm_reconstruction_mse;  ///< One per hidden layer.
+  double finetune_loss = 0.0;                  ///< Final epoch MSE.
+};
+
+/// Pretrained + fine-tuned network.
+class Dbn {
+ public:
+  /// Builds the layer stack for the given input/output widths.
+  Dbn(std::size_t n_inputs, std::size_t n_outputs, DbnConfig config = {});
+
+  /// Wraps an already-trained network (deserialization path); the returned
+  /// DBN is inference-only in spirit (train() would retrain from the given
+  /// weights).
+  static Dbn from_network(Mlp network);
+
+  /// Greedy RBM pretraining followed by supervised fine-tuning.
+  DbnTrainReport train(const std::vector<Sample>& samples);
+
+  /// Inference.
+  Vector predict(const Vector& x) const { return net_.forward(x); }
+
+  /// Mean MSE over a labelled set.
+  double evaluate(const std::vector<Sample>& samples) const {
+    return net_.evaluate(samples);
+  }
+
+  const Mlp& network() const noexcept { return net_; }
+  std::size_t n_inputs() const noexcept { return net_.n_inputs(); }
+  std::size_t n_outputs() const noexcept { return net_.n_outputs(); }
+
+ private:
+  DbnConfig config_;
+  Mlp net_;
+};
+
+}  // namespace solsched::ann

@@ -1,0 +1,96 @@
+#include "ann/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace solsched::ann {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                     double stddev) {
+  Matrix m(rows, cols);
+  for (double& w : m.data_) w = rng.normal(0.0, stddev);
+  return m;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  if (x.size() != cols_)
+    throw std::invalid_argument("Matrix::multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::multiply_transposed(const Vector& x) const {
+  if (x.size() != rows_)
+    throw std::invalid_argument("Matrix::multiply_transposed: size mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::add_outer(const Vector& a, const Vector& b, double scale) {
+  if (a.size() != rows_ || b.size() != cols_)
+    throw std::invalid_argument("Matrix::add_outer: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = &data_[r * cols_];
+    const double ar = a[r] * scale;
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+void Matrix::add_scaled(const Matrix& other, double scale) {
+  if (other.rows_ != rows_ || other.cols_ != cols_)
+    throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += scale * other.data_[i];
+}
+
+void Matrix::scale(double factor) {
+  for (double& w : data_) w *= factor;
+}
+
+double Matrix::frobenius() const {
+  double acc = 0.0;
+  for (double w : data_) acc += w * w;
+  return std::sqrt(acc);
+}
+
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+void sigmoid_inplace(Vector& v) noexcept {
+  for (double& x : v) x = sigmoid(x);
+}
+
+double sigmoid_deriv_from_output(double s) noexcept { return s * (1.0 - s); }
+
+void add_inplace(Vector& v, const Vector& w) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("add_inplace: size mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] += w[i];
+}
+
+double mse(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("mse: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace solsched::ann

@@ -1,0 +1,164 @@
+#include "ann/mlp.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace solsched::ann {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, std::uint64_t seed)
+    : sizes_(std::move(layer_sizes)), rng_(seed) {
+  if (sizes_.size() < 2)
+    throw std::invalid_argument("Mlp: need at least input and output layers");
+  for (std::size_t s : sizes_)
+    if (s == 0) throw std::invalid_argument("Mlp: zero-size layer");
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    // Xavier-ish scale keeps sigmoid activations in their linear region.
+    const double stddev = 1.0 / std::sqrt(static_cast<double>(sizes_[l]));
+    weights_.push_back(Matrix::randn(sizes_[l + 1], sizes_[l], rng_, stddev));
+    biases_.emplace_back(sizes_[l + 1], 0.0);
+    vel_w_.emplace_back(sizes_[l + 1], sizes_[l]);
+    vel_b_.emplace_back(sizes_[l + 1], 0.0);
+  }
+}
+
+Vector Mlp::forward(const Vector& x) const {
+  if (x.size() != n_inputs())
+    throw std::invalid_argument("Mlp::forward: input size mismatch");
+  Vector a = x;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    a = weights_[l].multiply(a);
+    add_inplace(a, biases_[l]);
+    sigmoid_inplace(a);
+  }
+  return a;
+}
+
+double Mlp::train_epoch(const std::vector<Sample>& samples,
+                        const MlpTrainConfig& config) {
+  if (samples.empty()) return 0.0;
+  double loss_acc = 0.0;
+  const auto order = rng_.permutation(samples.size());
+  const std::size_t depth = weights_.size();
+
+  for (std::size_t idx : order) {
+    const Sample& sample = samples[idx];
+    if (sample.x.size() != n_inputs() || sample.y.size() != n_outputs())
+      throw std::invalid_argument("Mlp::train_epoch: sample size mismatch");
+
+    // Forward pass keeping activations per layer.
+    std::vector<Vector> acts;
+    acts.reserve(depth + 1);
+    acts.push_back(sample.x);
+    for (std::size_t l = 0; l < depth; ++l) {
+      Vector a = weights_[l].multiply(acts.back());
+      add_inplace(a, biases_[l]);
+      sigmoid_inplace(a);
+      acts.push_back(std::move(a));
+    }
+    loss_acc += mse(acts.back(), sample.y);
+
+    // Backward pass: delta = dLoss/dz per layer (MSE + sigmoid).
+    Vector delta(n_outputs());
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      const double out = acts.back()[i];
+      delta[i] = (out - sample.y[i]) * sigmoid_deriv_from_output(out);
+    }
+
+    for (std::size_t l = depth; l-- > 0;) {
+      // Gradients for layer l: dW = delta * acts[l]^T, db = delta.
+      // Propagate before updating so we use the pre-update weights.
+      Vector next_delta;
+      if (l > 0) {
+        next_delta = weights_[l].multiply_transposed(delta);
+        for (std::size_t i = 0; i < next_delta.size(); ++i)
+          next_delta[i] *= sigmoid_deriv_from_output(acts[l][i]);
+      }
+
+      vel_w_[l].scale(config.momentum);
+      Matrix grad(weights_[l].rows(), weights_[l].cols());
+      grad.add_outer(delta, acts[l], 1.0);
+      grad.add_scaled(weights_[l], config.weight_decay);
+      vel_w_[l].add_scaled(grad, -config.learning_rate);
+      weights_[l].add_scaled(vel_w_[l], 1.0);
+
+      for (std::size_t i = 0; i < biases_[l].size(); ++i) {
+        vel_b_[l][i] = config.momentum * vel_b_[l][i] -
+                       config.learning_rate * delta[i];
+        biases_[l][i] += vel_b_[l][i];
+      }
+
+      if (l > 0) delta = std::move(next_delta);
+    }
+  }
+  return loss_acc / static_cast<double>(samples.size());
+}
+
+double Mlp::train(const std::vector<Sample>& samples,
+                  const MlpTrainConfig& config) {
+  double loss = 0.0;
+  for (std::size_t e = 0; e < config.epochs; ++e)
+    loss = train_epoch(samples, config);
+  return loss;
+}
+
+double Mlp::evaluate(const std::vector<Sample>& samples) const {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : samples) acc += mse(forward(s.x), s.y);
+  return acc / static_cast<double>(samples.size());
+}
+
+void Mlp::set_layer(std::size_t layer, const Matrix& weights,
+                    const Vector& bias) {
+  if (layer >= weights_.size())
+    throw std::out_of_range("Mlp::set_layer: layer out of range");
+  if (weights.rows() != weights_[layer].rows() ||
+      weights.cols() != weights_[layer].cols() ||
+      bias.size() != biases_[layer].size())
+    throw std::invalid_argument("Mlp::set_layer: shape mismatch");
+  weights_[layer] = weights;
+  biases_[layer] = bias;
+}
+
+std::string Mlp::serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "mlp " << sizes_.size() << '\n';
+  for (std::size_t s : sizes_) out << s << ' ';
+  out << '\n';
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    for (double w : weights_[l].data()) out << w << ' ';
+    out << '\n';
+    for (double b : biases_[l]) out << b << ' ';
+    out << '\n';
+  }
+  return out.str();
+}
+
+Mlp Mlp::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  std::size_t n_sizes = 0;
+  if (!(in >> magic >> n_sizes) || magic != "mlp" || n_sizes < 2)
+    throw std::invalid_argument("Mlp::deserialize: bad header");
+  std::vector<std::size_t> sizes(n_sizes);
+  for (auto& s : sizes)
+    if (!(in >> s) || s == 0)
+      throw std::invalid_argument("Mlp::deserialize: bad layer size");
+  Mlp net(sizes, /*seed=*/0);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Matrix w(sizes[l + 1], sizes[l]);
+    for (double& x : w.data())
+      if (!(in >> x))
+        throw std::invalid_argument("Mlp::deserialize: truncated weights");
+    Vector b(sizes[l + 1]);
+    for (double& x : b)
+      if (!(in >> x))
+        throw std::invalid_argument("Mlp::deserialize: truncated biases");
+    net.set_layer(l, w, b);
+  }
+  return net;
+}
+
+}  // namespace solsched::ann

@@ -1,0 +1,57 @@
+#include "ann/normalizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace solsched::ann {
+
+void Normalizer::fit(const std::vector<Vector>& data) {
+  if (data.empty())
+    throw std::invalid_argument("Normalizer::fit: empty data");
+  const std::size_t d = data.front().size();
+  mins_.assign(d, std::numeric_limits<double>::max());
+  maxs_.assign(d, std::numeric_limits<double>::lowest());
+  for (const auto& x : data) {
+    if (x.size() != d)
+      throw std::invalid_argument("Normalizer::fit: ragged data");
+    for (std::size_t i = 0; i < d; ++i) {
+      mins_[i] = std::min(mins_[i], x[i]);
+      maxs_[i] = std::max(maxs_[i], x[i]);
+    }
+  }
+}
+
+void Normalizer::set_ranges(Vector mins, Vector maxs) {
+  if (mins.size() != maxs.size())
+    throw std::invalid_argument("Normalizer::set_ranges: size mismatch");
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
+}
+
+Vector Normalizer::transform(const Vector& x) const {
+  if (!fitted()) throw std::logic_error("Normalizer: not fitted");
+  if (x.size() != dims())
+    throw std::invalid_argument("Normalizer::transform: size mismatch");
+  Vector y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double range = maxs_[i] - mins_[i];
+    y[i] = range > 0.0 ? util::clamp((x[i] - mins_[i]) / range, 0.0, 1.0)
+                       : 0.5;
+  }
+  return y;
+}
+
+Vector Normalizer::inverse(const Vector& y) const {
+  if (!fitted()) throw std::logic_error("Normalizer: not fitted");
+  if (y.size() != dims())
+    throw std::invalid_argument("Normalizer::inverse: size mismatch");
+  Vector x(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    x[i] = mins_[i] + (maxs_[i] - mins_[i]) * y[i];
+  return x;
+}
+
+}  // namespace solsched::ann

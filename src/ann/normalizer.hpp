@@ -1,0 +1,39 @@
+// Per-dimension min-max normalization of ANN inputs/outputs into [0, 1].
+#pragma once
+
+#include <vector>
+
+#include "ann/matrix.hpp"
+
+namespace solsched::ann {
+
+/// Fits per-dimension [min, max] on data and maps vectors into [0, 1]^d.
+/// Dimensions with zero range map to 0.5.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// Learns ranges from a data set (all vectors the same size).
+  void fit(const std::vector<Vector>& data);
+
+  /// Sets ranges explicitly (e.g. known physical bounds).
+  void set_ranges(Vector mins, Vector maxs);
+
+  /// Maps into [0, 1]^d, clamping outside values. Throws if not fitted or
+  /// size mismatches.
+  Vector transform(const Vector& x) const;
+
+  /// Inverse map from [0, 1]^d back to original units.
+  Vector inverse(const Vector& y) const;
+
+  bool fitted() const noexcept { return !mins_.empty(); }
+  std::size_t dims() const noexcept { return mins_.size(); }
+  const Vector& mins() const noexcept { return mins_; }
+  const Vector& maxs() const noexcept { return maxs_; }
+
+ private:
+  Vector mins_;
+  Vector maxs_;
+};
+
+}  // namespace solsched::ann

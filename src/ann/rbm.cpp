@@ -1,0 +1,100 @@
+#include "ann/rbm.hpp"
+
+#include <stdexcept>
+
+namespace solsched::ann {
+
+Rbm::Rbm(std::size_t n_visible, std::size_t n_hidden, std::uint64_t seed)
+    : rng_(seed) {
+  if (n_visible == 0 || n_hidden == 0)
+    throw std::invalid_argument("Rbm: layer sizes must be positive");
+  weights_ = Matrix::randn(n_hidden, n_visible, rng_, 0.1);
+  hidden_bias_.assign(n_hidden, 0.0);
+  visible_bias_.assign(n_visible, 0.0);
+  momentum_w_ = Matrix(n_hidden, n_visible);
+  momentum_h_.assign(n_hidden, 0.0);
+  momentum_v_.assign(n_visible, 0.0);
+}
+
+Vector Rbm::hidden_probs(const Vector& visible) const {
+  Vector h = weights_.multiply(visible);
+  add_inplace(h, hidden_bias_);
+  sigmoid_inplace(h);
+  return h;
+}
+
+Vector Rbm::visible_probs(const Vector& hidden) const {
+  Vector v = weights_.multiply_transposed(hidden);
+  add_inplace(v, visible_bias_);
+  sigmoid_inplace(v);
+  return v;
+}
+
+Vector Rbm::sample_bernoulli(const Vector& probs) {
+  Vector s(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    s[i] = rng_.bernoulli(probs[i]) ? 1.0 : 0.0;
+  return s;
+}
+
+double Rbm::train_epoch(const std::vector<Vector>& data,
+                        const RbmTrainConfig& config) {
+  if (data.empty()) return 0.0;
+  double err_acc = 0.0;
+  const auto order = rng_.permutation(data.size());
+  for (std::size_t idx : order) {
+    const Vector& v0 = data[idx];
+    if (v0.size() != n_visible())
+      throw std::invalid_argument("Rbm::train_epoch: sample size mismatch");
+
+    // Positive phase.
+    const Vector h0_probs = hidden_probs(v0);
+    const Vector h0 =
+        config.sample_hidden ? sample_bernoulli(h0_probs) : h0_probs;
+
+    // Negative phase (one Gibbs step, probabilities for the statistics).
+    const Vector v1 = visible_probs(h0);
+    const Vector h1_probs = hidden_probs(v1);
+
+    // Gradient with momentum and weight decay.
+    Matrix grad(n_hidden(), n_visible());
+    grad.add_outer(h0_probs, v0, 1.0);
+    grad.add_outer(h1_probs, v1, -1.0);
+    grad.add_scaled(weights_, -config.weight_decay);
+
+    momentum_w_.scale(config.momentum);
+    momentum_w_.add_scaled(grad, config.learning_rate);
+    weights_.add_scaled(momentum_w_, 1.0);
+
+    for (std::size_t i = 0; i < n_hidden(); ++i) {
+      momentum_h_[i] = config.momentum * momentum_h_[i] +
+                       config.learning_rate * (h0_probs[i] - h1_probs[i]);
+      hidden_bias_[i] += momentum_h_[i];
+    }
+    for (std::size_t i = 0; i < n_visible(); ++i) {
+      momentum_v_[i] = config.momentum * momentum_v_[i] +
+                       config.learning_rate * (v0[i] - v1[i]);
+      visible_bias_[i] += momentum_v_[i];
+    }
+
+    err_acc += mse(v0, v1);
+  }
+  return err_acc / static_cast<double>(data.size());
+}
+
+double Rbm::train(const std::vector<Vector>& data,
+                  const RbmTrainConfig& config) {
+  double err = 0.0;
+  for (std::size_t e = 0; e < config.epochs; ++e)
+    err = train_epoch(data, config);
+  return err;
+}
+
+double Rbm::reconstruction_mse(const std::vector<Vector>& data) const {
+  if (data.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& v : data) acc += mse(v, visible_probs(hidden_probs(v)));
+  return acc / static_cast<double>(data.size());
+}
+
+}  // namespace solsched::ann

@@ -1,0 +1,112 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sched/asap.hpp"
+#include "sched/duty_cycle.hpp"
+#include "sched/edf.hpp"
+#include "sched/intra_task.hpp"
+#include "sched/lsa_inter.hpp"
+
+namespace solsched::core {
+namespace {
+
+ComparisonRow run_one(const task::TaskGraph& graph,
+                      const solar::SolarTrace& trace,
+                      const nvp::NodeConfig& node, nvp::Scheduler& policy,
+                      std::string name) {
+  ComparisonRow row;
+  row.algo = std::move(name);
+  row.sim = nvp::simulate(graph, trace, policy, node);
+  row.dmr = row.sim.overall_dmr();
+  row.energy_utilization = row.sim.energy_utilization();
+  row.migration_efficiency = row.sim.migration_efficiency();
+  row.brownouts = row.sim.total_brownouts();
+  return row;
+}
+
+}  // namespace
+
+std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
+                                          const solar::SolarTrace& trace,
+                                          const nvp::NodeConfig& node,
+                                          const TrainedController* trained,
+                                          const ComparisonConfig& config) {
+  // All policies run on the same storage hardware: the sized bank when a
+  // trained controller is supplied.
+  const nvp::NodeConfig& effective = trained ? trained->node : node;
+
+  // The single-storage baselines ([3], [9], ASAP, EDF) never re-select
+  // capacitors: they assume one super capacitor fixed at design time. They
+  // get the best *single* choice our sizing flow would make — the mean of
+  // the per-day optima (the H = 1 cluster) — on the same physical bank.
+  // Without sizing data they fall back to the largest capacitor.
+  nvp::NodeConfig baseline_node = effective;
+  std::size_t single = 0;
+  if (trained && !trained->sizing.daily_optimal_f.empty()) {
+    double mean = 0.0;
+    for (double c : trained->sizing.daily_optimal_f) mean += c;
+    mean /= static_cast<double>(trained->sizing.daily_optimal_f.size());
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < baseline_node.capacities_f.size(); ++i) {
+      const double d = std::fabs(baseline_node.capacities_f[i] - mean);
+      if (d < best_d) {
+        best_d = d;
+        single = i;
+      }
+    }
+  } else {
+    for (std::size_t i = 1; i < baseline_node.capacities_f.size(); ++i)
+      if (baseline_node.capacities_f[i] >
+          baseline_node.capacities_f[single])
+        single = i;
+  }
+  baseline_node.initial_cap = single;
+
+  std::vector<ComparisonRow> rows;
+  if (config.run_asap) {
+    sched::AsapScheduler policy;
+    rows.push_back(
+        run_one(graph, trace, baseline_node, policy, policy.name()));
+  }
+  if (config.run_edf) {
+    sched::EdfScheduler policy;
+    rows.push_back(
+        run_one(graph, trace, baseline_node, policy, policy.name()));
+  }
+  if (config.run_duty) {
+    sched::DutyCycleScheduler policy;
+    rows.push_back(
+        run_one(graph, trace, baseline_node, policy, policy.name()));
+  }
+  if (config.run_inter) {
+    sched::LsaInterScheduler policy;
+    rows.push_back(
+        run_one(graph, trace, baseline_node, policy, policy.name()));
+  }
+  if (config.run_intra) {
+    sched::IntraTaskScheduler policy;
+    rows.push_back(
+        run_one(graph, trace, baseline_node, policy, policy.name()));
+  }
+  if (config.run_proposed && trained) {
+    auto policy = make_proposed(*trained);
+    rows.push_back(run_one(graph, trace, effective, *policy, policy->name()));
+  }
+  if (config.run_optimal) {
+    sched::OptimalScheduler policy(config.dp);
+    rows.push_back(run_one(graph, trace, effective, policy, policy.name()));
+  }
+  return rows;
+}
+
+const ComparisonRow& row_of(const std::vector<ComparisonRow>& rows,
+                            const std::string& algo) {
+  for (const auto& row : rows)
+    if (row.algo == algo) return row;
+  throw std::out_of_range("row_of: no such algorithm: " + algo);
+}
+
+}  // namespace solsched::core

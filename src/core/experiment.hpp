@@ -1,0 +1,50 @@
+// Experiment runner: one (benchmark, trace) against the paper's four
+// policies, producing the rows Figures 8-10 are built from.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "nvp/node_sim.hpp"
+
+namespace solsched::core {
+
+/// Which policies to include in a comparison run.
+struct ComparisonConfig {
+  bool run_inter = true;    ///< WCMA-based LSA baseline [3].
+  bool run_intra = true;    ///< Intra-task load matching [9].
+  bool run_proposed = true; ///< Requires a trained controller.
+  bool run_optimal = true;  ///< Static DP upper bound.
+  bool run_edf = false;     ///< Extra energy-oblivious reference.
+  bool run_asap = false;    ///< Extra greedy reference.
+  bool run_duty = false;    ///< Extra duty-cycling reference.
+  sched::OptimalConfig dp{};
+};
+
+/// One policy's outcome on one (benchmark, trace).
+struct ComparisonRow {
+  std::string algo;
+  double dmr = 0.0;
+  double energy_utilization = 0.0;
+  double migration_efficiency = 0.0;
+  std::size_t brownouts = 0;
+  nvp::SimResult sim;  ///< Full per-period records for series plots.
+};
+
+/// Runs the configured policies. The trained controller supplies both the
+/// sized capacitor bank (used for *all* policies, so the storage hardware is
+/// identical) and the DBN for the proposed policy; when null, the node's
+/// own capacitor list is used and the proposed policy is skipped.
+std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
+                                          const solar::SolarTrace& trace,
+                                          const nvp::NodeConfig& node,
+                                          const TrainedController* trained,
+                                          const ComparisonConfig& config = {});
+
+/// Finds a row by algorithm name; throws std::out_of_range if absent.
+const ComparisonRow& row_of(const std::vector<ComparisonRow>& rows,
+                            const std::string& algo);
+
+}  // namespace solsched::core

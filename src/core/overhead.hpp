@@ -1,0 +1,43 @@
+// Algorithm overhead model (Sec. 6.5).
+//
+// The paper runs its algorithm on the node's 93.5 kHz nonvolatile processor
+// and measures the coarse-grained (per-period DBN analysis) and fine-grained
+// (per-slot scheduling) procedures with an oscilloscope. We reproduce the
+// estimate analytically: count the multiply-accumulate operations of each
+// procedure, cost them at soft-float rates on a 16-bit MCU, and compare the
+// resulting energy against the node's workload energy.
+#pragma once
+
+#include <cstddef>
+
+#include "core/pipeline.hpp"
+#include "task/task_graph.hpp"
+
+namespace solsched::core {
+
+/// Node processor model for overhead accounting.
+struct NodeCpuModel {
+  double clock_hz = 93.5e3;        ///< The paper's node clock.
+  double cycles_per_mac = 200.0;   ///< Soft-float multiply-accumulate cost.
+  double coarse_power_w = 3.0e-3;  ///< Active power during coarse analysis.
+  double fine_power_w = 2.94e-3;   ///< Active power during slot scheduling.
+};
+
+/// Estimated overhead of the online algorithm.
+struct OverheadReport {
+  std::size_t coarse_macs = 0;   ///< Ops per period (DBN forward + decode).
+  std::size_t fine_macs = 0;     ///< Ops per slot (candidate sort + match).
+  double coarse_time_s = 0.0;    ///< Per coarse execution.
+  double fine_time_s = 0.0;      ///< Per fine execution (one slot).
+  double overhead_energy_j = 0.0;  ///< Per period (1 coarse + N_s fine).
+  double workload_energy_j = 0.0;  ///< Benchmark energy per period.
+  double energy_fraction = 0.0;    ///< overhead / (overhead + workload).
+};
+
+/// Computes the overhead estimate for a trained controller's DBN and the
+/// given benchmark on the default node CPU.
+OverheadReport estimate_overhead(const TrainedController& controller,
+                                 const task::TaskGraph& graph,
+                                 const NodeCpuModel& cpu = {});
+
+}  // namespace solsched::core

@@ -1,0 +1,60 @@
+// Offline pipeline (paper Fig. 4, left column).
+//
+// 1. Super-capacitor sizing on the training trace (Sec. 4.1).
+// 2. Long-term DMR optimization by the DP oracle (Sec. 4.2); while the
+//    oracle executes on the training trace, every period's *observable*
+//    inputs (previous period solar, capacitor voltages, accumulated DMR) are
+//    recorded together with the oracle's decisions (capacitor, α, te) as
+//    labelled samples; all evaluated options populate the Eq. 13 LUT.
+// 3. DBN training: greedy RBM pretraining + supervised fine-tuning.
+//
+// The result is a TrainedController from which the online ProposedScheduler
+// is built.
+#pragma once
+
+#include <memory>
+
+#include "ann/dbn.hpp"
+#include "nvp/node_config.hpp"
+#include "sched/lut.hpp"
+#include "sched/optimal.hpp"
+#include "sched/proposed.hpp"
+#include "sizing/cap_sizing.hpp"
+
+namespace solsched::core {
+
+/// Knobs of the whole offline flow.
+struct PipelineConfig {
+  std::size_t n_caps = 4;  ///< H: number of distributed capacitors to size.
+  bool run_sizing = true;  ///< false = keep the node config's capacities.
+  sizing::SizingConfig sizing{};
+  sched::OptimalConfig dp{};
+  ann::DbnConfig dbn{};
+  sched::ProposedConfig online{};
+};
+
+/// Everything the online side needs, plus offline diagnostics.
+struct TrainedController {
+  nvp::NodeConfig node;          ///< Node with the sized capacitor bank.
+  sched::ProposedModel model;    ///< DBN + normalizer for the online policy.
+  sched::Lut lut;                ///< Eq. 13 table from the DP's options.
+  sizing::SizingResult sizing;   ///< Daily optima and clusters.
+  std::size_t n_samples = 0;     ///< Training samples recorded.
+  double train_mse = 0.0;        ///< Final fine-tune loss.
+  double oracle_dmr = 0.0;       ///< DMR the oracle achieved on the
+                                 ///< training trace (sanity reference).
+  sched::ProposedConfig online;  ///< Thresholds for the online policy.
+};
+
+/// Runs the full offline flow. `base` supplies physics and grid; its
+/// capacitor list is replaced by sizing unless config.run_sizing is false.
+TrainedController train_pipeline(const task::TaskGraph& graph,
+                                 const solar::SolarTrace& training_trace,
+                                 const nvp::NodeConfig& base,
+                                 const PipelineConfig& config = {});
+
+/// Builds the online scheduler from a trained controller.
+std::unique_ptr<sched::ProposedScheduler> make_proposed(
+    const TrainedController& controller);
+
+}  // namespace solsched::core

@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace solsched::core {
+
+std::string summarize(const nvp::SimResult& result, const std::string& title,
+                      std::size_t n_days) {
+  std::ostringstream out;
+  out << title << "\n";
+  out << "  periods: " << result.periods.size()
+      << ", overall DMR: " << util::fmt_pct(result.overall_dmr())
+      << ", energy utilization: "
+      << util::fmt_pct(result.energy_utilization())
+      << ", migration efficiency: "
+      << util::fmt_pct(result.migration_efficiency()) << "\n";
+  out << "  solar harvested: " << util::fmt(result.total_solar_j(), 0)
+      << " J, served to load: " << util::fmt(result.total_served_j(), 0)
+      << " J, losses: " << util::fmt(result.total_loss_j(), 0)
+      << " J, brownout slots: " << result.total_brownouts() << "\n";
+  if (n_days > 1) {
+    out << "  per-day DMR:";
+    for (std::size_t d = 0; d < n_days; ++d)
+      out << " " << util::fmt_pct(result.day_dmr(d));
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string to_csv(const nvp::SimResult& result) {
+  util::CsvWriter csv({"day", "period", "dmr", "misses", "completions",
+                       "brownouts", "cap_index", "solar_j", "served_j",
+                       "stored_j", "cap_supplied_j", "conversion_loss_j",
+                       "leakage_loss_j", "spilled_j"});
+  for (const auto& p : result.periods)
+    csv.add_row(std::vector<double>{
+        static_cast<double>(p.day), static_cast<double>(p.period), p.dmr,
+        static_cast<double>(p.misses), static_cast<double>(p.completions),
+        static_cast<double>(p.brownout_slots),
+        static_cast<double>(p.cap_index), p.solar_in_j, p.load_served_j,
+        p.stored_j, p.cap_supplied_j, p.conversion_loss_j, p.leakage_loss_j,
+        p.spilled_j});
+  return csv.str();
+}
+
+std::string comparison_table(const std::vector<ComparisonRow>& rows) {
+  util::TextTable table;
+  table.set_header({"algorithm", "DMR", "energy util", "migration eff",
+                    "brownouts"});
+  for (const auto& row : rows)
+    table.add_row({row.algo, util::fmt_pct(row.dmr),
+                   util::fmt_pct(row.energy_utilization),
+                   util::fmt_pct(row.migration_efficiency),
+                   std::to_string(row.brownouts)});
+  return table.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+}  // namespace solsched::core

@@ -1,0 +1,26 @@
+// Report generation: text summaries and CSV exports of simulation results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "nvp/sim_result.hpp"
+
+namespace solsched::core {
+
+/// Multi-line text summary of one simulation (totals + per-day DMR).
+std::string summarize(const nvp::SimResult& result, const std::string& title,
+                      std::size_t n_days);
+
+/// Per-period CSV of a simulation: day, period, dmr, energy flows.
+/// Suitable for plotting Fig. 9-style series offline.
+std::string to_csv(const nvp::SimResult& result);
+
+/// Side-by-side text table of comparison rows (Fig. 8-style).
+std::string comparison_table(const std::vector<ComparisonRow>& rows);
+
+/// Writes `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace solsched::core

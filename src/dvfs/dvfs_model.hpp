@@ -1,0 +1,46 @@
+// Dynamic voltage/frequency scaling model (related work [5, 6, 8]).
+//
+// The paper's comparison space includes harvesting-aware DVFS schedulers:
+// instead of switching tasks on and off to match solar power, the node
+// slows tasks down. This module models the standard knobs: discrete
+// frequency levels f in (0, 1], execution time scaling 1/f, and power
+// scaling P(f) = P_nom * (a f^3 + (1 - a)) — a cubic dynamic component
+// (V roughly proportional to f) over a static floor. Slowing down reduces
+// *power* superlinearly but total *energy* only sublinearly, which is the
+// whole DVFS trade: it buys load-matching resolution, not free energy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace solsched::dvfs {
+
+/// Node-wide DVFS capability.
+struct DvfsModel {
+  /// Available frequency factors, ascending, each in (0, 1].
+  std::vector<double> levels = {0.5, 0.75, 1.0};
+  /// Dynamic-power share at full speed (the rest is static/leakage).
+  double dynamic_fraction = 0.7;
+
+  /// Power multiplier at frequency factor f.
+  double power_scale(double f) const noexcept {
+    return dynamic_fraction * f * f * f + (1.0 - dynamic_fraction);
+  }
+
+  /// Energy-per-work multiplier at factor f (power / speed): > 1 below
+  /// full speed whenever a static floor exists.
+  double energy_scale(double f) const noexcept {
+    return f > 0.0 ? power_scale(f) / f : 1e18;
+  }
+
+  /// True if every level is valid.
+  bool valid() const noexcept;
+};
+
+/// One task executing at one frequency level during a slot.
+struct DvfsAction {
+  std::size_t task = 0;
+  double frequency = 1.0;  ///< Must be one of the model's levels.
+};
+
+}  // namespace solsched::dvfs

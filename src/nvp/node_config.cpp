@@ -1,0 +1,13 @@
+#include "nvp/node_config.hpp"
+
+namespace solsched::nvp {
+
+storage::CapacitorBank NodeConfig::make_bank() const {
+  storage::CapacitorBank bank(capacities_f, regulators, leakage, v_low,
+                              v_high);
+  bank.select(initial_cap);
+  bank.selected().set_usable_energy_j(initial_usable_j);
+  return bank;
+}
+
+}  // namespace solsched::nvp

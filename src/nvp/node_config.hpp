@@ -1,0 +1,32 @@
+// Static configuration of the simulated sensor node.
+#pragma once
+
+#include <vector>
+
+#include "solar/time_grid.hpp"
+#include "storage/leakage.hpp"
+#include "storage/pmu.hpp"
+#include "storage/regulator.hpp"
+
+namespace solsched::nvp {
+
+/// Everything fixed at design time: the time hierarchy, the distributed
+/// capacitor bank, the regulator/leakage physics and the PMU.
+struct NodeConfig {
+  solar::TimeGrid grid = solar::default_grid();
+  std::vector<double> capacities_f = {1.0, 10.0, 50.0, 100.0};
+  double v_low = 0.5;
+  double v_high = 5.0;
+  storage::PmuConfig pmu{};
+  storage::RegulatorModel regulators = storage::RegulatorModel::fitted_default();
+  storage::LeakageModel leakage = storage::LeakageModel::fitted_default();
+  /// Usable energy pre-loaded into the initially selected capacitor (J).
+  double initial_usable_j = 0.0;
+  /// Index of the capacitor selected at simulation start.
+  std::size_t initial_cap = 0;
+
+  /// Builds the bank described by this config.
+  storage::CapacitorBank make_bank() const;
+};
+
+}  // namespace solsched::nvp

@@ -1,0 +1,151 @@
+#include "nvp/node_sim.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace solsched::nvp {
+namespace {
+
+/// Validates one slot decision against Eq. 7-9 and the period's te set.
+void validate_decision(const std::vector<std::size_t>& chosen,
+                       const task::TaskGraph& graph,
+                       const task::PeriodState& state,
+                       const std::vector<bool>& enabled) {
+  std::vector<bool> nvp_busy(graph.nvp_count(), false);
+  std::vector<bool> seen(graph.size(), false);
+  for (std::size_t id : chosen) {
+    if (id >= graph.size())
+      throw std::logic_error("scheduler chose an unknown task id");
+    if (seen[id]) throw std::logic_error("scheduler chose a task twice");
+    seen[id] = true;
+    if (!enabled.empty() && !enabled[id])
+      throw std::logic_error("scheduler chose a task outside its te set");
+    if (state.completed(id))
+      throw std::logic_error("scheduler chose a completed task");
+    if (!state.ready(id))
+      throw std::logic_error(
+          "scheduler chose a task with incomplete dependencies");
+    const std::size_t nvp = graph.task(id).nvp;
+    if (nvp_busy[nvp])
+      throw std::logic_error("scheduler put two tasks on one NVP");
+    nvp_busy[nvp] = true;
+  }
+}
+
+}  // namespace
+
+SimResult simulate(const task::TaskGraph& graph,
+                   const solar::SolarTrace& trace, Scheduler& policy,
+                   const NodeConfig& config,
+                   solar::SolarPredictor& predictor) {
+  const solar::TimeGrid& grid = trace.grid();
+  storage::CapacitorBank bank = config.make_bank();
+  const storage::Pmu pmu(config.pmu);
+  task::PeriodState state(graph);
+
+  policy.begin_trace(graph, config, trace);
+  predictor.reset();
+
+  SimResult result;
+  result.periods.reserve(grid.total_periods());
+  result.initial_bank_energy_j = bank.total_energy_j();
+
+  double dmr_sum = 0.0;
+  std::size_t periods_done = 0;
+  std::vector<double> last_period_solar;
+
+  for (std::size_t day = 0; day < grid.n_days; ++day) {
+    for (std::size_t period = 0; period < grid.n_periods; ++period) {
+      state.reset();
+
+      PeriodContext pctx;
+      pctx.day = day;
+      pctx.period = period;
+      pctx.grid = &grid;
+      pctx.graph = &graph;
+      pctx.bank = &bank;
+      pctx.predictor = &predictor;
+      pctx.accumulated_dmr =
+          periods_done ? dmr_sum / static_cast<double>(periods_done) : 0.0;
+      pctx.last_period_solar_w = last_period_solar;
+
+      PeriodPlan plan = policy.begin_period(pctx);
+      if (plan.select_cap) bank.select(*plan.select_cap);
+      if (!plan.tasks_enabled.empty() &&
+          plan.tasks_enabled.size() != graph.size())
+        throw std::logic_error("period plan te vector has wrong size");
+
+      PeriodRecord record;
+      record.day = day;
+      record.period = period;
+      record.cap_index = bank.selected_index();
+
+      for (std::size_t slot = 0; slot < grid.n_slots; ++slot) {
+        const double now_s = static_cast<double>(slot) * grid.dt_s;
+        state.mark_deadlines(now_s);
+
+        const double solar_w = trace.at(day, period, slot);
+
+        SlotContext sctx;
+        sctx.day = day;
+        sctx.period = period;
+        sctx.slot = slot;
+        sctx.now_in_period_s = now_s;
+        sctx.solar_w = solar_w;
+        sctx.grid = &grid;
+        sctx.graph = &graph;
+        sctx.state = &state;
+        sctx.bank = &bank;
+        sctx.pmu = &pmu;
+        sctx.predictor = &predictor;
+
+        const std::vector<std::size_t> chosen = policy.schedule_slot(sctx);
+        validate_decision(chosen, graph, state, plan.tasks_enabled);
+
+        double load_w = 0.0;
+        for (std::size_t id : chosen) load_w += graph.task(id).power_w;
+
+        const storage::SlotFlow flow =
+            pmu.run_slot(solar_w, load_w, bank, grid.dt_s);
+        if (!flow.brownout)
+          for (std::size_t id : chosen) state.execute(id, grid.dt_s);
+        else
+          ++record.brownout_slots;
+
+        record.solar_in_j += flow.solar_in_j;
+        record.load_served_j += flow.direct_supplied_j + flow.cap_supplied_j;
+        record.stored_j += flow.stored_j;
+        record.migrated_in_j += flow.migrated_in_j;
+        record.cap_supplied_j += flow.cap_supplied_j;
+        record.conversion_loss_j += flow.conversion_loss_j;
+        record.leakage_loss_j += flow.leakage_loss_j;
+        record.spilled_j += flow.spilled_j;
+
+        predictor.observe(solar_w);
+      }
+
+      // Final deadline evaluation at the period boundary (deadlines equal to
+      // ΔT are checked at the beginning of the next slot, Eq. 5 note).
+      state.mark_deadlines(grid.period_s());
+      record.dmr = state.dmr();
+      record.misses = state.miss_count();
+      record.completions = state.completed_count();
+
+      dmr_sum += record.dmr;
+      ++periods_done;
+      last_period_solar = trace.period_powers(day, period);
+      result.periods.push_back(record);
+    }
+  }
+  result.final_bank_energy_j = bank.total_energy_j();
+  return result;
+}
+
+SimResult simulate(const task::TaskGraph& graph,
+                   const solar::SolarTrace& trace, Scheduler& policy,
+                   const NodeConfig& config) {
+  solar::WcmaPredictor predictor(trace.grid().slots_per_day());
+  return simulate(graph, trace, policy, config, predictor);
+}
+
+}  // namespace solsched::nvp

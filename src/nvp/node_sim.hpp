@@ -1,0 +1,28 @@
+// Slot-level node simulator.
+//
+// Drives a scheduling policy over a solar trace: per period it applies the
+// policy's coarse plan (capacitor selection, te subset), per slot it asks
+// for a task set, validates it against readiness / NVP-exclusivity / te
+// constraints (Eq. 7-9), resolves energy flows through the PMU, advances
+// task state, and accounts deadline misses (Eq. 5-6).
+#pragma once
+
+#include "nvp/node_config.hpp"
+#include "nvp/scheduler.hpp"
+#include "nvp/sim_result.hpp"
+
+namespace solsched::nvp {
+
+/// Runs `policy` on `graph` over `trace`. `predictor` supplies forecasts to
+/// the policy and is fed every measured slot. Throws std::logic_error if the
+/// policy violates a scheduling constraint.
+SimResult simulate(const task::TaskGraph& graph,
+                   const solar::SolarTrace& trace, Scheduler& policy,
+                   const NodeConfig& config, solar::SolarPredictor& predictor);
+
+/// Convenience overload: builds a WCMA predictor internally.
+SimResult simulate(const task::TaskGraph& graph,
+                   const solar::SolarTrace& trace, Scheduler& policy,
+                   const NodeConfig& config);
+
+}  // namespace solsched::nvp

@@ -1,0 +1,84 @@
+// Scheduler interface between the node simulator and scheduling policies.
+//
+// A policy is consulted twice per time scale:
+//   * begin_period(): coarse-grained — may switch the selected capacitor and
+//     restrict the task subset attempted this period (the paper's te vector);
+//   * schedule_slot(): fine-grained — picks the tasks to execute in the
+//     coming slot (at most one per NVP, only ready tasks).
+// The simulator validates every decision and throws on constraint
+// violations, so a policy bug cannot silently corrupt an experiment.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nvp/node_config.hpp"
+#include "solar/predictor.hpp"
+#include "solar/solar_trace.hpp"
+#include "storage/cap_bank.hpp"
+#include "task/period_state.hpp"
+#include "task/task_graph.hpp"
+
+namespace solsched::nvp {
+
+/// Read-only view handed to a policy at the start of each period.
+struct PeriodContext {
+  std::size_t day = 0;
+  std::size_t period = 0;                       ///< Within the day.
+  const solar::TimeGrid* grid = nullptr;
+  const task::TaskGraph* graph = nullptr;
+  const storage::CapacitorBank* bank = nullptr;
+  solar::SolarPredictor* predictor = nullptr;   ///< Observed through last slot.
+  double accumulated_dmr = 0.0;                 ///< DMR^acc so far (Eq. 19).
+  std::vector<double> last_period_solar_w;      ///< Measured previous period.
+};
+
+/// Coarse-grained decision for one period.
+struct PeriodPlan {
+  /// Capacitor to select for this period (nullopt = keep current).
+  std::optional<std::size_t> select_cap;
+  /// te vector: tasks the policy intends to attempt this period. Empty means
+  /// "all tasks". The simulator refuses slot decisions outside this set.
+  std::vector<bool> tasks_enabled;
+};
+
+/// Read-only view handed to a policy before each slot.
+struct SlotContext {
+  std::size_t day = 0;
+  std::size_t period = 0;
+  std::size_t slot = 0;
+  double now_in_period_s = 0.0;                 ///< Slot start time.
+  double solar_w = 0.0;                         ///< Measured current power.
+  const solar::TimeGrid* grid = nullptr;
+  const task::TaskGraph* graph = nullptr;
+  const task::PeriodState* state = nullptr;
+  const storage::CapacitorBank* bank = nullptr;
+  const storage::Pmu* pmu = nullptr;
+  solar::SolarPredictor* predictor = nullptr;
+};
+
+/// A scheduling policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Identifier used in reports ("Inter-task", "Proposed", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before a simulation. Offline policies (the static optimal
+  /// upper bound) may read the whole trace here; online policies must
+  /// ignore it and rely on the predictor.
+  virtual void begin_trace(const task::TaskGraph& /*graph*/,
+                           const NodeConfig& /*config*/,
+                           const solar::SolarTrace& /*trace*/) {}
+
+  /// Coarse-grained per-period decision.
+  virtual PeriodPlan begin_period(const PeriodContext& ctx) = 0;
+
+  /// Fine-grained per-slot decision: ids of tasks to execute next slot.
+  virtual std::vector<std::size_t> schedule_slot(const SlotContext& ctx) = 0;
+};
+
+}  // namespace solsched::nvp

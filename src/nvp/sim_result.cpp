@@ -1,0 +1,62 @@
+#include "nvp/sim_result.hpp"
+
+namespace solsched::nvp {
+
+double SimResult::overall_dmr() const {
+  if (periods.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& p : periods) acc += p.dmr;
+  return acc / static_cast<double>(periods.size());
+}
+
+double SimResult::day_dmr(std::size_t day) const {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (const auto& p : periods)
+    if (p.day == day) {
+      acc += p.dmr;
+      ++count;
+    }
+  return count ? acc / static_cast<double>(count) : 0.0;
+}
+
+double SimResult::energy_utilization() const {
+  const double solar = total_solar_j();
+  return solar > 0.0 ? total_served_j() / solar : 0.0;
+}
+
+double SimResult::migration_efficiency() const {
+  double in = 0.0, out = 0.0;
+  for (const auto& p : periods) {
+    in += p.migrated_in_j;
+    out += p.cap_supplied_j;
+  }
+  return in > 0.0 ? out / in : 0.0;
+}
+
+double SimResult::total_solar_j() const {
+  double acc = 0.0;
+  for (const auto& p : periods) acc += p.solar_in_j;
+  return acc;
+}
+
+double SimResult::total_served_j() const {
+  double acc = 0.0;
+  for (const auto& p : periods) acc += p.load_served_j;
+  return acc;
+}
+
+double SimResult::total_loss_j() const {
+  double acc = 0.0;
+  for (const auto& p : periods)
+    acc += p.conversion_loss_j + p.leakage_loss_j + p.spilled_j;
+  return acc;
+}
+
+std::size_t SimResult::total_brownouts() const {
+  std::size_t acc = 0;
+  for (const auto& p : periods) acc += p.brownout_slots;
+  return acc;
+}
+
+}  // namespace solsched::nvp

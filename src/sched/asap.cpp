@@ -1,0 +1,40 @@
+#include "sched/asap.hpp"
+
+#include "sched/sched_util.hpp"
+
+namespace solsched::sched {
+
+nvp::PeriodPlan AsapScheduler::begin_period(const nvp::PeriodContext&) {
+  return {};
+}
+
+std::vector<std::size_t> AsapScheduler::schedule_slot(
+    const nvp::SlotContext& ctx) {
+  const auto& graph = *ctx.graph;
+  const auto& state = *ctx.state;
+  std::vector<std::size_t> chosen;
+
+  if (only_live_) {
+    const auto by_nvp =
+        candidates_by_nvp(graph, state, ctx.now_in_period_s, {});
+    for (const auto& list : by_nvp)
+      if (!list.empty()) chosen.push_back(list.front());
+    return chosen;
+  }
+
+  // Pure ASAP: every ready incomplete task, earliest deadline first per NVP,
+  // deadline passed or not.
+  std::vector<std::vector<std::size_t>> by_nvp(graph.nvp_count());
+  for (std::size_t id = 0; id < graph.size(); ++id)
+    if (state.ready(id)) by_nvp[graph.task(id).nvp].push_back(id);
+  for (auto& list : by_nvp) {
+    if (list.empty()) continue;
+    std::size_t best = list.front();
+    for (std::size_t id : list)
+      if (graph.task(id).deadline_s < graph.task(best).deadline_s) best = id;
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+}  // namespace solsched::sched

@@ -1,0 +1,98 @@
+#include "sched/duty_cycle.hpp"
+
+#include <algorithm>
+
+#include "sched/sched_util.hpp"
+
+namespace solsched::sched {
+
+void DutyCycleScheduler::begin_trace(const task::TaskGraph&,
+                                     const nvp::NodeConfig&,
+                                     const solar::SolarTrace&) {
+  harvest_estimate_j_ = 0.0;
+  harvest_seen_ = false;
+  budget_j_ = 0.0;
+  enabled_.clear();
+}
+
+nvp::PeriodPlan DutyCycleScheduler::begin_period(
+    const nvp::PeriodContext& ctx) {
+  const auto& graph = *ctx.graph;
+
+  // Update the harvest estimate from the measured previous period.
+  double last_j = 0.0;
+  for (double p : ctx.last_period_solar_w) last_j += p * ctx.grid->dt_s;
+  if (!ctx.last_period_solar_w.empty()) {
+    harvest_estimate_j_ =
+        harvest_seen_
+            ? config_.harvest_ewma * last_j +
+                  (1.0 - config_.harvest_ewma) * harvest_estimate_j_
+            : last_j;
+    harvest_seen_ = true;
+  }
+
+  // Budget: expected usable harvest plus a bounded storage withdrawal.
+  budget_j_ = harvest_estimate_j_ * config_.direct_eta +
+              config_.storage_draw * ctx.bank->selected().deliverable_j();
+
+  // Enable tasks in deadline order (most urgent first) while they fit; a
+  // task's dependencies must already be enabled or it cannot complete.
+  std::vector<std::size_t> order(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.task(a).deadline_s < graph.task(b).deadline_s;
+  });
+
+  enabled_.assign(graph.size(), false);
+  double committed_j = 0.0;
+  for (std::size_t id : order) {
+    // Cost of this task plus any not-yet-enabled dependencies; `visited`
+    // keeps shared predecessors from being counted twice.
+    double extra = 0.0;
+    std::vector<bool> visited(graph.size(), false);
+    std::vector<std::size_t> closure{id};
+    visited[id] = true;
+    for (std::size_t i = 0; i < closure.size(); ++i) {
+      const std::size_t t = closure[i];
+      if (enabled_[t]) continue;
+      extra += graph.task(t).energy_j();
+      for (std::size_t p : graph.predecessors(t)) {
+        if (!enabled_[p] && !visited[p]) {
+          visited[p] = true;
+          closure.push_back(p);
+        }
+      }
+    }
+    if (committed_j + extra <= budget_j_) {
+      for (std::size_t t : closure) enabled_[t] = true;
+      committed_j += extra;
+    }
+  }
+
+  nvp::PeriodPlan plan;
+  plan.tasks_enabled = enabled_;
+  return plan;
+}
+
+std::vector<std::size_t> DutyCycleScheduler::schedule_slot(
+    const nvp::SlotContext& ctx) {
+  // EDF over the enabled subset, shedding to the supplyable load.
+  const double max_load_w =
+      ctx.pmu->supplyable_j(ctx.solar_w, *ctx.bank, ctx.grid->dt_s) /
+      ctx.grid->dt_s;
+  const auto by_nvp = candidates_by_nvp(*ctx.graph, *ctx.state,
+                                        ctx.now_in_period_s, enabled_);
+  std::vector<std::size_t> chosen;
+  double committed_w = 0.0;
+  for (const auto& list : by_nvp) {
+    if (list.empty()) continue;
+    const std::size_t head = list.front();
+    if (committed_w + ctx.graph->task(head).power_w <= max_load_w) {
+      chosen.push_back(head);
+      committed_w += ctx.graph->task(head).power_w;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace solsched::sched

@@ -1,0 +1,21 @@
+#include "sched/edf.hpp"
+
+#include "sched/sched_util.hpp"
+
+namespace solsched::sched {
+
+nvp::PeriodPlan EdfScheduler::begin_period(const nvp::PeriodContext&) {
+  return {};
+}
+
+std::vector<std::size_t> EdfScheduler::schedule_slot(
+    const nvp::SlotContext& ctx) {
+  const auto by_nvp =
+      candidates_by_nvp(*ctx.graph, *ctx.state, ctx.now_in_period_s, {});
+  std::vector<std::size_t> chosen;
+  for (const auto& list : by_nvp)
+    if (!list.empty()) chosen.push_back(list.front());
+  return chosen;
+}
+
+}  // namespace solsched::sched

@@ -1,0 +1,136 @@
+#include "sched/period_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/sched_util.hpp"
+#include "storage/cap_bank.hpp"
+#include "task/period_state.hpp"
+
+namespace solsched::sched {
+
+PeriodOptimizer::PeriodOptimizer(const task::TaskGraph& graph,
+                                 storage::PmuConfig pmu,
+                                 storage::RegulatorModel regulators,
+                                 storage::LeakageModel leakage, double v_low,
+                                 double v_high, double dt_s)
+    : graph_(&graph),
+      pmu_(pmu),
+      regulators_(std::move(regulators)),
+      leakage_(leakage),
+      v_low_(v_low),
+      v_high_(v_high),
+      dt_s_(dt_s),
+      closed_(closed_subsets(graph)) {}
+
+PeriodEval PeriodOptimizer::evaluate(const std::vector<bool>& te,
+                                     const std::vector<double>& solar_w,
+                                     double capacity_f, double v0) const {
+  const task::TaskGraph& graph = *graph_;
+  const std::size_t n_slots = solar_w.size();
+  const std::vector<bool> enabled =
+      te.empty() ? std::vector<bool>(graph.size(), true) : te;
+
+  storage::CapacitorBank bank({capacity_f}, regulators_, leakage_, v_low_,
+                              v_high_);
+  bank.selected().set_voltage(v0);
+  const double initial_usable = bank.selected().usable_energy_j();
+  const storage::Pmu pmu(pmu_);
+
+  task::PeriodState state(graph);
+  PeriodEval eval;
+  eval.slots.resize(n_slots);
+
+  // Oracle suffix sums: solar energy from slot m to the end of the period.
+  std::vector<double> suffix_j(n_slots + 1, 0.0);
+  for (std::size_t m = n_slots; m-- > 0;)
+    suffix_j[m] = suffix_j[m + 1] + solar_w[m] * dt_s_;
+
+  for (std::size_t m = 0; m < n_slots; ++m) {
+    const double now = static_cast<double>(m) * dt_s_;
+    state.mark_deadlines(now);
+
+    // Oracle starvation forcing: a task whose remaining harvest (through
+    // the direct channel, up to its deadline) cannot cover its remaining
+    // energy must start on stored energy now, before leakage taxes it.
+    std::vector<bool> must_run(graph.size(), false);
+    for (std::size_t id : state.live_ready_tasks(now)) {
+      if (!enabled[id]) continue;
+      const auto& t = graph.task(id);
+      const auto dl_slot = std::min(
+          n_slots,
+          static_cast<std::size_t>(std::max(0.0, t.deadline_s / dt_s_ + 0.5)));
+      const double future_j =
+          (suffix_j[m] - suffix_j[std::max(dl_slot, m)]) * pmu_.direct_eta;
+      if (future_j < state.remaining_s(id) * t.power_w) must_run[id] = true;
+    }
+
+    // Intra-style placement: match the chosen load to the free solar budget
+    // (storage traffic is priced by the mismatch), with forced/starved tasks
+    // always included.
+    const double direct_budget_w = solar_w[m] * pmu_.direct_eta;
+    const double max_load_w =
+        pmu.supplyable_j(solar_w[m], bank, dt_s_) / dt_s_;
+    const std::vector<std::size_t> chosen =
+        load_match_decision(graph, state, now, dt_s_, enabled,
+                            direct_budget_w, must_run, max_load_w);
+    double committed_w = 0.0;
+    for (std::size_t id : chosen) committed_w += graph.task(id).power_w;
+
+    const storage::SlotFlow flow =
+        pmu.run_slot(solar_w[m], committed_w, bank, dt_s_);
+    if (!flow.brownout)
+      for (std::size_t id : chosen) state.execute(id, dt_s_);
+    eval.migrated_in_j += flow.migrated_in_j;
+    eval.cap_supplied_j += flow.cap_supplied_j;
+    eval.slots[m] = flow.brownout ? std::vector<std::size_t>{} : chosen;
+  }
+
+  const double period_end = static_cast<double>(n_slots) * dt_s_;
+  state.mark_deadlines(period_end);
+
+  eval.misses = state.miss_count();
+  eval.dmr = state.dmr();
+  eval.te_completed = true;
+  for (std::size_t id = 0; id < graph.size(); ++id)
+    if (enabled[id] && !state.completed(id)) eval.te_completed = false;
+  eval.final_usable_j = bank.selected().usable_energy_j();
+  eval.final_voltage_v = bank.selected().voltage_v();
+  eval.consumed_cap_j = initial_usable - eval.final_usable_j;
+  eval.alpha = alpha_index(graph, enabled, solar_w, dt_s_);
+  return eval;
+}
+
+std::vector<PeriodOption> PeriodOptimizer::pareto_options(
+    const std::vector<double>& solar_w, double capacity_f, double v0) const {
+  // best option per miss count; prefer smaller E^c, tie-break on higher
+  // final energy.
+  std::vector<PeriodOption> best(graph_->size() + 1);
+  std::vector<bool> seen(graph_->size() + 1, false);
+
+  for (const auto& te : closed_) {
+    const PeriodEval eval = evaluate(te, solar_w, capacity_f, v0);
+    const std::size_t k = eval.misses;
+    if (k >= best.size()) continue;
+    const bool better =
+        !seen[k] || eval.consumed_cap_j < best[k].consumed_cap_j - 1e-12 ||
+        (std::fabs(eval.consumed_cap_j - best[k].consumed_cap_j) <= 1e-12 &&
+         eval.final_usable_j > best[k].final_usable_j);
+    if (better) {
+      seen[k] = true;
+      best[k] = PeriodOption{k,
+                             eval.consumed_cap_j,
+                             eval.final_usable_j,
+                             eval.final_voltage_v,
+                             eval.alpha,
+                             te};
+    }
+  }
+
+  std::vector<PeriodOption> out;
+  for (std::size_t k = 0; k < best.size(); ++k)
+    if (seen[k]) out.push_back(std::move(best[k]));
+  return out;
+}
+
+}  // namespace solsched::sched

@@ -1,0 +1,154 @@
+#include "sched/proposed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sched/intra_task.hpp"
+#include "sched/lsa_inter.hpp"
+#include "sched/sched_util.hpp"
+#include "util/mathx.hpp"
+
+namespace solsched::sched {
+
+ProposedScheduler::ProposedScheduler(ProposedModel model,
+                                     ProposedConfig config)
+    : model_(std::move(model)), config_(config) {
+  if (!model_.dbn) throw std::invalid_argument("ProposedScheduler: null DBN");
+  if (!model_.input_norm.fitted())
+    throw std::invalid_argument("ProposedScheduler: unfitted normalizer");
+}
+
+ann::Vector ProposedScheduler::build_input(const nvp::PeriodContext& ctx,
+                                           std::size_t n_slots) {
+  ann::Vector x;
+  x.reserve(n_slots + ctx.bank->size() + 1);
+  // Previous period's solar, zero-padded for the very first period.
+  for (std::size_t m = 0; m < n_slots; ++m)
+    x.push_back(m < ctx.last_period_solar_w.size()
+                    ? ctx.last_period_solar_w[m]
+                    : 0.0);
+  for (double v : ctx.bank->voltages()) x.push_back(v);
+  x.push_back(ctx.accumulated_dmr);
+  return x;
+}
+
+nvp::PeriodPlan ProposedScheduler::begin_period(const nvp::PeriodContext& ctx) {
+  const std::size_t n_caps = model_.capacities_f.size();
+  if (ctx.bank->size() != n_caps)
+    throw std::logic_error("ProposedScheduler: bank/model capacitor mismatch");
+
+  // --- Coarse-grained DBN analysis -----------------------------------
+  const ann::Vector raw = build_input(ctx, model_.n_slots);
+  const ann::Vector y = model_.dbn->predict(model_.input_norm.transform(raw));
+  if (y.size() != n_caps + 1 + model_.n_tasks)
+    throw std::logic_error("ProposedScheduler: DBN output width mismatch");
+
+  // Decode: capacitor one-hot argmax, α de-squashed, te bits thresholded.
+  std::size_t cap = 0;
+  for (std::size_t h = 1; h < n_caps; ++h)
+    if (y[h] > y[cap]) cap = h;
+  const double alpha =
+      util::clamp(y[n_caps], 0.0, 1.0) * model_.alpha_cap;
+  std::vector<bool> te(model_.n_tasks);
+  for (std::size_t n = 0; n < model_.n_tasks; ++n)
+    te[n] = config_.ignore_te || y[n_caps + 1 + n] > 0.5;
+
+  last_ = Decoded{cap, alpha, te};
+  active_te_ = te;
+
+  // --- Capacitor selection -------------------------------------------
+  // Eq. 22 gate: switching away from a charged capacitor wastes it, so a
+  // switch is allowed only when the selected one is nearly drained — plus
+  // the greedy-bank extension for full capacitors under surplus.
+  nvp::PeriodPlan plan;
+  const std::size_t current = ctx.bank->selected_index();
+  const double current_energy_j = ctx.bank->at(current).usable_energy_j();
+  if (current_energy_j < config_.e_th_j) {
+    std::size_t target = cap;
+    if (config_.greedy_bank) {
+      // Drain the bank capacitor by capacitor: pick the fullest; fall back
+      // to the DBN's choice when the whole bank is empty.
+      std::size_t fullest = 0;
+      for (std::size_t h = 1; h < ctx.bank->size(); ++h)
+        if (ctx.bank->at(h).usable_energy_j() >
+            ctx.bank->at(fullest).usable_energy_j())
+          fullest = h;
+      if (ctx.bank->at(fullest).usable_energy_j() >= config_.e_th_j)
+        target = fullest;
+    }
+    if (target != current) plan.select_cap = target;
+  } else if (config_.greedy_bank && alpha < 1.0) {
+    // Surplus period and the capacitor is nearly full: bank the rest of
+    // the harvest in the emptiest-headroom-rich capacitor instead of
+    // spilling it. The charged capacitor keeps its energy for later.
+    const auto& sel = ctx.bank->at(current);
+    if (sel.headroom_j() <
+        config_.fill_fraction * sel.max_usable_energy_j()) {
+      std::size_t roomiest = current;
+      for (std::size_t h = 0; h < ctx.bank->size(); ++h)
+        if (ctx.bank->at(h).headroom_j() >
+            ctx.bank->at(roomiest).headroom_j())
+          roomiest = h;
+      if (roomiest != current) plan.select_cap = roomiest;
+    }
+  }
+
+  // --- δ rule: pick the fine-grained mode for this period. -----------
+  switch (config_.mode) {
+    case ModeOverride::kAuto:
+      intra_mode_ = std::fabs(1.0 - alpha) <= config_.delta;
+      break;
+    case ModeOverride::kInter: intra_mode_ = false; break;
+    case ModeOverride::kIntra: intra_mode_ = true; break;
+  }
+
+  // The te set steers prioritization inside schedule_slot; the engine sees
+  // everything enabled so off-te tasks may scavenge free solar surplus
+  // (mirrors the optimal scheduler's execution and makes a mispredicted te
+  // recoverable).
+  return plan;
+}
+
+std::vector<std::size_t> ProposedScheduler::schedule_slot(
+    const nvp::SlotContext& ctx) {
+  const auto& graph = *ctx.graph;
+  const double direct_budget_w = ctx.solar_w * ctx.pmu->config().direct_eta;
+
+  std::vector<std::size_t> chosen;
+  if (intra_mode_)
+    chosen = IntraTaskScheduler::match_load(ctx, active_te_, direct_budget_w);
+  else
+    chosen = lsa_slot_decision(ctx, active_te_, config_.margin_slots);
+
+  // Scavenging pass: tasks outside te may run on *free solar only*, on NVPs
+  // the te set left idle — never on stored energy, so the DBN's long-term
+  // energy plan is unaffected.
+  double committed_w = 0.0;
+  for (std::size_t id : chosen) committed_w += graph.task(id).power_w;
+  std::vector<bool> off_te(graph.size());
+  bool any_off = false;
+  for (std::size_t id = 0; id < graph.size(); ++id) {
+    off_te[id] = !active_te_.empty() && !active_te_[id];
+    any_off = any_off || off_te[id];
+  }
+  if (any_off) {
+    const auto extra = candidates_by_nvp(graph, *ctx.state,
+                                         ctx.now_in_period_s, off_te);
+    std::vector<bool> nvp_busy(graph.nvp_count(), false);
+    for (std::size_t id : chosen) nvp_busy[graph.task(id).nvp] = true;
+    for (const auto& list : extra) {
+      if (list.empty()) continue;
+      const std::size_t head = list.front();
+      if (nvp_busy[graph.task(head).nvp]) continue;
+      if (committed_w + graph.task(head).power_w <= direct_budget_w) {
+        chosen.push_back(head);
+        committed_w += graph.task(head).power_w;
+        nvp_busy[graph.task(head).nvp] = true;
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace solsched::sched

@@ -1,0 +1,145 @@
+#include "sched/sched_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace solsched::sched {
+
+std::vector<std::vector<std::size_t>> candidates_by_nvp(
+    const task::TaskGraph& graph, const task::PeriodState& state,
+    double now_s, const std::vector<bool>& enabled) {
+  std::vector<std::vector<std::size_t>> by_nvp(graph.nvp_count());
+  for (std::size_t id : state.live_ready_tasks(now_s)) {
+    if (!enabled.empty() && !enabled[id]) continue;
+    by_nvp[graph.task(id).nvp].push_back(id);
+  }
+  for (auto& list : by_nvp)
+    std::sort(list.begin(), list.end(), [&](std::size_t a, std::size_t b) {
+      const auto& ta = graph.task(a);
+      const auto& tb = graph.task(b);
+      if (ta.deadline_s != tb.deadline_s) return ta.deadline_s < tb.deadline_s;
+      if (state.remaining_s(a) != state.remaining_s(b))
+        return state.remaining_s(a) < state.remaining_s(b);
+      return a < b;
+    });
+  return by_nvp;
+}
+
+double latest_start_s(const task::TaskGraph& graph,
+                      const task::PeriodState& state, std::size_t id) {
+  return graph.task(id).deadline_s - state.remaining_s(id);
+}
+
+bool is_forced(const task::TaskGraph& graph, const task::PeriodState& state,
+               std::size_t id, double now_s, double dt_s) {
+  return latest_start_s(graph, state, id) < now_s + dt_s;
+}
+
+double total_power_w(const task::TaskGraph& graph,
+                     const std::vector<std::size_t>& chosen) {
+  double acc = 0.0;
+  for (std::size_t id : chosen) acc += graph.task(id).power_w;
+  return acc;
+}
+
+bool dependency_closed(const task::TaskGraph& graph,
+                       const std::vector<bool>& subset) {
+  for (std::size_t id = 0; id < graph.size(); ++id) {
+    if (!subset[id]) continue;
+    for (std::size_t p : graph.predecessors(id))
+      if (!subset[p]) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<bool>> closed_subsets(const task::TaskGraph& graph) {
+  const std::size_t n = graph.size();
+  std::vector<std::vector<bool>> out;
+  const std::size_t total = std::size_t{1} << n;
+  for (std::size_t mask = 0; mask < total; ++mask) {
+    std::vector<bool> subset(n);
+    for (std::size_t i = 0; i < n; ++i) subset[i] = (mask >> i) & 1u;
+    if (dependency_closed(graph, subset)) out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+std::vector<std::size_t> load_match_decision(
+    const task::TaskGraph& graph, const task::PeriodState& state,
+    double now_s, double dt_s, const std::vector<bool>& enabled,
+    double target_w, const std::vector<bool>& must_run, double max_load_w) {
+  const auto by_nvp = candidates_by_nvp(graph, state, now_s, enabled);
+
+  std::vector<std::size_t> heads;
+  std::vector<bool> forced;
+  double forced_w = 0.0;
+  for (const auto& list : by_nvp) {
+    if (list.empty()) continue;
+    const std::size_t head = list.front();
+    heads.push_back(head);
+    const bool f = is_forced(graph, state, head, now_s, dt_s) ||
+                   (!must_run.empty() && must_run[head]);
+    forced.push_back(f);
+    if (f) forced_w += graph.task(head).power_w;
+  }
+
+  // Shed forced tasks latest-deadline-first if even they exceed the
+  // supplyable power (a brownout would waste the whole slot).
+  while (forced_w > max_load_w + 1e-12) {
+    int victim = -1;
+    double latest = -1.0;
+    for (std::size_t i = 0; i < heads.size(); ++i)
+      if (forced[i] && graph.task(heads[i]).deadline_s > latest) {
+        latest = graph.task(heads[i]).deadline_s;
+        victim = static_cast<int>(i);
+      }
+    if (victim < 0) break;
+    forced[static_cast<std::size_t>(victim)] = false;
+    forced_w -= graph.task(heads[static_cast<std::size_t>(victim)]).power_w;
+    // The shed task stays a (non-forced) candidate for the subset search.
+  }
+
+  const std::size_t n = heads.size();
+  const std::size_t total = std::size_t{1} << n;
+  std::size_t best_mask = 0;
+  double best_cost = std::numeric_limits<double>::max();
+  int best_count = -1;
+  for (std::size_t mask = 0; mask < total; ++mask) {
+    double load_w = 0.0;
+    int count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (forced[i] || ((mask >> i) & 1u)) {
+        load_w += graph.task(heads[i]).power_w;
+        ++count;
+      }
+    }
+    if (load_w > max_load_w + 1e-12) continue;  // Would brown out.
+    const double cost = std::fabs(target_w - load_w);
+    if (cost < best_cost - 1e-12 ||
+        (std::fabs(cost - best_cost) <= 1e-12 && count > best_count)) {
+      best_cost = cost;
+      best_count = count;
+      best_mask = mask;
+    }
+  }
+
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < n; ++i)
+    if (forced[i] || ((best_mask >> i) & 1u)) chosen.push_back(heads[i]);
+  return chosen;
+}
+
+double alpha_index(const task::TaskGraph& graph,
+                   const std::vector<bool>& subset,
+                   const std::vector<double>& solar_slots_w, double dt_s) {
+  double demand_j = 0.0;
+  for (std::size_t id = 0; id < graph.size(); ++id)
+    if (subset[id]) demand_j += graph.task(id).energy_j();
+  double supply_j = 0.0;
+  for (double p : solar_slots_w) supply_j += p * dt_s;
+  if (supply_j <= 0.0) return demand_j > 0.0 ? 1e9 : 0.0;
+  return demand_j / supply_j;
+}
+
+}  // namespace solsched::sched

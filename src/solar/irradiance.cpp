@@ -1,0 +1,85 @@
+#include "solar/irradiance.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/mathx.hpp"
+
+namespace solsched::solar {
+
+std::string to_string(DayKind kind) {
+  switch (kind) {
+    case DayKind::kClear: return "Clear";
+    case DayKind::kPartlyCloudy: return "PartlyCloudy";
+    case DayKind::kOvercast: return "Overcast";
+    case DayKind::kRainy: return "Rainy";
+  }
+  return "Unknown";
+}
+
+double ClearSkyModel::irradiance(double time_of_day_s) const noexcept {
+  if (time_of_day_s <= sunrise_s || time_of_day_s >= sunset_s) return 0.0;
+  const double phase =
+      (time_of_day_s - sunrise_s) / (sunset_s - sunrise_s);  // (0,1)
+  const double bell = std::sin(std::numbers::pi * phase);
+  return peak_w_m2 * std::pow(bell, shape_exp);
+}
+
+namespace {
+
+/// Archetype parameters: mean attenuation level, walk volatility,
+/// cloud-dip arrival rate (per hour) and dip depth range.
+struct CloudParams {
+  double mean_level;
+  double volatility;
+  double dips_per_hour;
+  double dip_depth_lo;
+  double dip_depth_hi;
+  double dip_len_lo_s;
+  double dip_len_hi_s;
+};
+
+CloudParams params_for(DayKind kind) {
+  switch (kind) {
+    case DayKind::kClear:
+      return {0.97, 0.01, 0.2, 0.80, 0.95, 60.0, 240.0};
+    case DayKind::kPartlyCloudy:
+      return {0.80, 0.05, 4.0, 0.25, 0.70, 120.0, 900.0};
+    case DayKind::kOvercast:
+      return {0.35, 0.03, 1.0, 0.60, 0.90, 300.0, 1200.0};
+    case DayKind::kRainy:
+      return {0.15, 0.02, 2.0, 0.40, 0.80, 300.0, 1800.0};
+  }
+  return {1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0};
+}
+
+}  // namespace
+
+CloudProcess::CloudProcess(DayKind kind, util::Rng rng)
+    : kind_(kind), rng_(rng) {
+  level_ = params_for(kind).mean_level;
+}
+
+double CloudProcess::step(double dt_s) {
+  const CloudParams p = params_for(kind_);
+
+  // Mean-reverting bounded walk around the archetype level.
+  const double reversion = 0.05 * (p.mean_level - level_);
+  level_ += reversion + p.volatility * std::sqrt(dt_s / 60.0) * rng_.normal();
+  level_ = util::clamp(level_, 0.02, 1.0);
+
+  // Discrete cloud dips (passing clouds): Poisson arrivals.
+  if (dip_remaining_s_ > 0.0) {
+    dip_remaining_s_ -= dt_s;
+  } else {
+    const double arrivals = p.dips_per_hour * dt_s / 3600.0;
+    if (rng_.bernoulli(1.0 - std::exp(-arrivals))) {
+      dip_remaining_s_ = rng_.uniform(p.dip_len_lo_s, p.dip_len_hi_s);
+      dip_depth_ = rng_.uniform(p.dip_depth_lo, p.dip_depth_hi);
+    }
+  }
+  const double dip = dip_remaining_s_ > 0.0 ? dip_depth_ : 1.0;
+  return util::clamp(level_ * dip, 0.0, 1.0);
+}
+
+}  // namespace solsched::solar

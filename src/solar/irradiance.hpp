@@ -1,0 +1,60 @@
+// Synthetic irradiance model — stand-in for the NREL MIDC database [15].
+//
+// The schedulers consume only a per-slot harvested-power series; what matters
+// for reproducing the paper is the diurnal bell shape, day archetypes with
+// very different totals (the paper's four representative days, Fig. 7),
+// intra-day cloud variability and day-to-day correlation. A clear-sky
+// sinusoidal-power model modulated by per-archetype cloud processes gives
+// exactly those statistics, deterministically.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace solsched::solar {
+
+/// Weather archetype of one day. Values follow the paper's Fig. 7 spread:
+/// a bright clear day down to a dark rainy day.
+enum class DayKind {
+  kClear,         ///< Cloudless; near the clear-sky envelope.
+  kPartlyCloudy,  ///< Passing clouds; deep short dips.
+  kOvercast,      ///< Uniform thick cloud; strongly attenuated, smooth.
+  kRainy,         ///< Heavy overcast + rain; very low yield.
+};
+
+/// Human-readable archetype name ("Clear", "PartlyCloudy", ...).
+std::string to_string(DayKind kind);
+
+/// Parameters of the clear-sky envelope.
+struct ClearSkyModel {
+  double sunrise_s = 6.0 * 3600.0;   ///< Seconds after midnight.
+  double sunset_s = 18.0 * 3600.0;   ///< Seconds after midnight.
+  double peak_w_m2 = 1000.0;         ///< Zenith irradiance.
+  double shape_exp = 1.2;            ///< Sharpens the midday bell.
+
+  /// Clear-sky irradiance (W/m^2) at time-of-day t (seconds). Zero at night.
+  double irradiance(double time_of_day_s) const noexcept;
+};
+
+/// Per-archetype cloud attenuation process. Produces a multiplicative factor
+/// in (0, 1] that evolves as a bounded random walk with archetype-specific
+/// mean level and dip behaviour.
+class CloudProcess {
+ public:
+  CloudProcess(DayKind kind, util::Rng rng);
+
+  /// Advances the process by dt seconds and returns the attenuation factor.
+  double step(double dt_s);
+
+  DayKind kind() const noexcept { return kind_; }
+
+ private:
+  DayKind kind_;
+  util::Rng rng_;
+  double level_ = 1.0;       ///< Current attenuation (bounded walk state).
+  double dip_remaining_s_ = 0.0;  ///< Remaining duration of an active cloud dip.
+  double dip_depth_ = 0.0;        ///< Attenuation multiplier during the dip.
+};
+
+}  // namespace solsched::solar

@@ -1,0 +1,21 @@
+#include "solar/panel.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace solsched::solar {
+
+SolarPanel::SolarPanel(double area_m2, double efficiency)
+    : area_m2_(area_m2), efficiency_(efficiency) {
+  if (area_m2 <= 0.0)
+    throw std::invalid_argument("SolarPanel: area must be positive");
+  if (efficiency <= 0.0 || efficiency > 1.0)
+    throw std::invalid_argument("SolarPanel: efficiency must be in (0, 1]");
+}
+
+SolarPanel SolarPanel::paper_panel() {
+  return SolarPanel{util::cm2_to_m2(3.5 * 4.5), 0.06};
+}
+
+}  // namespace solsched::solar

@@ -1,0 +1,226 @@
+#include "solar/predictor.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace solsched::solar {
+
+double SolarPredictor::predict_energy_j(std::size_t n, double dt_s) const {
+  double energy = 0.0;
+  for (std::size_t h = 1; h <= n; ++h) energy += predict(h) * dt_s;
+  return energy;
+}
+
+// ---------------------------------------------------------------- EWMA ----
+
+EwmaPredictor::EwmaPredictor(std::size_t slots_per_day, double lambda)
+    : slots_per_day_(slots_per_day),
+      lambda_(lambda),
+      avg_(slots_per_day, 0.0),
+      seen_(slots_per_day, false) {
+  if (slots_per_day == 0)
+    throw std::invalid_argument("EwmaPredictor: slots_per_day must be > 0");
+  if (lambda <= 0.0 || lambda > 1.0)
+    throw std::invalid_argument("EwmaPredictor: lambda must be in (0, 1]");
+}
+
+void EwmaPredictor::observe(double power_w) {
+  const std::size_t slot = cursor_ % slots_per_day_;
+  if (seen_[slot])
+    avg_[slot] = lambda_ * power_w + (1.0 - lambda_) * avg_[slot];
+  else {
+    avg_[slot] = power_w;
+    seen_[slot] = true;
+  }
+  ++cursor_;
+}
+
+double EwmaPredictor::predict(std::size_t horizon) const {
+  const std::size_t slot = (cursor_ + horizon - 1) % slots_per_day_;
+  return seen_[slot] ? avg_[slot] : 0.0;
+}
+
+void EwmaPredictor::reset() {
+  cursor_ = 0;
+  avg_.assign(slots_per_day_, 0.0);
+  seen_.assign(slots_per_day_, false);
+}
+
+// ---------------------------------------------------------------- WCMA ----
+
+WcmaPredictor::WcmaPredictor(std::size_t slots_per_day,
+                             std::size_t history_days, std::size_t gap_window,
+                             double alpha)
+    : slots_per_day_(slots_per_day),
+      history_days_(history_days),
+      gap_window_(gap_window),
+      alpha_(alpha) {
+  if (slots_per_day == 0)
+    throw std::invalid_argument("WcmaPredictor: slots_per_day must be > 0");
+  if (history_days == 0)
+    throw std::invalid_argument("WcmaPredictor: history_days must be > 0");
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("WcmaPredictor: alpha must be in [0, 1]");
+  today_.reserve(slots_per_day);
+}
+
+double WcmaPredictor::day_mean(std::size_t slot) const {
+  if (days_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& day : days_) acc += day[slot];
+  return acc / static_cast<double>(days_.size());
+}
+
+double WcmaPredictor::gap_factor() const {
+  if (days_.empty() || today_.empty()) return 1.0;
+  // Weighted ratio of today's last K samples to the historical mean at the
+  // same slots; weights favour the most recent sample (Piorno et al.).
+  const std::size_t k = std::min(gap_window_, today_.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t slot = today_.size() - 1 - i;
+    const double mean = day_mean(slot);
+    if (mean <= 1e-12) continue;  // Night slots carry no weather signal.
+    const double weight = static_cast<double>(k - i);
+    num += weight * (today_[slot] / mean);
+    den += weight;
+  }
+  if (den <= 0.0) return 1.0;
+  return util::clamp(num / den, 0.0, 2.0);
+}
+
+void WcmaPredictor::observe(double power_w) {
+  today_.push_back(power_w);
+  last_sample_ = power_w;
+  ++cursor_;
+  if (today_.size() == slots_per_day_) {
+    days_.push_back(std::move(today_));
+    today_ = {};
+    today_.reserve(slots_per_day_);
+    if (days_.size() > history_days_) days_.erase(days_.begin());
+  }
+}
+
+double WcmaPredictor::predict(std::size_t horizon) const {
+  const std::size_t slot = (cursor_ + horizon - 1) % slots_per_day_;
+  const double mean = day_mean(slot);
+  const double conditioned = gap_factor() * mean;
+  if (days_.empty()) return last_sample_;  // Cold start: persistence.
+  // Blend the last sample with the weather-conditioned mean; the sample's
+  // influence decays with horizon (alpha^h), matching WCMA's single-step
+  // blend when h == 1.
+  const double decay = std::pow(alpha_, static_cast<double>(horizon));
+  return decay * last_sample_ + (1.0 - decay) * conditioned;
+}
+
+void WcmaPredictor::reset() {
+  cursor_ = 0;
+  days_.clear();
+  today_.clear();
+  last_sample_ = 0.0;
+}
+
+// ---------------------------------------------------------- Pro-Energy ----
+
+ProEnergyPredictor::ProEnergyPredictor(std::size_t slots_per_day,
+                                       std::size_t pool_days,
+                                       std::size_t similarity_window,
+                                       double alpha)
+    : slots_per_day_(slots_per_day),
+      pool_days_(pool_days),
+      similarity_window_(similarity_window),
+      alpha_(alpha) {
+  if (slots_per_day == 0)
+    throw std::invalid_argument("ProEnergyPredictor: slots_per_day > 0");
+  if (pool_days == 0)
+    throw std::invalid_argument("ProEnergyPredictor: pool_days > 0");
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("ProEnergyPredictor: alpha in [0, 1]");
+  today_.reserve(slots_per_day);
+}
+
+std::size_t ProEnergyPredictor::most_similar_profile() const {
+  if (pool_.empty() || today_.empty()) return static_cast<std::size_t>(-1);
+  const std::size_t k = std::min(similarity_window_, today_.size());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t p = 0; p < pool_.size(); ++p) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t slot = today_.size() - 1 - i;
+      acc += std::fabs(today_[slot] - pool_[p][slot]);
+    }
+    if (acc < best_d) {
+      best_d = acc;
+      best = p;
+    }
+  }
+  return best;
+}
+
+void ProEnergyPredictor::observe(double power_w) {
+  today_.push_back(power_w);
+  last_sample_ = power_w;
+  ++cursor_;
+  if (today_.size() == slots_per_day_) {
+    pool_.push_back(std::move(today_));
+    today_ = {};
+    today_.reserve(slots_per_day_);
+    if (pool_.size() > pool_days_) pool_.erase(pool_.begin());
+  }
+}
+
+double ProEnergyPredictor::predict(std::size_t horizon) const {
+  const std::size_t slot = (cursor_ + horizon - 1) % slots_per_day_;
+  if (pool_.empty()) return last_sample_;  // Cold start: persistence.
+  const std::size_t similar = most_similar_profile();
+  const std::vector<double>& profile =
+      similar == static_cast<std::size_t>(-1) ? pool_.back() : pool_[similar];
+  const double decay = std::pow(alpha_, static_cast<double>(horizon));
+  return decay * last_sample_ + (1.0 - decay) * profile[slot];
+}
+
+void ProEnergyPredictor::reset() {
+  cursor_ = 0;
+  pool_.clear();
+  today_.clear();
+  last_sample_ = 0.0;
+}
+
+// -------------------------------------------------------------- Oracle ----
+
+OraclePredictor::OraclePredictor(const SolarTrace& trace) : trace_(&trace) {}
+
+void OraclePredictor::observe(double /*power_w*/) { ++cursor_; }
+
+double OraclePredictor::predict(std::size_t horizon) const {
+  const std::size_t idx = cursor_ + horizon - 1;
+  if (idx >= trace_->grid().total_slots()) return 0.0;
+  return trace_->at_flat(idx);
+}
+
+void OraclePredictor::reset() { cursor_ = 0; }
+
+// ---------------------------------------------------------- evaluation ----
+
+double evaluate_predictor_mae(SolarPredictor& predictor,
+                              const SolarTrace& trace, std::size_t horizon) {
+  predictor.reset();
+  const std::size_t total = trace.grid().total_slots();
+  if (total <= horizon) return 0.0;
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t flat = 0; flat + horizon < total; ++flat) {
+    predictor.observe(trace.at_flat(flat));
+    const double predicted = predictor.predict(horizon);
+    const double actual = trace.at_flat(flat + horizon);
+    acc += std::fabs(predicted - actual);
+    ++count;
+  }
+  return count ? acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace solsched::solar

@@ -1,0 +1,146 @@
+// Solar power predictors.
+//
+// The inter-task baseline [3] is driven by WCMA (Weather-Conditioned Moving
+// Average, Piorno et al.); we also provide the classic per-slot EWMA and an
+// oracle (perfect knowledge) predictor used by the offline optimal scheduler.
+// Predictors consume the trace stream one slot at a time and answer queries
+// for any forward horizon, so a single interface serves per-slot lazy
+// scheduling and multi-day long-term analysis alike.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solar/solar_trace.hpp"
+
+namespace solsched::solar {
+
+/// Streaming predictor interface. Call observe() once per elapsed slot in
+/// order; predict(h) then estimates the power of the slot h steps after the
+/// last observed one (h >= 1).
+class SolarPredictor {
+ public:
+  virtual ~SolarPredictor() = default;
+
+  /// Feeds the measured power of the next slot (watts).
+  virtual void observe(double power_w) = 0;
+
+  /// Predicted power (watts) of the slot `horizon` slots ahead of the last
+  /// observed slot. horizon >= 1.
+  virtual double predict(std::size_t horizon) const = 0;
+
+  /// Resets all history.
+  virtual void reset() = 0;
+
+  /// Identifier for reports.
+  virtual std::string name() const = 0;
+
+  /// Predicted energy (joules) over the next `n` slots of length dt_s.
+  double predict_energy_j(std::size_t n, double dt_s) const;
+};
+
+/// Per-slot-of-day exponentially weighted moving average (Kansal-style):
+/// one EWMA cell per slot position within the day, updated across days.
+class EwmaPredictor final : public SolarPredictor {
+ public:
+  /// `slots_per_day` fixes the diurnal indexing; lambda in (0, 1] weights
+  /// today's observation against the historical average.
+  EwmaPredictor(std::size_t slots_per_day, double lambda = 0.5);
+
+  void observe(double power_w) override;
+  double predict(std::size_t horizon) const override;
+  void reset() override;
+  std::string name() const override { return "EWMA"; }
+
+ private:
+  std::size_t slots_per_day_;
+  double lambda_;
+  std::size_t cursor_ = 0;  ///< Next slot-of-day to be observed.
+  std::vector<double> avg_;
+  std::vector<bool> seen_;
+};
+
+/// Weather-Conditioned Moving Average [3]: the mean of the same slot over
+/// the previous D days, scaled by a GAP factor measuring how today compares
+/// with those days over the last K slots, blended with the latest sample.
+class WcmaPredictor final : public SolarPredictor {
+ public:
+  WcmaPredictor(std::size_t slots_per_day, std::size_t history_days = 4,
+                std::size_t gap_window = 3, double alpha = 0.7);
+
+  void observe(double power_w) override;
+  double predict(std::size_t horizon) const override;
+  void reset() override;
+  std::string name() const override { return "WCMA"; }
+
+ private:
+  /// Mean of the previous D days at slot-of-day `slot`.
+  double day_mean(std::size_t slot) const;
+  /// GAP factor of the current day (~1 on a typical day, <1 on a dark one).
+  double gap_factor() const;
+
+  std::size_t slots_per_day_;
+  std::size_t history_days_;
+  std::size_t gap_window_;
+  double alpha_;
+  std::size_t cursor_ = 0;  ///< Next slot-of-day to be observed.
+  std::vector<std::vector<double>> days_;  ///< Completed day rows.
+  std::vector<double> today_;
+  double last_sample_ = 0.0;
+};
+
+/// Pro-Energy-style profile predictor (Cammarano et al.): keeps a pool of
+/// recent daily profiles; predictions blend the latest observation with the
+/// *most similar* stored profile, where similarity is the mean absolute
+/// distance over the last K observed slots. Where WCMA scales the mean
+/// profile, Pro-Energy selects among distinct profiles — better when days
+/// fall into modes (clear vs. storm) rather than a continuum.
+class ProEnergyPredictor final : public SolarPredictor {
+ public:
+  ProEnergyPredictor(std::size_t slots_per_day, std::size_t pool_days = 5,
+                     std::size_t similarity_window = 4, double alpha = 0.6);
+
+  void observe(double power_w) override;
+  double predict(std::size_t horizon) const override;
+  void reset() override;
+  std::string name() const override { return "Pro-Energy"; }
+
+  /// Index into the pool of the currently most similar profile (for tests);
+  /// SIZE_MAX when the pool is empty or no slot has been observed today.
+  std::size_t most_similar_profile() const;
+
+ private:
+  std::size_t slots_per_day_;
+  std::size_t pool_days_;
+  std::size_t similarity_window_;
+  double alpha_;
+  std::size_t cursor_ = 0;
+  std::vector<std::vector<double>> pool_;  ///< Completed day profiles.
+  std::vector<double> today_;
+  double last_sample_ = 0.0;
+};
+
+/// Perfect prediction: reads future values straight from the trace. Used by
+/// the offline optimal scheduler and as an upper bound in sweeps.
+class OraclePredictor final : public SolarPredictor {
+ public:
+  explicit OraclePredictor(const SolarTrace& trace);
+
+  void observe(double power_w) override;
+  double predict(std::size_t horizon) const override;
+  void reset() override;
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  const SolarTrace* trace_;
+  std::size_t cursor_ = 0;  ///< Flat index of next unobserved slot.
+};
+
+/// Mean absolute prediction error of `predictor` over `trace` at the given
+/// horizon (watts). The predictor is reset first.
+double evaluate_predictor_mae(SolarPredictor& predictor,
+                              const SolarTrace& trace, std::size_t horizon);
+
+}  // namespace solsched::solar

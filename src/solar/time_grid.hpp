@@ -1,0 +1,69 @@
+// Hierarchical simulation time base (Table 1, "Time" rows).
+//
+// Scheduling time is organized as N_d days x N_p periods x N_s slots, each
+// slot lasting dt seconds. Tasks are periodic with period N_s * dt and may be
+// preempted at slot boundaries only.
+#pragma once
+
+#include <cstddef>
+
+namespace solsched::solar {
+
+/// Immutable description of the day/period/slot hierarchy.
+struct TimeGrid {
+  std::size_t n_days = 1;      ///< N_d: days covered by a trace/schedule.
+  std::size_t n_periods = 144; ///< N_p: periods per day.
+  std::size_t n_slots = 20;    ///< N_s: slots per period.
+  double dt_s = 30.0;          ///< Slot length in seconds.
+
+  /// Period length ΔT in seconds.
+  constexpr double period_s() const noexcept {
+    return static_cast<double>(n_slots) * dt_s;
+  }
+  /// Nominal day length implied by the grid, in seconds.
+  constexpr double day_s() const noexcept {
+    return static_cast<double>(n_periods) * period_s();
+  }
+  /// Slots per day.
+  constexpr std::size_t slots_per_day() const noexcept {
+    return n_periods * n_slots;
+  }
+  /// Total slots across all days.
+  constexpr std::size_t total_slots() const noexcept {
+    return n_days * slots_per_day();
+  }
+  /// Total periods across all days.
+  constexpr std::size_t total_periods() const noexcept {
+    return n_days * n_periods;
+  }
+  /// Flattened slot index of (day, period, slot).
+  constexpr std::size_t flat_slot(std::size_t day, std::size_t period,
+                                  std::size_t slot) const noexcept {
+    return (day * n_periods + period) * n_slots + slot;
+  }
+  /// Flattened period index of (day, period).
+  constexpr std::size_t flat_period(std::size_t day,
+                                    std::size_t period) const noexcept {
+    return day * n_periods + period;
+  }
+  /// Absolute time (seconds since trace start) at the beginning of a slot.
+  constexpr double slot_start_s(std::size_t day, std::size_t period,
+                                std::size_t slot) const noexcept {
+    return static_cast<double>(flat_slot(day, period, slot)) * dt_s;
+  }
+  /// Time-of-day in seconds at the beginning of a flattened slot index.
+  constexpr double time_of_day_s(std::size_t flat) const noexcept {
+    return static_cast<double>(flat % slots_per_day()) * dt_s;
+  }
+
+  /// Grids are comparable so traces can assert compatibility.
+  friend bool operator==(const TimeGrid&, const TimeGrid&) = default;
+};
+
+/// Default grid used by the experiments: 10-minute periods of 20 x 30 s
+/// slots, 144 periods/day (a full 24 h day).
+constexpr TimeGrid default_grid(std::size_t n_days = 1) noexcept {
+  return TimeGrid{n_days, 144, 20, 30.0};
+}
+
+}  // namespace solsched::solar

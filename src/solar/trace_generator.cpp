@@ -1,0 +1,74 @@
+#include "solar/trace_generator.hpp"
+
+#include <stdexcept>
+
+namespace solsched::solar {
+
+TraceGenerator::TraceGenerator(TraceGeneratorConfig config)
+    : config_(std::move(config)) {
+  const auto& t = config_.weather_transition;
+  if (t.size() != 4)
+    throw std::invalid_argument("TraceGenerator: transition matrix must be 4x4");
+  for (const auto& row : t)
+    if (row.size() != 4)
+      throw std::invalid_argument(
+          "TraceGenerator: transition matrix must be 4x4");
+}
+
+SolarTrace TraceGenerator::day_with_rng(DayKind kind, TimeGrid grid,
+                                        util::Rng rng) const {
+  grid.n_days = 1;
+  SolarTrace trace(grid);
+  CloudProcess clouds(kind, rng);
+  for (std::size_t flat = 0; flat < grid.total_slots(); ++flat) {
+    const double tod = grid.time_of_day_s(flat) + 0.5 * grid.dt_s;
+    const double clear = config_.clear_sky.irradiance(tod);
+    const double attenuation = clouds.step(grid.dt_s);
+    trace.at_flat(flat) = config_.panel.power_w(clear * attenuation);
+  }
+  return trace;
+}
+
+SolarTrace TraceGenerator::generate_day(DayKind kind, TimeGrid grid) const {
+  // Seed depends on the archetype so different kinds differ even with the
+  // same generator seed.
+  util::Rng rng(config_.seed ^ (0x1234abcdull + static_cast<int>(kind)));
+  return day_with_rng(kind, grid, rng);
+}
+
+std::vector<DayKind> TraceGenerator::weather_sequence(std::size_t n_days,
+                                                      DayKind first) const {
+  util::Rng rng(config_.seed ^ 0x5eed0123ull);
+  std::vector<DayKind> seq;
+  seq.reserve(n_days);
+  DayKind current = first;
+  for (std::size_t d = 0; d < n_days; ++d) {
+    seq.push_back(current);
+    const auto& row = config_.weather_transition[static_cast<int>(current)];
+    current = static_cast<DayKind>(rng.weighted_index(row));
+  }
+  return seq;
+}
+
+SolarTrace TraceGenerator::generate_days(std::size_t n_days, TimeGrid day_grid,
+                                         DayKind first) const {
+  const auto kinds = weather_sequence(n_days, first);
+  util::Rng day_seeds(config_.seed ^ 0xdda75eedull);
+  std::vector<SolarTrace> days;
+  days.reserve(n_days);
+  for (std::size_t d = 0; d < n_days; ++d)
+    days.push_back(day_with_rng(kinds[d], day_grid, day_seeds.split()));
+  return SolarTrace::concat_days(days);
+}
+
+std::vector<SolarTrace> TraceGenerator::four_representative_days(
+    TimeGrid day_grid) const {
+  return {
+      generate_day(DayKind::kClear, day_grid),
+      generate_day(DayKind::kPartlyCloudy, day_grid),
+      generate_day(DayKind::kOvercast, day_grid),
+      generate_day(DayKind::kRainy, day_grid),
+  };
+}
+
+}  // namespace solsched::solar

@@ -1,0 +1,63 @@
+// Multi-day solar trace generation (NREL MIDC substitute).
+//
+// Day archetypes are chained with a Markov weather model so that consecutive
+// days are correlated (clear spells, rainy fronts) — the property behind the
+// paper's Fig. 10a finding that prediction usefulness has a locality horizon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solar/irradiance.hpp"
+#include "solar/panel.hpp"
+#include "solar/solar_trace.hpp"
+#include "solar/time_grid.hpp"
+#include "util/rng.hpp"
+
+namespace solsched::solar {
+
+/// Configuration of the generator.
+struct TraceGeneratorConfig {
+  ClearSkyModel clear_sky{};
+  SolarPanel panel = SolarPanel::paper_panel();
+  std::uint64_t seed = 42;
+  /// Row-stochastic day-kind transition matrix, indexed
+  /// [from][to] over {Clear, PartlyCloudy, Overcast, Rainy}.
+  std::vector<std::vector<double>> weather_transition = {
+      {0.60, 0.25, 0.10, 0.05},
+      {0.30, 0.40, 0.20, 0.10},
+      {0.10, 0.30, 0.40, 0.20},
+      {0.10, 0.25, 0.30, 0.35},
+  };
+};
+
+/// Generates deterministic synthetic harvested-power traces.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(TraceGeneratorConfig config = {});
+
+  /// One day of the given archetype on `grid` (grid.n_days forced to 1).
+  SolarTrace generate_day(DayKind kind, TimeGrid grid) const;
+
+  /// `n_days` days chained by the Markov weather model, starting from
+  /// `first` (the first day is exactly `first`).
+  SolarTrace generate_days(std::size_t n_days, TimeGrid day_grid,
+                           DayKind first = DayKind::kClear) const;
+
+  /// The day-kind sequence the Markov chain would emit (for inspection).
+  std::vector<DayKind> weather_sequence(std::size_t n_days,
+                                        DayKind first) const;
+
+  /// The paper's four representative days (Fig. 7): Day1 = clear (highest
+  /// yield) through Day4 = rainy (lowest yield).
+  std::vector<SolarTrace> four_representative_days(TimeGrid day_grid) const;
+
+  const TraceGeneratorConfig& config() const noexcept { return config_; }
+
+ private:
+  SolarTrace day_with_rng(DayKind kind, TimeGrid grid, util::Rng rng) const;
+
+  TraceGeneratorConfig config_;
+};
+
+}  // namespace solsched::solar

@@ -1,0 +1,71 @@
+#include "storage/cap_bank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace solsched::storage {
+
+CapacitorBank::CapacitorBank(const std::vector<double>& capacities_f,
+                             const RegulatorModel& regulators,
+                             const LeakageModel& leakage, double v_low,
+                             double v_high) {
+  if (capacities_f.empty())
+    throw std::invalid_argument("CapacitorBank: need at least one capacitor");
+  caps_.reserve(capacities_f.size());
+  for (double c : capacities_f)
+    caps_.emplace_back(CapParams{c, v_low, v_high}, regulators, leakage);
+}
+
+void CapacitorBank::select(std::size_t index) {
+  if (index >= caps_.size())
+    throw std::out_of_range("CapacitorBank::select: index out of range");
+  selected_ = index;
+}
+
+std::size_t CapacitorBank::select_closest(double capacity_f) {
+  std::size_t best = 0;
+  double best_d = std::fabs(caps_[0].capacity_f() - capacity_f);
+  for (std::size_t i = 1; i < caps_.size(); ++i) {
+    const double d = std::fabs(caps_[i].capacity_f() - capacity_f);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  selected_ = best;
+  return best;
+}
+
+std::vector<double> CapacitorBank::voltages() const {
+  std::vector<double> out;
+  out.reserve(caps_.size());
+  for (const auto& c : caps_) out.push_back(c.voltage_v());
+  return out;
+}
+
+std::vector<double> CapacitorBank::capacities() const {
+  std::vector<double> out;
+  out.reserve(caps_.size());
+  for (const auto& c : caps_) out.push_back(c.capacity_f());
+  return out;
+}
+
+double CapacitorBank::total_energy_j() const {
+  double acc = 0.0;
+  for (const auto& c : caps_) acc += c.energy_j();
+  return acc;
+}
+
+double CapacitorBank::total_usable_energy_j() const {
+  double acc = 0.0;
+  for (const auto& c : caps_) acc += c.usable_energy_j();
+  return acc;
+}
+
+double CapacitorBank::apply_leakage_all(double dt_s) {
+  double leaked = 0.0;
+  for (auto& c : caps_) leaked += c.apply_leakage(dt_s);
+  return leaked;
+}
+
+}  // namespace solsched::storage

@@ -1,0 +1,122 @@
+#include "storage/fine_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "storage/supercap.hpp"
+#include "util/mathx.hpp"
+
+namespace solsched::storage {
+
+FineCapSim::FineCapSim(double capacity_f, double v_low, double v_high,
+                       RegulatorModel regulators, FineSimParams params)
+    : capacity_f_(capacity_f),
+      v_low_(v_low),
+      v_high_(v_high),
+      regulators_(std::move(regulators)),
+      params_(params),
+      voltage_(v_low) {
+  if (capacity_f <= 0.0)
+    throw std::invalid_argument("FineCapSim: capacity must be positive");
+  if (v_low < 0.0 || v_high <= v_low)
+    throw std::invalid_argument("FineCapSim: need 0 <= V_L < V_H");
+}
+
+double FineCapSim::effective_eta(double base_eta, double power_w)
+    const noexcept {
+  // Converter efficiency droops as transfer power approaches zero
+  // (quiescent current dominates) — absent from the coarse model.
+  const double droop =
+      params_.low_power_droop *
+      std::exp(-power_w / std::max(params_.low_power_knee_w, 1e-9));
+  return util::clamp(base_eta - droop, 0.01, 0.99);
+}
+
+double FineCapSim::leak_power_w(double voltage_v) const noexcept {
+  if (voltage_v <= 0.0) return 0.0;
+  return params_.leak_a * capacity_f_ *
+             std::pow(voltage_v, params_.leak_exp) * voltage_v +
+         params_.leak_b * std::pow(voltage_v, 3.0);
+}
+
+FineSimResult FineCapSim::run(const std::vector<PowerPhase>& phases) {
+  FineSimResult result;
+  const double dt = params_.dt_s;
+  const double esr = params_.esr_scale / std::sqrt(capacity_f_);
+
+  for (const auto& phase : phases) {
+    const auto steps = static_cast<long long>(phase.duration_s / dt + 0.5);
+    for (long long step = 0; step < steps; ++step) {
+      double energy = 0.5 * capacity_f_ * voltage_ * voltage_;
+
+      // --- Charging path -------------------------------------------------
+      if (phase.input_w > 0.0) {
+        const double offered = phase.input_w * dt;
+        result.offered_j += offered;
+        const double ceil_j = 0.5 * capacity_f_ * v_high_ * v_high_;
+        if (energy < ceil_j - 1e-12) {
+          const double eta =
+              effective_eta(regulators_.input.eta(voltage_), phase.input_w) *
+              cycle_efficiency(capacity_f_);
+          const double stored_gross = offered * eta;  // After the converter.
+          // ESR drop while charging: I = P_in/V (bounded below to avoid the
+          // V -> 0 singularity), loss = I^2 R dt.
+          const double v_eff = std::max(voltage_, 0.2);
+          const double current = phase.input_w / v_eff;
+          const double esr_full =
+              std::min(stored_gross, current * current * esr * dt);
+          const double stored_net = stored_gross - esr_full;
+          // Scale the whole transfer down if the capacitor cannot fit it.
+          double fraction = 1.0;
+          if (stored_net > 0.0 && energy + stored_net > ceil_j)
+            fraction = (ceil_j - energy) / stored_net;
+          else if (stored_net <= 0.0)
+            fraction = 0.0;
+          const double accepted = offered * fraction;
+          result.accepted_j += accepted;
+          result.spilled_j += offered - accepted;
+          result.esr_loss_j += esr_full * fraction;
+          result.conversion_loss_j += accepted * (1.0 - eta);
+          energy += stored_net * fraction;
+        } else {
+          result.spilled_j += offered;
+        }
+      }
+
+      // --- Discharging path ----------------------------------------------
+      if (phase.demand_w > 0.0) {
+        const double floor_j = 0.5 * capacity_f_ * v_low_ * v_low_;
+        const double usable = std::max(0.0, energy - floor_j);
+        if (usable > 0.0) {
+          const double eta =
+              effective_eta(regulators_.output.eta(voltage_), phase.demand_w) *
+              cycle_efficiency(capacity_f_);
+          const double request = phase.demand_w * dt;
+          double drawn = std::min(request / std::max(eta, 1e-9), usable);
+          const double v_eff = std::max(voltage_, 0.2);
+          const double current = phase.demand_w / v_eff;
+          const double esr_loss = std::min(drawn, current * current * esr * dt);
+          const double delivered = std::max(0.0, (drawn - esr_loss) * eta);
+          result.esr_loss_j += esr_loss;
+          result.delivered_j += delivered;
+          result.conversion_loss_j += std::max(0.0, drawn - esr_loss -
+                                               delivered);
+          energy -= drawn;
+        }
+      }
+
+      // --- Leakage ---------------------------------------------------------
+      const double leak = std::min(leak_power_w(voltage_) * dt, energy);
+      result.leakage_loss_j += leak;
+      energy -= leak;
+
+      voltage_ = std::sqrt(std::max(0.0, 2.0 * energy / capacity_f_));
+    }
+  }
+
+  result.final_energy_j = 0.5 * capacity_f_ * voltage_ * voltage_;
+  return result;
+}
+
+}  // namespace solsched::storage

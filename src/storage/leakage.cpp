@@ -1,0 +1,50 @@
+#include "storage/leakage.hpp"
+
+#include <vector>
+
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace solsched::storage {
+
+LeakageModel::LeakageModel(double k_cap, double k_volt)
+    : k_cap_(k_cap), k_volt_(k_volt) {}
+
+double LeakageModel::power_w(double voltage_v, double capacity_f)
+    const noexcept {
+  if (voltage_v <= 0.0) return 0.0;
+  const double v2 = voltage_v * voltage_v;
+  return k_cap_ * capacity_f * v2 + k_volt_ * v2 * v2;
+}
+
+LeakageModel LeakageModel::fitted_default(std::uint64_t seed) {
+  // Synthesize "tested" leakage samples over the (V, C) grid the node uses,
+  // then solve the 2x2 least-squares system for (k_c, k_v).
+  const LeakageModel truth{};
+  util::Rng rng(seed);
+  std::vector<double> basis_c, basis_v, target;
+  for (double cap : {1.0, 5.0, 10.0, 50.0, 100.0}) {
+    for (double volt : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0}) {
+      const double measured =
+          truth.power_w(volt, cap) * (1.0 + 0.03 * rng.normal());
+      basis_c.push_back(cap * volt * volt);
+      basis_v.push_back(volt * volt * volt * volt);
+      target.push_back(measured);
+    }
+  }
+  // Normal equations for y ~ a*basis_c + b*basis_v.
+  double scc = 0, scv = 0, svv = 0, scy = 0, svy = 0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    scc += basis_c[i] * basis_c[i];
+    scv += basis_c[i] * basis_v[i];
+    svv += basis_v[i] * basis_v[i];
+    scy += basis_c[i] * target[i];
+    svy += basis_v[i] * target[i];
+  }
+  std::vector<double> x;
+  if (!util::solve_linear({scc, scv, scv, svv}, {scy, svy}, 2, x))
+    return truth;  // Degenerate sample set: fall back to ground truth.
+  return LeakageModel{x[0], x[1]};
+}
+
+}  // namespace solsched::storage

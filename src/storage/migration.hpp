@@ -1,0 +1,62 @@
+// Energy-migration experiments (Table 2 and Fig. 2's motivation).
+//
+// A "migration" moves a quantity Q of energy across a time distance T:
+// energy arrives while solar is plentiful, is held in a super capacitor, and
+// is extracted later. Table 2 evaluates migration efficiency for capacitor
+// sizes {1, 10, 50, 100} F under (7 J, 60 min) and (30 J, 400 min) patterns,
+// comparing the coarse analytic model against measurements; here the
+// measurement role is played by the fine-timestep simulator (see
+// fine_sim.hpp for why that preserves the comparison's character).
+#pragma once
+
+#include "storage/fine_sim.hpp"
+#include "storage/leakage.hpp"
+#include "storage/regulator.hpp"
+
+namespace solsched::storage {
+
+/// Shape of one migration: charge during the leading fraction of the window,
+/// idle through the middle, extract during the trailing fraction.
+struct MigrationPattern {
+  double quantity_j = 7.0;          ///< Q: energy offered for migration.
+  double duration_s = 3600.0;       ///< T: migration distance.
+  double charge_fraction = 0.25;    ///< Leading charge window / T.
+  double discharge_fraction = 0.25; ///< Trailing discharge window / T.
+};
+
+/// Outcome of one migration run (all joules; efficiency = delivered / Q).
+struct MigrationResult {
+  double offered_j = 0.0;
+  double delivered_j = 0.0;
+  double efficiency = 0.0;
+  double conversion_loss_j = 0.0;
+  double leakage_loss_j = 0.0;
+  double spilled_j = 0.0;
+  double residual_j = 0.0;  ///< Usable energy stranded in the cap at the end.
+};
+
+/// Builds the three-phase power profile of a pattern. The discharge phase
+/// requests twice the nominal extraction power so any stored remainder is
+/// pulled out within the window (delivery is capacitor-limited).
+std::vector<PowerPhase> pattern_phases(const MigrationPattern& pattern);
+
+/// Runs the migration through the coarse slot-level model (Eq. 1-3) with
+/// slot length `dt_s` — the paper's "Model" column.
+MigrationResult migrate_coarse(double capacity_f, const RegulatorModel& reg,
+                               const LeakageModel& leak,
+                               const MigrationPattern& pattern,
+                               double dt_s = 30.0, double v_low = 0.5,
+                               double v_high = 5.0);
+
+/// Runs the migration through the fine-timestep simulator — the paper's
+/// "Test" column.
+MigrationResult migrate_fine(double capacity_f, const RegulatorModel& reg,
+                             const MigrationPattern& pattern,
+                             FineSimParams params = {}, double v_low = 0.5,
+                             double v_high = 5.0);
+
+/// Relative error |model - test| / test of two efficiencies (paper's Error
+/// column); 0 when test is 0.
+double relative_error(double model_eff, double test_eff) noexcept;
+
+}  // namespace solsched::storage

@@ -1,0 +1,97 @@
+#include "storage/regulator.hpp"
+
+#include <stdexcept>
+
+#include "util/curve_fit.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace solsched::storage {
+
+double ConverterLaw::eta(double voltage_v) const noexcept {
+  if (voltage_v <= 0.0) return floor;
+  return util::clamp(eta_inf - drop / (voltage_v + knee), floor, ceil);
+}
+
+RegulatorCurve RegulatorCurve::fit(const std::vector<EfficiencyPoint>& points) {
+  if (points.size() < 4)
+    throw std::invalid_argument("RegulatorCurve::fit: need >= 4 points");
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  double v_min = points.front().voltage_v, v_max = points.front().voltage_v;
+  for (const auto& p : points) {
+    xs.push_back(p.voltage_v);
+    ys.push_back(p.efficiency);
+    v_min = std::min(v_min, p.voltage_v);
+    v_max = std::max(v_max, p.voltage_v);
+  }
+  const util::FitResult fit = util::polyfit(xs, ys, 3);
+  if (!fit.ok)
+    throw std::runtime_error("RegulatorCurve::fit: singular normal equations");
+  RegulatorCurve curve;
+  curve.fitted_ = true;
+  curve.coeffs_ = fit.coeffs;
+  curve.rmse_ = fit.rmse;
+  curve.v_min_ = v_min;
+  curve.v_max_ = v_max;
+  return curve;
+}
+
+RegulatorCurve RegulatorCurve::from_law(const ConverterLaw& law) {
+  RegulatorCurve curve;
+  curve.fitted_ = false;
+  curve.law_ = law;
+  return curve;
+}
+
+double RegulatorCurve::eta(double voltage_v) const {
+  if (!fitted_) return law_.eta(voltage_v);
+  // Clamp into the fit's validity range; a cubic extrapolates badly.
+  const double v = util::clamp(voltage_v, v_min_, v_max_);
+  return util::clamp(util::polyval(coeffs_, v), 0.02, 0.98);
+}
+
+ConverterLaw RegulatorModel::input_law() {
+  // Input regulator (solar surplus -> capacitor): weak at low V, ~80% at 5 V.
+  return ConverterLaw{0.88, 0.45, 0.60, 0.05, 0.95};
+}
+
+ConverterLaw RegulatorModel::output_law() {
+  // Output regulator (capacitor -> load): slightly better low-V behaviour.
+  return ConverterLaw{0.86, 0.40, 0.50, 0.05, 0.95};
+}
+
+std::vector<EfficiencyPoint> RegulatorModel::synth_measurements(
+    const ConverterLaw& law, std::size_t n, double v_lo, double v_hi,
+    double noise_rel, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<EfficiencyPoint> points;
+  points.reserve(n);
+  const auto volts = util::linspace(v_lo, v_hi, n);
+  for (double v : volts) {
+    const double truth = law.eta(v);
+    const double measured =
+        util::clamp(truth * (1.0 + noise_rel * rng.normal()), 0.01, 0.99);
+    points.push_back({v, measured});
+  }
+  return points;
+}
+
+RegulatorModel RegulatorModel::fitted_default(std::uint64_t seed) {
+  RegulatorModel model;
+  model.input = RegulatorCurve::fit(
+      synth_measurements(input_law(), 25, 0.3, 5.0, 0.015, seed));
+  model.output = RegulatorCurve::fit(
+      synth_measurements(output_law(), 25, 0.3, 5.0, 0.015, seed ^ 0xff));
+  return model;
+}
+
+RegulatorModel RegulatorModel::analytic_default() {
+  RegulatorModel model;
+  model.input = RegulatorCurve::from_law(input_law());
+  model.output = RegulatorCurve::from_law(output_law());
+  return model;
+}
+
+}  // namespace solsched::storage

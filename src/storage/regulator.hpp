@@ -1,0 +1,93 @@
+// Input/output regulator efficiency models (paper Fig. 5).
+//
+// The store-and-use channel passes energy through an input regulator when
+// charging a super capacitor and an output regulator when discharging it.
+// Both efficiencies depend strongly on the capacitor voltage: these small
+// boost/buck converters are poor at low input voltage and approach their
+// peak efficiency only at a few volts. The paper obtains η_chr(V) and
+// η_dis(V) "from data fitting with the tested results in Figure 5"; we
+// reproduce that flow by generating synthetic measured points from a
+// ground-truth converter law and fitting them with polynomial least squares
+// (util::polyfit). The fitted polynomial is what the coarse model evaluates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace solsched::storage {
+
+/// One measured point of a converter efficiency curve.
+struct EfficiencyPoint {
+  double voltage_v = 0.0;
+  double efficiency = 0.0;
+};
+
+/// Ground-truth converter law used to synthesize "tested" data points:
+/// eta(V) = eta_inf - drop / (V + knee), clamped to [floor, ceil].
+struct ConverterLaw {
+  double eta_inf = 0.80;  ///< Asymptotic efficiency at high voltage.
+  double drop = 0.60;     ///< Low-voltage penalty magnitude.
+  double knee = 0.80;     ///< Voltage softening constant.
+  double floor = 0.05;
+  double ceil = 0.95;
+
+  /// Efficiency at capacitor voltage V.
+  double eta(double voltage_v) const noexcept;
+};
+
+/// Voltage-dependent efficiency curve backed by a fitted polynomial.
+class RegulatorCurve {
+ public:
+  RegulatorCurve() = default;
+
+  /// Fits a cubic to the given measured points. Throws if fewer than 4
+  /// points are supplied or the fit is singular.
+  static RegulatorCurve fit(const std::vector<EfficiencyPoint>& points);
+
+  /// Wraps an analytic law directly (used for ground truth in tests).
+  static RegulatorCurve from_law(const ConverterLaw& law);
+
+  /// Efficiency in (0, 1) at the given voltage; clamped to [0.02, 0.98] so
+  /// extrapolation of the fit can never produce nonphysical values.
+  double eta(double voltage_v) const;
+
+  /// True if this curve came from a polynomial fit (vs. analytic law).
+  bool is_fitted() const noexcept { return fitted_; }
+
+  /// RMSE of the fit against its input points (0 for analytic curves).
+  double fit_rmse() const noexcept { return rmse_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> coeffs_;  ///< Fitted polynomial (if fitted_).
+  ConverterLaw law_{};          ///< Analytic law (if !fitted_).
+  double rmse_ = 0.0;
+  double v_min_ = 0.0;          ///< Fit validity range (clamped outside).
+  double v_max_ = 5.0;
+};
+
+/// The pair of regulator curves of the store-and-use channel.
+struct RegulatorModel {
+  RegulatorCurve input;   ///< η_chr(V): solar surplus -> capacitor.
+  RegulatorCurve output;  ///< η_dis(V): capacitor -> load.
+
+  /// Synthesizes measured points for both regulators (ground-truth laws from
+  /// the paper's Fig. 5 character + measurement noise), fits cubics, and
+  /// returns the fitted model. Deterministic for a given seed.
+  static RegulatorModel fitted_default(std::uint64_t seed = 7);
+
+  /// Analytic (noise-free) model with the same ground-truth laws.
+  static RegulatorModel analytic_default();
+
+  /// Ground-truth laws behind fitted_default / analytic_default.
+  static ConverterLaw input_law();
+  static ConverterLaw output_law();
+
+  /// Synthetic "tested" points for one law, n points over [v_lo, v_hi] with
+  /// multiplicative measurement noise of the given relative sigma.
+  static std::vector<EfficiencyPoint> synth_measurements(
+      const ConverterLaw& law, std::size_t n, double v_lo, double v_hi,
+      double noise_rel, std::uint64_t seed);
+};
+
+}  // namespace solsched::storage

@@ -1,0 +1,136 @@
+#include "storage/supercap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace solsched::storage {
+
+double cycle_efficiency(double capacity_f) noexcept {
+  if (capacity_f <= 0.0) return 0.9;
+  // 1 F -> ~0.975, 10 F -> ~0.965, 100 F -> ~0.955.
+  const double eta = 0.975 - 0.010 * std::log10(capacity_f);
+  return util::clamp(eta, 0.90, 0.99);
+}
+
+SuperCapacitor::SuperCapacitor(CapParams params, RegulatorModel regulators,
+                               LeakageModel leakage)
+    : params_(params),
+      regulators_(std::move(regulators)),
+      leakage_(leakage),
+      voltage_(params.v_low) {
+  if (params_.capacity_f <= 0.0)
+    throw std::invalid_argument("SuperCapacitor: capacity must be positive");
+  if (params_.v_low < 0.0 || params_.v_high <= params_.v_low)
+    throw std::invalid_argument("SuperCapacitor: need 0 <= V_L < V_H");
+}
+
+double SuperCapacitor::energy_j() const noexcept {
+  return 0.5 * params_.capacity_f * voltage_ * voltage_;
+}
+
+double SuperCapacitor::usable_energy_j() const noexcept {
+  const double floor_j =
+      0.5 * params_.capacity_f * params_.v_low * params_.v_low;
+  return std::max(0.0, energy_j() - floor_j);
+}
+
+double SuperCapacitor::headroom_j() const noexcept {
+  const double ceil_j =
+      0.5 * params_.capacity_f * params_.v_high * params_.v_high;
+  return std::max(0.0, ceil_j - energy_j());
+}
+
+double SuperCapacitor::max_usable_energy_j() const noexcept {
+  return 0.5 * params_.capacity_f *
+         (params_.v_high * params_.v_high - params_.v_low * params_.v_low);
+}
+
+bool SuperCapacitor::is_full() const noexcept { return headroom_j() <= 1e-12; }
+
+bool SuperCapacitor::is_empty() const noexcept {
+  return usable_energy_j() <= 1e-12;
+}
+
+void SuperCapacitor::set_voltage(double voltage_v) noexcept {
+  voltage_ = util::clamp(voltage_v, 0.0, params_.v_high);
+}
+
+void SuperCapacitor::set_usable_energy_j(double energy_j) noexcept {
+  const double floor_j =
+      0.5 * params_.capacity_f * params_.v_low * params_.v_low;
+  const double target = floor_j + std::max(0.0, energy_j);
+  set_energy(target);
+}
+
+void SuperCapacitor::set_energy(double energy_j) noexcept {
+  const double e = std::max(0.0, energy_j);
+  voltage_ = util::clamp(std::sqrt(2.0 * e / params_.capacity_f), 0.0,
+                         params_.v_high);
+}
+
+double SuperCapacitor::charge_eta() const noexcept {
+  return regulators_.input.eta(voltage_) * cycle_efficiency(params_.capacity_f);
+}
+
+double SuperCapacitor::discharge_eta() const noexcept {
+  return regulators_.output.eta(voltage_) *
+         cycle_efficiency(params_.capacity_f);
+}
+
+ChargeResult SuperCapacitor::charge(double offer_j) noexcept {
+  ChargeResult result;
+  if (offer_j <= 0.0) return result;
+  const double eta = charge_eta();  // Evaluated at the start voltage (Eq. 3).
+  const double room = headroom_j();
+  if (room <= 0.0 || eta <= 0.0) {
+    result.spilled_j = offer_j;
+    return result;
+  }
+  const double storable = offer_j * eta;
+  if (storable <= room) {
+    result.accepted_j = offer_j;
+    result.stored_j = storable;
+  } else {
+    result.stored_j = room;
+    result.accepted_j = room / eta;
+    result.spilled_j = offer_j - result.accepted_j;
+  }
+  result.conversion_loss_j = result.accepted_j - result.stored_j;
+  set_energy(energy_j() + result.stored_j);
+  return result;
+}
+
+DischargeResult SuperCapacitor::discharge(double request_j) noexcept {
+  DischargeResult result;
+  if (request_j <= 0.0) return result;
+  const double eta = discharge_eta();  // Start-voltage evaluation (Eq. 3).
+  const double usable = usable_energy_j();
+  if (usable <= 0.0 || eta <= 0.0) return result;
+  const double needed = request_j / eta;
+  if (needed <= usable) {
+    result.drawn_j = needed;
+    result.delivered_j = request_j;
+  } else {
+    result.drawn_j = usable;
+    result.delivered_j = usable * eta;
+  }
+  result.conversion_loss_j = result.drawn_j - result.delivered_j;
+  set_energy(energy_j() - result.drawn_j);
+  return result;
+}
+
+double SuperCapacitor::deliverable_j() const noexcept {
+  return usable_energy_j() * discharge_eta();
+}
+
+double SuperCapacitor::apply_leakage(double dt_s) noexcept {
+  const double p = leakage_.power_w(voltage_, params_.capacity_f);
+  const double leaked = std::min(p * dt_s, energy_j());
+  set_energy(energy_j() - leaked);
+  return leaked;
+}
+
+}  // namespace solsched::storage

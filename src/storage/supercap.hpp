@@ -1,0 +1,104 @@
+// Super-capacitor state and the slot-level energy recurrence (Eq. 1, 3, 11).
+//
+// Stored energy is E = 1/2 C V^2. Charging passes through the input
+// regulator (η_chr(V) * η_cycle(C)); discharging through the output
+// regulator (divide by η_dis(V) * η_cycle(C)); both efficiencies are
+// evaluated at the voltage at the *start* of the operation, exactly as the
+// paper's recurrence does. The fine-grained reference simulator reuses this
+// class with a millisecond step, making the path-dependence error of the
+// coarse model measurable (Table 2's Model-vs-Test error).
+#pragma once
+
+#include "storage/leakage.hpp"
+#include "storage/regulator.hpp"
+
+namespace solsched::storage {
+
+/// Average cycle efficiency η_cycle(C) of a super capacitor [12]: slightly
+/// worse for larger banks (higher equivalent series resistance paths).
+double cycle_efficiency(double capacity_f) noexcept;
+
+/// Static parameters of one super capacitor.
+struct CapParams {
+  double capacity_f = 10.0;  ///< C_h.
+  double v_low = 0.5;        ///< V_L: cut-off voltage (no discharge below).
+  double v_high = 5.0;       ///< V_H: full-charged voltage (no charge above).
+};
+
+/// Result of a charge operation.
+struct ChargeResult {
+  double accepted_j = 0.0;   ///< Energy drawn from the source.
+  double stored_j = 0.0;     ///< Energy actually added to the capacitor.
+  double spilled_j = 0.0;    ///< Source energy refused (capacitor full).
+  double conversion_loss_j = 0.0;  ///< accepted - stored.
+};
+
+/// Result of a discharge operation.
+struct DischargeResult {
+  double delivered_j = 0.0;  ///< Energy delivered to the load.
+  double drawn_j = 0.0;      ///< Energy removed from the capacitor.
+  double conversion_loss_j = 0.0;  ///< drawn - delivered.
+};
+
+/// One distributed super capacitor of the store-and-use channel.
+class SuperCapacitor {
+ public:
+  /// Creates the capacitor at its cut-off voltage (empty of usable energy).
+  SuperCapacitor(CapParams params, RegulatorModel regulators,
+                 LeakageModel leakage);
+
+  const CapParams& params() const noexcept { return params_; }
+  double capacity_f() const noexcept { return params_.capacity_f; }
+  double voltage_v() const noexcept { return voltage_; }
+
+  /// Total stored energy 1/2 C V^2 (J).
+  double energy_j() const noexcept;
+  /// Energy extractable before hitting V_L (J, >= 0).
+  double usable_energy_j() const noexcept;
+  /// Energy storable before hitting V_H (J, >= 0).
+  double headroom_j() const noexcept;
+  /// Usable energy when completely full (J).
+  double max_usable_energy_j() const noexcept;
+
+  bool is_full() const noexcept;
+  bool is_empty() const noexcept;  ///< At or below V_L.
+
+  /// Forces the voltage (clamped to [0, V_H]); used for initial conditions.
+  void set_voltage(double voltage_v) noexcept;
+  /// Sets the stored *usable* energy above V_L (clamped to capacity).
+  void set_usable_energy_j(double energy_j) noexcept;
+
+  /// Offers `energy_j` of source energy through the input regulator.
+  /// Efficiency is evaluated at the pre-operation voltage (Eq. 3, ΔE > 0).
+  ChargeResult charge(double offer_j) noexcept;
+
+  /// Requests `energy_j` at the load through the output regulator
+  /// (Eq. 3, ΔE < 0). Delivers less if the capacitor reaches V_L.
+  DischargeResult discharge(double request_j) noexcept;
+
+  /// Energy the capacitor could deliver to the load right now without going
+  /// below V_L (what discharge() would deliver for an unbounded request).
+  double deliverable_j() const noexcept;
+
+  /// Applies self-discharge for dt seconds; returns leaked energy (J).
+  /// Leakage can pull the voltage below V_L (parasitic), but not below 0.
+  double apply_leakage(double dt_s) noexcept;
+
+  /// η_chr(V)·η_cycle at the current voltage.
+  double charge_eta() const noexcept;
+  /// η_dis(V)·η_cycle at the current voltage.
+  double discharge_eta() const noexcept;
+
+  const RegulatorModel& regulators() const noexcept { return regulators_; }
+  const LeakageModel& leakage() const noexcept { return leakage_; }
+
+ private:
+  void set_energy(double energy_j) noexcept;
+
+  CapParams params_;
+  RegulatorModel regulators_;
+  LeakageModel leakage_;
+  double voltage_ = 0.0;
+};
+
+}  // namespace solsched::storage

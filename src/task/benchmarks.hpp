@@ -1,0 +1,55 @@
+// Benchmark task sets (Sec. 6.1).
+//
+// Three real applications — wild animal monitoring (WAM, 8 tasks),
+// electrocardiogram (ECG, 6 tasks) and structural health monitoring
+// (SHM, 5 tasks) — plus three random benchmarks with 4-8 tasks, 0-2 edges
+// and 2-6 NVPs. The paper derives execution times and powers from a C2RTL
+// flow under SMIC 130 nm; we use parameters of the same magnitude (tens of
+// seconds at tens of mW within a 10-minute period), which is all the
+// scheduling comparison depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "task/task_graph.hpp"
+
+namespace solsched::task {
+
+/// Wild animal monitoring: locating, heart-rate sampling, voice recording,
+/// audio processing, emergency response, audio compression, local storage,
+/// data transmission (footnote 1 of the paper).
+TaskGraph wam_benchmark();
+
+/// Electrocardiogram: low-pass filter, high-pass filters 1/2, QRS wave
+/// detection, FFT, AES encoder (footnote 2).
+TaskGraph ecg_benchmark();
+
+/// Structural health monitoring: temperature sensing, acceleration sensing,
+/// FFT, data receiving, data transmission (footnote 3).
+TaskGraph shm_benchmark();
+
+/// Random benchmark in the paper's envelope: 4-8 tasks, 0-2 dependency
+/// edges, 2-6 NVPs; deadlines are always feasible under unlimited energy.
+/// Deterministic for a given seed.
+TaskGraph random_benchmark(std::uint64_t seed, std::string name = "random");
+
+/// The paper's three random cases (fixed seeds).
+TaskGraph random_case(int index);  ///< index in {1, 2, 3}.
+
+/// All six benchmarks in the paper's order:
+/// {rand1, rand2, rand3, WAM, ECG, SHM}.
+std::vector<TaskGraph> paper_suite();
+
+/// Returns the graph with every task's power multiplied by `factor` (> 0);
+/// structure, times and deadlines unchanged. Models a different process
+/// node or voltage corner.
+TaskGraph scaled_power(const TaskGraph& graph, double factor);
+
+/// Returns the graph with execution times and deadlines stretched by
+/// `factor` (> 0); powers unchanged. Deadlines scale too, so feasibility
+/// under unlimited energy is preserved. Models a slower clock or a larger
+/// data rate at the same duty structure.
+TaskGraph stretched_time(const TaskGraph& graph, double factor);
+
+}  // namespace solsched::task

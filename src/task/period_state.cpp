@@ -1,0 +1,59 @@
+#include "task/period_state.hpp"
+
+#include <algorithm>
+
+namespace solsched::task {
+
+PeriodState::PeriodState(const TaskGraph& graph) : graph_(&graph) { reset(); }
+
+void PeriodState::reset() {
+  const std::size_t n = graph_->size();
+  remaining_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) remaining_[i] = graph_->task(i).exec_s;
+  missed_.assign(n, false);
+}
+
+bool PeriodState::ready(std::size_t id) const {
+  if (completed(id)) return false;
+  for (std::size_t p : graph_->predecessors(id))
+    if (!completed(p)) return false;
+  return true;
+}
+
+void PeriodState::execute(std::size_t id, double dt_s) {
+  remaining_.at(id) = std::max(0.0, remaining_.at(id) - dt_s);
+}
+
+void PeriodState::mark_deadlines(double now_s) {
+  for (std::size_t i = 0; i < remaining_.size(); ++i)
+    if (!missed_[i] && !completed(i) && graph_->task(i).deadline_s <= now_s)
+      missed_[i] = true;
+}
+
+std::vector<std::size_t> PeriodState::live_ready_tasks(double now_s) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < remaining_.size(); ++i)
+    if (ready(i) && !missed_[i] && graph_->task(i).deadline_s > now_s)
+      out.push_back(i);
+  return out;
+}
+
+std::size_t PeriodState::miss_count() const {
+  return static_cast<std::size_t>(
+      std::count(missed_.begin(), missed_.end(), true));
+}
+
+std::size_t PeriodState::completed_count() const {
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < remaining_.size(); ++i)
+    if (completed(i)) ++acc;
+  return acc;
+}
+
+double PeriodState::dmr() const {
+  if (remaining_.empty()) return 0.0;
+  return static_cast<double>(miss_count()) /
+         static_cast<double>(remaining_.size());
+}
+
+}  // namespace solsched::task

@@ -1,0 +1,67 @@
+// Per-period runtime state of a task set (Eq. 4-5, 7).
+//
+// Tasks are periodic and independent across periods, so all execution
+// bookkeeping resets at each period boundary. Within a period this tracks
+// remaining execution time S'_n, readiness (all predecessors complete),
+// and deadline misses θ(S'_{D_n}).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "task/task_graph.hpp"
+
+namespace solsched::task {
+
+/// Mutable execution state of one benchmark instance within one period.
+class PeriodState {
+ public:
+  explicit PeriodState(const TaskGraph& graph);
+
+  const TaskGraph& graph() const noexcept { return *graph_; }
+
+  /// Restores the fresh-period state (S' = S_n, nothing missed).
+  void reset();
+
+  /// Remaining execution time S'_n (s).
+  double remaining_s(std::size_t id) const { return remaining_.at(id); }
+
+  /// True when S'_n == 0.
+  bool completed(std::size_t id) const { return remaining_.at(id) <= 1e-9; }
+
+  /// True when every predecessor is completed (Eq. 7) and the task itself
+  /// is not yet complete.
+  bool ready(std::size_t id) const;
+
+  /// True if the deadline passed with work left (sticky once set).
+  bool missed(std::size_t id) const { return missed_.at(id); }
+
+  /// Advances task `id` by dt seconds of execution (not below zero).
+  void execute(std::size_t id, double dt_s);
+
+  /// Marks misses: every incomplete task whose deadline D_n <= now_s becomes
+  /// missed. Call at each slot boundary; the paper evaluates θ at the first
+  /// slot boundary at or after D_n.
+  void mark_deadlines(double now_s);
+
+  /// Tasks that are ready, unfinished, and still have a live deadline
+  /// (deadline not yet passed), i.e. worth scheduling for DMR.
+  std::vector<std::size_t> live_ready_tasks(double now_s) const;
+
+  /// Number of missed tasks so far.
+  std::size_t miss_count() const;
+
+  /// Number of completed tasks.
+  std::size_t completed_count() const;
+
+  /// Deadline miss rate of the period: misses / N. Call after the final
+  /// mark_deadlines of the period.
+  double dmr() const;
+
+ private:
+  const TaskGraph* graph_;
+  std::vector<double> remaining_;
+  std::vector<bool> missed_;
+};
+
+}  // namespace solsched::task

@@ -1,0 +1,36 @@
+// Task model (Table 1, "Task" rows).
+//
+// A benchmark is a set of periodic tasks executed every period ΔT. Each task
+// has a deadline D_n and total execution time S_n (seconds within the
+// period), an average execution power P^τ_n, and is bound to one NVP
+// (a task can only execute on a certain NVP; each NVP runs at most one task
+// per slot). Dependencies W_{n,l} gate starts (Eq. 7).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace solsched::task {
+
+/// One periodic task.
+struct Task {
+  std::size_t id = 0;      ///< Index within the benchmark's task set.
+  std::string name;        ///< Human-readable label.
+  double deadline_s = 0.0; ///< D_n: deadline relative to period start (s).
+  double exec_s = 0.0;     ///< S_n: total execution time per period (s).
+  double power_w = 0.0;    ///< P^τ_n: average execution power (W).
+  std::size_t nvp = 0;     ///< A_k membership: the NVP this task runs on.
+
+  /// Energy required to complete the task once (J).
+  double energy_j() const noexcept { return exec_s * power_w; }
+};
+
+/// Directed dependency edge: `to` consumes the results of `from`.
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace solsched::task

@@ -1,0 +1,65 @@
+// Task DAG G(V, W) with the structural queries schedulers need.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "task/task.hpp"
+
+namespace solsched::task {
+
+/// Immutable-after-build task graph of one benchmark.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Builds and validates the graph. Throws std::invalid_argument if ids are
+  /// inconsistent, an edge references a missing task, or the graph is cyclic.
+  TaskGraph(std::string name, std::vector<Task> tasks, std::vector<Edge> edges);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return tasks_.size(); }
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  const Task& task(std::size_t id) const { return tasks_.at(id); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Number of NVPs referenced (max nvp index + 1; 0 when empty).
+  std::size_t nvp_count() const noexcept { return nvp_count_; }
+
+  /// Direct predecessors of task `id` (tasks it depends on).
+  const std::vector<std::size_t>& predecessors(std::size_t id) const {
+    return preds_.at(id);
+  }
+  /// Direct successors of task `id`.
+  const std::vector<std::size_t>& successors(std::size_t id) const {
+    return succs_.at(id);
+  }
+
+  /// Task ids in a topological order (dependencies first).
+  const std::vector<std::size_t>& topo_order() const noexcept { return topo_; }
+
+  /// Task ids bound to the given NVP.
+  std::vector<std::size_t> tasks_on_nvp(std::size_t nvp) const;
+
+  /// Total energy to run every task once (J).
+  double total_energy_j() const noexcept;
+
+  /// Total execution time summed over tasks (s).
+  double total_exec_s() const noexcept;
+
+  /// Largest power drawn if every NVP ran its most power-hungry task (W) —
+  /// an upper bound on instantaneous load.
+  double peak_power_w() const;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::vector<std::vector<std::size_t>> succs_;
+  std::vector<std::size_t> topo_;
+  std::size_t nvp_count_ = 0;
+};
+
+}  // namespace solsched::task

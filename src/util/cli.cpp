@@ -1,0 +1,94 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace solsched::util {
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& description) {
+  flags_[name] = Flag{default_value, default_value, description, false};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + arg;
+      return false;
+    }
+    if (!has_value) {
+      // `--flag value` unless the next token is another flag (then bool).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end())
+    throw std::invalid_argument("Cli::get: undeclared flag " + name);
+  return it->second.value;
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+long long Cli::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::uint64_t Cli::get_seed(const std::string& name) const {
+  return std::strtoull(get(name).c_str(), nullptr, 10);
+}
+
+bool Cli::was_set(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    if (!flag.default_value.empty())
+      out << " (default: " << flag.default_value << ")";
+    out << "\n      " << flag.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace solsched::util

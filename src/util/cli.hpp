@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the examples and benches.
+//
+// Flags are of the form `--name value` or `--name=value`; `--name` alone is
+// a boolean. Unknown flags are an error so typos don't silently fall back
+// to defaults mid-experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace solsched::util {
+
+/// Parsed command line with typed accessors and a generated usage string.
+class Cli {
+ public:
+  /// Declares a flag before parsing. `description` feeds usage().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& description);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or a
+  /// missing value; `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  bool help_requested() const noexcept { return help_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Typed access; the flag must have been declared.
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  std::uint64_t get_seed(const std::string& name) const;
+
+  /// True if the user explicitly supplied the flag.
+  bool was_set(const std::string& name) const;
+
+  /// Formatted flag table for --help output.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string description;
+    bool set = false;
+  };
+  std::map<std::string, Flag> flags_;
+  bool help_ = false;
+  std::string error_;
+};
+
+}  // namespace solsched::util

@@ -1,0 +1,50 @@
+#include "util/curve_fit.hpp"
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace solsched::util {
+
+FitResult polyfit(const std::vector<double>& xs, const std::vector<double>& ys,
+                  std::size_t degree) {
+  FitResult result;
+  const std::size_t n = degree + 1;
+  if (xs.size() != ys.size() || xs.size() < n) return result;
+
+  // Normal equations: (X^T X) c = X^T y with X the Vandermonde matrix.
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    std::vector<double> powers(2 * n - 1);
+    powers[0] = 1.0;
+    for (std::size_t p = 1; p < powers.size(); ++p)
+      powers[p] = powers[p - 1] * xs[s];
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) xtx[r * n + c] += powers[r + c];
+      xty[r] += powers[r] * ys[s];
+    }
+  }
+
+  std::vector<double> coeffs;
+  if (!solve_linear(std::move(xtx), std::move(xty), n, coeffs)) return result;
+
+  result.coeffs = std::move(coeffs);
+  result.rmse = poly_rmse(result.coeffs, xs, ys);
+  result.ok = true;
+  return result;
+}
+
+double poly_rmse(const std::vector<double>& coeffs,
+                 const std::vector<double>& xs,
+                 const std::vector<double>& ys) {
+  if (xs.empty() || xs.size() != ys.size()) return 0.0;
+  double sse = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = polyval(coeffs, xs[i]) - ys[i];
+    sse += r * r;
+  }
+  return std::sqrt(sse / static_cast<double>(xs.size()));
+}
+
+}  // namespace solsched::util

@@ -1,0 +1,82 @@
+#include "util/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace solsched::util {
+
+KMeansResult kmeans_1d(const std::vector<double>& points, std::size_t k,
+                       std::size_t max_iters) {
+  KMeansResult result;
+  if (points.empty()) return result;
+  k = std::max<std::size_t>(1, std::min(k, points.size()));
+
+  // Deterministic init: centroids at evenly spaced quantiles of the data.
+  std::vector<double> sorted = points;
+  std::sort(sorted.begin(), sorted.end());
+  result.centroids.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double q = (static_cast<double>(c) + 0.5) / static_cast<double>(k);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    result.centroids[c] = sorted[idx];
+  }
+
+  result.labels.assign(points.size(), 0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = std::fabs(points[i] - result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<double> sums(k, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[result.labels[i]] += points[i];
+      ++counts[result.labels[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c)
+      if (counts[c] > 0)
+        result.centroids[c] = sums[c] / static_cast<double>(counts[c]);
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+  }
+
+  // Order centroids ascending and remap labels so output is canonical.
+  std::vector<std::size_t> order(k);
+  for (std::size_t c = 0; c < k; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.centroids[a] < result.centroids[b];
+  });
+  std::vector<std::size_t> rank(k);
+  std::vector<double> sorted_centroids(k);
+  for (std::size_t pos = 0; pos < k; ++pos) {
+    rank[order[pos]] = pos;
+    sorted_centroids[pos] = result.centroids[order[pos]];
+  }
+  result.centroids = std::move(sorted_centroids);
+  for (auto& label : result.labels) label = rank[label];
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = points[i] - result.centroids[result.labels[i]];
+    result.inertia += d * d;
+  }
+  return result;
+}
+
+}  // namespace solsched::util

@@ -1,0 +1,27 @@
+// One-dimensional k-means clustering.
+//
+// Used by capacitor sizing (Sec. 4.1): the per-day optimal capacities
+// {C_i^opt} are clustered into H sets and each distributed super capacitor
+// takes the mean of its cluster.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace solsched::util {
+
+/// Clustering outcome for 1-D k-means.
+struct KMeansResult {
+  std::vector<double> centroids;       ///< Cluster means, ascending.
+  std::vector<std::size_t> labels;     ///< Cluster index per input point.
+  double inertia = 0.0;                ///< Sum of squared in-cluster distances.
+  std::size_t iterations = 0;          ///< Lloyd iterations performed.
+};
+
+/// Runs Lloyd's algorithm on scalar data with deterministic quantile-based
+/// initialization. k is clamped to [1, points.size()]. Empty input yields an
+/// empty result.
+KMeansResult kmeans_1d(const std::vector<double>& points, std::size_t k,
+                       std::size_t max_iters = 100);
+
+}  // namespace solsched::util

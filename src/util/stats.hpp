@@ -1,0 +1,34 @@
+// Descriptive statistics over sample vectors (metrics aggregation).
+#pragma once
+
+#include <vector>
+
+namespace solsched::util {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs) noexcept;
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs) noexcept;
+
+/// Minimum; 0 for an empty sample.
+double min_of(const std::vector<double>& xs) noexcept;
+
+/// Maximum; 0 for an empty sample.
+double max_of(const std::vector<double>& xs) noexcept;
+
+/// Sum of samples.
+double sum(const std::vector<double>& xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 for an empty sample.
+double percentile(std::vector<double> xs, double p) noexcept;
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys) noexcept;
+
+/// Mean absolute error between two equal-length samples.
+double mean_abs_error(const std::vector<double>& a,
+                      const std::vector<double>& b) noexcept;
+
+}  // namespace solsched::util

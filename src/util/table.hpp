@@ -1,0 +1,38 @@
+// Plain-text table formatting for benchmark harness output.
+//
+// Every bench binary prints paper-style rows (Table 2, Figures 8-10); this
+// keeps the formatting in one place so the outputs line up and are greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace solsched::util {
+
+/// Column-aligned ASCII table builder.
+class TextTable {
+ public:
+  /// Sets the header row (defines the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator under the header.
+  std::string str() const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given decimal places.
+std::string fmt(double value, int decimals = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.278 -> "27.8%".
+std::string fmt_pct(double ratio, int decimals = 1);
+
+}  // namespace solsched::util

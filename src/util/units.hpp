@@ -1,0 +1,43 @@
+// Physical unit conventions used throughout solsched.
+//
+// All quantities are stored as plain `double` in SI units:
+//   time    -> seconds   (s)
+//   power   -> watts     (W)
+//   energy  -> joules    (J)
+//   voltage -> volts     (V)
+//   capacity-> farads    (F)
+//   area    -> square meters (m^2)
+//
+// The paper quotes task powers in mW and solar power in mW; helpers below
+// convert at API boundaries so that internal arithmetic never mixes scales.
+#pragma once
+
+namespace solsched::util {
+
+/// Milliwatts to watts.
+constexpr double mw_to_w(double mw) noexcept { return mw * 1e-3; }
+/// Watts to milliwatts.
+constexpr double w_to_mw(double w) noexcept { return w * 1e3; }
+
+/// Millijoules to joules.
+constexpr double mj_to_j(double mj) noexcept { return mj * 1e-3; }
+/// Joules to millijoules.
+constexpr double j_to_mj(double j) noexcept { return j * 1e3; }
+
+/// Minutes to seconds.
+constexpr double min_to_s(double minutes) noexcept { return minutes * 60.0; }
+/// Hours to seconds.
+constexpr double h_to_s(double hours) noexcept { return hours * 3600.0; }
+/// Seconds to hours.
+constexpr double s_to_h(double seconds) noexcept { return seconds / 3600.0; }
+
+/// Square centimeters to square meters.
+constexpr double cm2_to_m2(double cm2) noexcept { return cm2 * 1e-4; }
+
+/// Seconds in one day.
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Peak terrestrial solar irradiance used by the clear-sky model (W/m^2).
+inline constexpr double kPeakIrradiance = 1000.0;
+
+}  // namespace solsched::util

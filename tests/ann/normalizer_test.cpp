@@ -1,0 +1,60 @@
+#include "ann/normalizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::ann {
+namespace {
+
+TEST(Normalizer, FitAndTransform) {
+  Normalizer n;
+  n.fit({{0.0, 10.0}, {2.0, 20.0}, {1.0, 15.0}});
+  const Vector y = n.transform({1.0, 15.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_DOUBLE_EQ(n.transform({0.0, 10.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(n.transform({2.0, 20.0})[1], 1.0);
+}
+
+TEST(Normalizer, ClampsOutOfRange) {
+  Normalizer n;
+  n.set_ranges({0.0}, {1.0});
+  EXPECT_DOUBLE_EQ(n.transform({-5.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(n.transform({7.0})[0], 1.0);
+}
+
+TEST(Normalizer, ZeroRangeMapsToHalf) {
+  Normalizer n;
+  n.fit({{3.0}, {3.0}});
+  EXPECT_DOUBLE_EQ(n.transform({3.0})[0], 0.5);
+}
+
+TEST(Normalizer, InverseRoundTrip) {
+  Normalizer n;
+  n.set_ranges({-1.0, 0.0}, {1.0, 100.0});
+  const Vector x{0.5, 42.0};
+  const Vector back = n.inverse(n.transform(x));
+  EXPECT_NEAR(back[0], x[0], 1e-12);
+  EXPECT_NEAR(back[1], x[1], 1e-12);
+}
+
+TEST(Normalizer, ErrorsOnMisuse) {
+  Normalizer n;
+  EXPECT_THROW(n.transform({1.0}), std::logic_error);
+  EXPECT_THROW(n.fit({}), std::invalid_argument);
+  EXPECT_THROW(n.fit({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(n.set_ranges({1.0}, {1.0, 2.0}), std::invalid_argument);
+  n.set_ranges({0.0}, {1.0});
+  EXPECT_THROW(n.transform({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(n.inverse({0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(Normalizer, DimsAndFitted) {
+  Normalizer n;
+  EXPECT_FALSE(n.fitted());
+  n.set_ranges({0.0, 0.0, 0.0}, {1.0, 2.0, 3.0});
+  EXPECT_TRUE(n.fitted());
+  EXPECT_EQ(n.dims(), 3u);
+}
+
+}  // namespace
+}  // namespace solsched::ann

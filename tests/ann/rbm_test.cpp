@@ -1,0 +1,90 @@
+#include "ann/rbm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::ann {
+namespace {
+
+std::vector<Vector> two_prototype_data() {
+  // Two clusters of binary-ish patterns.
+  std::vector<Vector> data;
+  for (int i = 0; i < 20; ++i) {
+    data.push_back({0.95, 0.9, 0.05, 0.1});
+    data.push_back({0.05, 0.1, 0.95, 0.9});
+  }
+  return data;
+}
+
+TEST(Rbm, ConstructionValidation) {
+  EXPECT_THROW(Rbm(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(Rbm(3, 0, 1), std::invalid_argument);
+  const Rbm rbm(4, 3, 1);
+  EXPECT_EQ(rbm.n_visible(), 4u);
+  EXPECT_EQ(rbm.n_hidden(), 3u);
+}
+
+TEST(Rbm, ProbabilitiesInUnitInterval) {
+  const Rbm rbm(4, 3, 2);
+  const Vector h = rbm.hidden_probs({0.5, 0.1, 0.9, 0.3});
+  ASSERT_EQ(h.size(), 3u);
+  for (double p : h) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+  const Vector v = rbm.visible_probs(h);
+  ASSERT_EQ(v.size(), 4u);
+}
+
+TEST(Rbm, TrainingReducesReconstructionError) {
+  const auto data = two_prototype_data();
+  Rbm rbm(4, 4, 3);
+  const double before = rbm.reconstruction_mse(data);
+  RbmTrainConfig config;
+  config.epochs = 40;
+  rbm.train(data, config);
+  const double after = rbm.reconstruction_mse(data);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.05);
+}
+
+TEST(Rbm, SampleSizeMismatchThrows) {
+  Rbm rbm(4, 3, 4);
+  RbmTrainConfig config;
+  EXPECT_THROW(rbm.train_epoch({Vector{1.0, 0.0}}, config),
+               std::invalid_argument);
+}
+
+TEST(Rbm, EmptyDataIsNoop) {
+  Rbm rbm(4, 3, 5);
+  RbmTrainConfig config;
+  EXPECT_DOUBLE_EQ(rbm.train_epoch({}, config), 0.0);
+  EXPECT_DOUBLE_EQ(rbm.reconstruction_mse({}), 0.0);
+}
+
+TEST(Rbm, DeterministicTraining) {
+  const auto data = two_prototype_data();
+  RbmTrainConfig config;
+  config.epochs = 10;
+  Rbm a(4, 3, 6), b(4, 3, 6);
+  a.train(data, config);
+  b.train(data, config);
+  EXPECT_EQ(a.weights().data(), b.weights().data());
+}
+
+TEST(Rbm, HiddenUnitsSeparatePrototypes) {
+  const auto data = two_prototype_data();
+  Rbm rbm(4, 2, 7);
+  RbmTrainConfig config;
+  config.epochs = 60;
+  rbm.train(data, config);
+  const Vector h1 = rbm.hidden_probs(data[0]);
+  const Vector h2 = rbm.hidden_probs(data[1]);
+  // The two prototypes get distinguishable hidden codes.
+  double dist = 0.0;
+  for (std::size_t i = 0; i < h1.size(); ++i)
+    dist += std::abs(h1[i] - h2[i]);
+  EXPECT_GT(dist, 0.3);
+}
+
+}  // namespace
+}  // namespace solsched::ann

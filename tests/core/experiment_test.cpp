@@ -1,0 +1,75 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace solsched::core {
+namespace {
+
+TEST(Experiment, RunsConfiguredPolicies) {
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 51);
+  const auto trace = gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+  const auto node = test::small_node(grid);
+
+  ComparisonConfig config;
+  config.run_proposed = false;  // No trained controller supplied.
+  config.run_edf = true;
+  config.dp.energy_buckets = 8;
+  const auto rows =
+      run_comparison(test::indep3(), trace, node, nullptr, config);
+  ASSERT_EQ(rows.size(), 4u);  // EDF, Inter, Intra, Optimal.
+  EXPECT_NO_THROW(row_of(rows, "Inter-task"));
+  EXPECT_NO_THROW(row_of(rows, "Intra-task"));
+  EXPECT_NO_THROW(row_of(rows, "Optimal"));
+  EXPECT_NO_THROW(row_of(rows, "EDF"));
+  EXPECT_THROW(row_of(rows, "Proposed"), std::out_of_range);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.dmr, 0.0);
+    EXPECT_LE(row.dmr, 1.0);
+    EXPECT_GE(row.energy_utilization, 0.0);
+    EXPECT_LE(row.energy_utilization, 1.0);
+    EXPECT_EQ(row.sim.periods.size(), grid.total_periods());
+  }
+}
+
+TEST(Experiment, OptimalNeverWorseThanBaselinesHere) {
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 52);
+  const auto trace = gen.generate_day(solar::DayKind::kOvercast, grid);
+  ComparisonConfig config;
+  config.run_proposed = false;
+  const auto rows = run_comparison(task::ecg_benchmark(), trace,
+                                   test::small_node(grid), nullptr, config);
+  const double opt = row_of(rows, "Optimal").dmr;
+  EXPECT_LE(opt, row_of(rows, "Inter-task").dmr + 0.02);
+  EXPECT_LE(opt, row_of(rows, "Intra-task").dmr + 0.02);
+}
+
+TEST(Experiment, ProposedIncludedWithController) {
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 53);
+  const auto train_trace = gen.generate_days(2, grid);
+  const auto test_trace =
+      gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+
+  PipelineConfig pc;
+  pc.n_caps = 2;
+  pc.dp.energy_buckets = 8;
+  pc.dbn.pretrain.epochs = 3;
+  pc.dbn.finetune.epochs = 20;
+  const TrainedController controller = train_pipeline(
+      test::indep3(), train_trace, test::small_node(grid), pc);
+
+  const auto rows = run_comparison(test::indep3(), test_trace,
+                                   test::small_node(grid), &controller, {});
+  EXPECT_NO_THROW(row_of(rows, "Proposed"));
+  // All policies ran on the *sized* bank from the controller.
+  for (const auto& row : rows)
+    for (const auto& p : row.sim.periods)
+      EXPECT_LT(p.cap_index, controller.node.capacities_f.size());
+}
+
+}  // namespace
+}  // namespace solsched::core

@@ -1,0 +1,67 @@
+#include "core/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "solar/trace_generator.hpp"
+
+namespace solsched::core {
+namespace {
+
+const TrainedController& controller() {
+  static const TrainedController c = [] {
+    const auto grid = test::small_grid();
+    const auto gen = test::scaled_generator(grid, 61);
+    PipelineConfig config;
+    config.n_caps = 2;
+    config.dp.energy_buckets = 8;
+    config.dbn.pretrain.epochs = 2;
+    config.dbn.finetune.epochs = 10;
+    return train_pipeline(test::indep3(), gen.generate_days(2, grid),
+                          test::small_node(grid), config);
+  }();
+  return c;
+}
+
+TEST(Overhead, CoarseDominatedByDbnForward) {
+  const OverheadReport r = estimate_overhead(controller(), test::indep3());
+  // DBN: (24 x 28 + 24) + (12 x 24 + 12) + (6 x 12 + 6) ~ 1000 MACs plus
+  // normalization/decode — hundreds to thousands of ops.
+  EXPECT_GT(r.coarse_macs, 500u);
+  EXPECT_LT(r.coarse_macs, 50000u);
+  EXPECT_GT(r.coarse_time_s, 0.0);
+  EXPECT_GT(r.coarse_time_s, r.fine_time_s);  // Paper: 14.6 s vs 3.47 s.
+}
+
+TEST(Overhead, EnergyFractionBelowThreePercent) {
+  const OverheadReport r = estimate_overhead(controller(), test::indep3());
+  EXPECT_GT(r.energy_fraction, 0.0);
+  EXPECT_LT(r.energy_fraction, 0.03);  // The paper's headline claim.
+}
+
+TEST(Overhead, ScalesWithClockAndMacCost) {
+  NodeCpuModel slow;
+  slow.clock_hz = 10e3;
+  const OverheadReport fast_r =
+      estimate_overhead(controller(), test::indep3());
+  const OverheadReport slow_r =
+      estimate_overhead(controller(), test::indep3(), slow);
+  EXPECT_GT(slow_r.coarse_time_s, fast_r.coarse_time_s);
+  EXPECT_NEAR(slow_r.coarse_time_s / fast_r.coarse_time_s, 9.35, 0.1);
+}
+
+TEST(Overhead, WorkloadEnergyMatchesBenchmark) {
+  const OverheadReport r = estimate_overhead(controller(), test::indep3());
+  EXPECT_NEAR(r.workload_energy_j, test::indep3().total_energy_j(), 1e-12);
+}
+
+TEST(Overhead, PaperScaleTimesOnPaperClock) {
+  // On the 93.5 kHz node the coarse procedure lands in whole seconds —
+  // the same order as the paper's measured 14.6 s.
+  const OverheadReport r = estimate_overhead(controller(), test::indep3());
+  EXPECT_GT(r.coarse_time_s, 0.5);
+  EXPECT_LT(r.coarse_time_s, 60.0);
+}
+
+}  // namespace
+}  // namespace solsched::core

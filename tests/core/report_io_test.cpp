@@ -1,0 +1,123 @@
+// Tests for report generation and controller persistence.
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/controller_io.hpp"
+#include "core/report.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/edf.hpp"
+
+namespace solsched::core {
+namespace {
+
+nvp::SimResult tiny_run() {
+  const auto grid = test::tiny_grid();
+  const auto gen = test::scaled_generator(grid, 71);
+  const auto trace = gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+  sched::EdfScheduler policy;
+  return nvp::simulate(test::indep3(), trace, policy,
+                       test::small_node(grid));
+}
+
+TEST(Report, SummaryContainsKeyNumbers) {
+  const auto result = tiny_run();
+  const std::string text = summarize(result, "tiny", 1);
+  EXPECT_NE(text.find("tiny"), std::string::npos);
+  EXPECT_NE(text.find("overall DMR"), std::string::npos);
+  EXPECT_NE(text.find("solar harvested"), std::string::npos);
+}
+
+TEST(Report, CsvHasOneRowPerPeriod) {
+  const auto result = tiny_run();
+  const std::string csv = to_csv(result);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, result.periods.size() + 1);  // Header + rows.
+  EXPECT_NE(csv.find("day,period,dmr"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableListsAlgorithms) {
+  ComparisonRow row;
+  row.algo = "TestAlgo";
+  row.dmr = 0.25;
+  const std::string table = comparison_table({row});
+  EXPECT_NE(table.find("TestAlgo"), std::string::npos);
+  EXPECT_NE(table.find("25.0%"), std::string::npos);
+}
+
+TEST(Report, WriteTextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/solsched_report.txt";
+  EXPECT_TRUE(write_text_file(path, "hello"));
+  EXPECT_FALSE(write_text_file("/no_such_dir_xyz/file.txt", "x"));
+}
+
+// ------------------------------------------------------------------ IO ----
+
+const TrainedController& controller() {
+  static const TrainedController c = [] {
+    const auto grid = test::small_grid();
+    const auto gen = test::scaled_generator(grid, 72);
+    PipelineConfig config;
+    config.n_caps = 3;
+    config.dp.energy_buckets = 8;
+    config.dbn.pretrain.epochs = 2;
+    config.dbn.finetune.epochs = 20;
+    return train_pipeline(test::indep3(), gen.generate_days(2, grid),
+                          test::small_node(grid), config);
+  }();
+  return c;
+}
+
+TEST(ControllerIo, SerializeDeserializePreservesInference) {
+  const TrainedController& original = controller();
+  const std::string blob = serialize_controller(original);
+  const TrainedController restored = deserialize_controller(blob);
+
+  EXPECT_EQ(restored.node.capacities_f, original.node.capacities_f);
+  EXPECT_EQ(restored.model.n_slots, original.model.n_slots);
+  EXPECT_EQ(restored.model.n_tasks, original.model.n_tasks);
+  EXPECT_DOUBLE_EQ(restored.online.e_th_j, original.online.e_th_j);
+  EXPECT_EQ(restored.online.greedy_bank, original.online.greedy_bank);
+
+  // Identical DBN outputs on an arbitrary input.
+  ann::Vector x(original.model.dbn->n_inputs(), 0.3);
+  const auto y1 = original.model.dbn->predict(x);
+  const auto y2 = restored.model.dbn->predict(x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(ControllerIo, RestoredControllerSchedulesIdentically) {
+  const TrainedController& original = controller();
+  const TrainedController restored =
+      deserialize_controller(serialize_controller(original));
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 73);
+  const auto trace = gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+  auto p1 = make_proposed(original);
+  auto p2 = make_proposed(restored);
+  const auto r1 =
+      nvp::simulate(test::indep3(), trace, *p1, original.node);
+  const auto r2 =
+      nvp::simulate(test::indep3(), trace, *p2, restored.node);
+  EXPECT_DOUBLE_EQ(r1.overall_dmr(), r2.overall_dmr());
+  EXPECT_DOUBLE_EQ(r1.energy_utilization(), r2.energy_utilization());
+}
+
+TEST(ControllerIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/solsched_controller.txt";
+  ASSERT_TRUE(save_controller(controller(), path));
+  const TrainedController loaded = load_controller(path);
+  EXPECT_EQ(loaded.node.capacities_f, controller().node.capacities_f);
+  EXPECT_THROW(load_controller("/no_such_file_xyz"), std::invalid_argument);
+}
+
+TEST(ControllerIo, RejectsCorruptInput) {
+  EXPECT_THROW(deserialize_controller("garbage"), std::invalid_argument);
+  std::string truncated = serialize_controller(controller());
+  truncated.resize(truncated.size() / 3);
+  EXPECT_THROW(deserialize_controller(truncated), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace solsched::core

@@ -1,0 +1,166 @@
+#include "dvfs/dvfs_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace solsched::dvfs {
+namespace {
+
+solar::SolarTrace flat(const solar::TimeGrid& grid, double power_w) {
+  solar::SolarTrace t(grid);
+  for (std::size_t f = 0; f < grid.total_slots(); ++f) t.at_flat(f) = power_w;
+  return t;
+}
+
+TEST(DvfsModel, PowerAndEnergyScaling) {
+  const DvfsModel model;
+  EXPECT_DOUBLE_EQ(model.power_scale(1.0), 1.0);
+  // Half speed: 0.7 * 0.125 + 0.3 = 0.3875 of full power...
+  EXPECT_NEAR(model.power_scale(0.5), 0.3875, 1e-12);
+  // ...and 0.775x the energy per unit work: with the dynamic term
+  // dominating, slowing down saves energy as well as power.
+  EXPECT_NEAR(model.energy_scale(0.5), 0.775, 1e-12);
+  EXPECT_LT(model.energy_scale(0.5), model.energy_scale(1.0));
+  // With a purely static profile the trade reverses: half speed doubles
+  // the energy per unit of work.
+  DvfsModel static_only;
+  static_only.dynamic_fraction = 0.0;
+  EXPECT_NEAR(static_only.energy_scale(0.5), 2.0, 1e-12);
+}
+
+TEST(DvfsModel, Validation) {
+  DvfsModel ok;
+  EXPECT_TRUE(ok.valid());
+  DvfsModel empty;
+  empty.levels.clear();
+  EXPECT_FALSE(empty.valid());
+  DvfsModel unsorted;
+  unsorted.levels = {1.0, 0.5};
+  EXPECT_FALSE(unsorted.valid());
+  DvfsModel overclock;
+  overclock.levels = {0.5, 1.5};
+  EXPECT_FALSE(overclock.valid());
+}
+
+TEST(DvfsSim, RejectsInvalidModel) {
+  const auto grid = test::tiny_grid();
+  DvfsLoadMatcher policy;
+  DvfsModel bad;
+  bad.levels.clear();
+  EXPECT_THROW(simulate_dvfs(test::indep3(), flat(grid, 0.1), policy,
+                             test::small_node(grid), bad),
+               std::invalid_argument);
+}
+
+TEST(DvfsSim, AbundantSolarZeroDmr) {
+  const auto grid = test::small_grid();
+  DvfsLoadMatcher policy;
+  const auto r = simulate_dvfs(test::indep3(), flat(grid, 0.2), policy,
+                               test::small_node(grid), DvfsModel{});
+  EXPECT_DOUBLE_EQ(r.overall_dmr(), 0.0);
+}
+
+TEST(DvfsSim, OnOffSpecialCaseMatchesConcept) {
+  // levels = {1.0} reduces DVFS to plain on/off load matching; the run must
+  // still satisfy all invariants and complete everything with full solar.
+  const auto grid = test::small_grid();
+  DvfsLoadMatcher policy;
+  DvfsModel on_off;
+  on_off.levels = {1.0};
+  const auto r = simulate_dvfs(test::indep3(), flat(grid, 0.2), policy,
+                               test::small_node(grid), on_off);
+  EXPECT_DOUBLE_EQ(r.overall_dmr(), 0.0);
+}
+
+TEST(DvfsSim, EnergyConservation) {
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 111);
+  const auto trace = gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+  DvfsLoadMatcher policy;
+  auto node = test::small_node(grid);
+  node.initial_usable_j = 8.0;
+  const auto r =
+      simulate_dvfs(test::indep3(), trace, policy, node, DvfsModel{});
+  double served = 0.0, loss = 0.0, spilled = 0.0;
+  for (const auto& p : r.periods) {
+    served += p.load_served_j;
+    loss += p.conversion_loss_j + p.leakage_loss_j;
+    spilled += p.spilled_j;
+  }
+  const double delta = r.final_bank_energy_j - r.initial_bank_energy_j;
+  EXPECT_NEAR(r.total_solar_j(), served + loss + spilled + delta, 1e-6);
+}
+
+TEST(DvfsSim, ScalesDownUnderPartialSolar) {
+  // Solar covers ~40% of the full-speed load of a single long task: the
+  // matcher should run at reduced frequency instead of idling, making
+  // steady progress without touching (empty) storage.
+  std::vector<task::Task> tasks = {{0, "t", 600.0, 300.0, 0.030, 0}};
+  const task::TaskGraph graph("single", std::move(tasks), {});
+  const auto grid = test::small_grid();
+  DvfsLoadMatcher policy;
+  // 14 mW solar: full speed needs 30 mW; half speed needs 11.6 mW.
+  const auto r = simulate_dvfs(graph, flat(grid, 0.014), policy,
+                               test::small_node(grid), DvfsModel{});
+  // With half-speed execution available, the 300 s task (needing 600 s at
+  // 0.5x) can still complete within its 600 s deadline.
+  EXPECT_LT(r.overall_dmr(), 0.2);
+  // The on/off node cannot: 30 mW > 12.9 mW usable, every slot browns out
+  // or idles until the deadline forces doomed full-power attempts.
+  DvfsModel on_off;
+  on_off.levels = {1.0};
+  DvfsLoadMatcher policy2;
+  const auto r2 = simulate_dvfs(graph, flat(grid, 0.014), policy2,
+                                test::small_node(grid), on_off);
+  EXPECT_GT(r2.overall_dmr(), r.overall_dmr());
+}
+
+TEST(DvfsSim, ForcedTaskRunsAtRequiredRate) {
+  // A task with zero slack must run immediately even in the dark, provided
+  // storage can power it.
+  std::vector<task::Task> tasks = {{0, "urgent", 60.0, 60.0, 0.010, 0}};
+  const task::TaskGraph graph("urgent", std::move(tasks), {});
+  const auto grid = test::tiny_grid();
+  auto node = test::small_node(grid);
+  node.initial_usable_j = 50.0;
+  DvfsLoadMatcher policy;
+  const auto r =
+      simulate_dvfs(graph, solar::SolarTrace(grid), policy, node, DvfsModel{});
+  // First period completes from storage (deadline equals exec time: full
+  // speed required from slot 0).
+  EXPECT_DOUBLE_EQ(r.periods.front().dmr, 0.0);
+}
+
+class RogueDvfs final : public DvfsScheduler {
+ public:
+  enum class Mode { kBadTask, kBadLevel, kConflict };
+  explicit RogueDvfs(Mode mode) : mode_(mode) {}
+  std::string name() const override { return "rogue"; }
+  std::vector<DvfsAction> schedule_slot(const DvfsSlotContext& ctx) override {
+    switch (mode_) {
+      case Mode::kBadTask: return {{ctx.graph->size() + 1, 1.0}};
+      case Mode::kBadLevel: return {{0, 0.37}};
+      case Mode::kConflict: return {{0, 1.0}, {2, 1.0}};  // indep3 NVP0 x2.
+    }
+    return {};
+  }
+ private:
+  Mode mode_;
+};
+
+TEST(DvfsSim, ValidatesActions) {
+  const auto grid = test::tiny_grid();
+  const auto node = test::small_node(grid);
+  for (auto mode : {RogueDvfs::Mode::kBadTask, RogueDvfs::Mode::kBadLevel,
+                    RogueDvfs::Mode::kConflict}) {
+    RogueDvfs rogue(mode);
+    EXPECT_THROW(simulate_dvfs(test::indep3(), flat(grid, 0.2), rogue, node,
+                               DvfsModel{}),
+                 std::logic_error)
+        << static_cast<int>(mode);
+  }
+}
+
+}  // namespace
+}  // namespace solsched::dvfs

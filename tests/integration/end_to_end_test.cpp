@@ -1,0 +1,105 @@
+// Full-pipeline integration: offline training on one climate, online
+// evaluation on unseen days, checking the paper's qualitative orderings.
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/experiment.hpp"
+#include "core/overhead.hpp"
+
+namespace solsched {
+namespace {
+
+struct Fixture {
+  solar::TimeGrid grid = test::small_grid();
+  core::TrainedController controller;
+  solar::SolarTrace test_trace;
+
+  Fixture()
+      : controller([&] {
+          const auto gen = test::scaled_generator(grid, 201);
+          core::PipelineConfig config;
+          config.n_caps = 3;
+          config.dp.energy_buckets = 10;
+          config.dbn.pretrain.epochs = 5;
+          config.dbn.finetune.epochs = 80;
+          return core::train_pipeline(task::ecg_benchmark(),
+                                      gen.generate_days(4, grid),
+                                      test::small_node(grid), config);
+        }()),
+        test_trace(test::scaled_generator(grid, 202)
+                       .generate_days(2, grid, solar::DayKind::kPartlyCloudy)) {}
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(EndToEnd, FullComparisonOrdering) {
+  const auto& f = fixture();
+  core::ComparisonConfig config;
+  config.dp.energy_buckets = 10;
+  const auto rows =
+      core::run_comparison(task::ecg_benchmark(), f.test_trace,
+                           f.controller.node, &f.controller, config);
+  const double opt = core::row_of(rows, "Optimal").dmr;
+  const double prop = core::row_of(rows, "Proposed").dmr;
+  const double inter = core::row_of(rows, "Inter-task").dmr;
+
+  // Paper orderings: Optimal <= everyone; Proposed competitive with the
+  // single-period baselines (allow slack for the tiny training set here).
+  EXPECT_LE(opt, prop + 0.02);
+  EXPECT_LE(opt, inter + 0.02);
+  EXPECT_LE(prop, inter + 0.10);
+}
+
+TEST(EndToEnd, SizedBankHasDistinctValues) {
+  const auto& caps = fixture().controller.node.capacities_f;
+  ASSERT_EQ(caps.size(), 3u);
+  for (std::size_t i = 1; i < caps.size(); ++i)
+    EXPECT_GE(caps[i], caps[i - 1]);
+  EXPECT_GT(caps.back(), 0.0);
+}
+
+TEST(EndToEnd, OverheadClaimHolds) {
+  const auto report =
+      core::estimate_overhead(fixture().controller, task::ecg_benchmark());
+  EXPECT_LT(report.energy_fraction, 0.03);
+}
+
+TEST(EndToEnd, TrainedModelGeneralizesAcrossWeather) {
+  // The trained policy must stay valid (no constraint violations, sane DMR)
+  // on every archetype, including ones rare in training.
+  const auto& f = fixture();
+  const auto gen = test::scaled_generator(f.grid, 203);
+  for (auto kind : {solar::DayKind::kClear, solar::DayKind::kOvercast,
+                    solar::DayKind::kRainy}) {
+    const auto day = gen.generate_day(kind, f.grid);
+    auto policy = core::make_proposed(f.controller);
+    const auto r = nvp::simulate(task::ecg_benchmark(), day, *policy,
+                                 f.controller.node);
+    EXPECT_GE(r.overall_dmr(), 0.0) << solar::to_string(kind);
+    EXPECT_LE(r.overall_dmr(), 1.0) << solar::to_string(kind);
+  }
+}
+
+TEST(EndToEnd, DarkerDaysHaveHigherDmr) {
+  const auto& f = fixture();
+  const auto gen = test::scaled_generator(f.grid, 204);
+  auto policy_clear = core::make_proposed(f.controller);
+  auto policy_rainy = core::make_proposed(f.controller);
+  const double dmr_clear =
+      nvp::simulate(task::ecg_benchmark(),
+                    gen.generate_day(solar::DayKind::kClear, f.grid),
+                    *policy_clear, f.controller.node)
+          .overall_dmr();
+  const double dmr_rainy =
+      nvp::simulate(task::ecg_benchmark(),
+                    gen.generate_day(solar::DayKind::kRainy, f.grid),
+                    *policy_rainy, f.controller.node)
+          .overall_dmr();
+  EXPECT_LT(dmr_clear, dmr_rainy);
+}
+
+}  // namespace
+}  // namespace solsched

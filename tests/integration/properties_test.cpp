@@ -1,0 +1,208 @@
+// Parameterized property sweeps across policies, benchmarks and weather.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "../test_helpers.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/asap.hpp"
+#include "sched/edf.hpp"
+#include "sched/intra_task.hpp"
+#include "sched/lsa_inter.hpp"
+#include "sched/optimal.hpp"
+#include "task/benchmarks.hpp"
+
+namespace solsched {
+namespace {
+
+enum class Policy { kAsap, kEdf, kInter, kIntra, kOptimal };
+
+std::unique_ptr<nvp::Scheduler> make_policy(Policy policy) {
+  switch (policy) {
+    case Policy::kAsap: return std::make_unique<sched::AsapScheduler>();
+    case Policy::kEdf: return std::make_unique<sched::EdfScheduler>();
+    case Policy::kInter: return std::make_unique<sched::LsaInterScheduler>();
+    case Policy::kIntra: return std::make_unique<sched::IntraTaskScheduler>();
+    case Policy::kOptimal: {
+      sched::OptimalConfig config;
+      config.energy_buckets = 8;
+      return std::make_unique<sched::OptimalScheduler>(config);
+    }
+  }
+  return nullptr;
+}
+
+std::string policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kAsap: return "Asap";
+    case Policy::kEdf: return "Edf";
+    case Policy::kInter: return "Inter";
+    case Policy::kIntra: return "Intra";
+    case Policy::kOptimal: return "Optimal";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// Property 1: for every policy x benchmark x weather, a full simulation
+// satisfies the global invariants (valid DMR, energy conservation, no
+// negative flows).
+// ---------------------------------------------------------------------
+
+using SweepParam = std::tuple<Policy, int /*benchmark*/, solar::DayKind>;
+
+class PolicySweep : public ::testing::TestWithParam<SweepParam> {};
+
+task::TaskGraph benchmark_of(int index) {
+  switch (index) {
+    case 0: return test::indep3();
+    case 1: return test::chain2();
+    case 2: return task::ecg_benchmark();
+    default: return task::shm_benchmark();
+  }
+}
+
+TEST_P(PolicySweep, InvariantsHold) {
+  const auto [policy_kind, bench_index, weather] = GetParam();
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 101);
+  const auto trace = gen.generate_day(weather, grid);
+  const auto graph = benchmark_of(bench_index);
+  auto node = test::small_node(grid);
+  node.initial_usable_j = 5.0;
+
+  auto policy = make_policy(policy_kind);
+  const nvp::SimResult r = nvp::simulate(graph, trace, *policy, node);
+
+  EXPECT_GE(r.overall_dmr(), 0.0);
+  EXPECT_LE(r.overall_dmr(), 1.0);
+  EXPECT_GE(r.energy_utilization(), 0.0);
+  EXPECT_LE(r.energy_utilization(), 1.0 + 1e-9);
+
+  double served = 0.0, loss = 0.0, spilled = 0.0;
+  for (const auto& p : r.periods) {
+    EXPECT_GE(p.solar_in_j, 0.0);
+    EXPECT_GE(p.load_served_j, -1e-12);
+    EXPECT_GE(p.conversion_loss_j, -1e-12);
+    EXPECT_GE(p.leakage_loss_j, -1e-12);
+    EXPECT_GE(p.spilled_j, -1e-12);
+    served += p.load_served_j;
+    loss += p.conversion_loss_j + p.leakage_loss_j;
+    spilled += p.spilled_j;
+  }
+  const double stored_delta =
+      r.final_bank_energy_j - r.initial_bank_energy_j;
+  EXPECT_NEAR(r.total_solar_j(), served + loss + spilled + stored_delta,
+              1e-6 * std::max(1.0, r.total_solar_j()))
+      << policy_name(policy_kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicySweep,
+    ::testing::Combine(
+        ::testing::Values(Policy::kAsap, Policy::kEdf, Policy::kInter,
+                          Policy::kIntra, Policy::kOptimal),
+        ::testing::Values(0, 1, 2, 3),
+        ::testing::Values(solar::DayKind::kClear,
+                          solar::DayKind::kPartlyCloudy,
+                          solar::DayKind::kRainy)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return policy_name(std::get<0>(info.param)) + std::string("_b") +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             solar::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Property 2: DMR is monotone non-increasing in solar scale (more energy
+// can never hurt) for the energy-aware policies.
+// ---------------------------------------------------------------------
+
+class SolarScaleSweep : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(SolarScaleSweep, MoreSolarNeverHurts) {
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 103);
+  const auto base = gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+  const auto graph = task::ecg_benchmark();
+  const auto node = test::small_node(grid);
+
+  double prev_dmr = 2.0;
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    auto policy = make_policy(GetParam());
+    const auto trace = base.scaled(scale);
+    const double dmr =
+        nvp::simulate(graph, trace, *policy, node).overall_dmr();
+    // Small tolerance: heuristics are not perfectly monotone slot-by-slot.
+    EXPECT_LE(dmr, prev_dmr + 0.05)
+        << policy_name(GetParam()) << " at scale " << scale;
+    prev_dmr = dmr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EnergyAware, SolarScaleSweep,
+                         ::testing::Values(Policy::kInter, Policy::kIntra,
+                                           Policy::kOptimal),
+                         [](const ::testing::TestParamInfo<Policy>& info) {
+                           return policy_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Property 3: more initial stored energy never hurts the optimal policy.
+// ---------------------------------------------------------------------
+
+class InitialEnergySweep
+    : public ::testing::TestWithParam<std::tuple<Policy, int>> {};
+
+TEST_P(InitialEnergySweep, StorageNeverHurts) {
+  const auto [policy_kind, bench_index] = GetParam();
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 105);
+  const auto trace = gen.generate_day(solar::DayKind::kOvercast, grid);
+  const auto graph = benchmark_of(bench_index);
+
+  double prev_dmr = 2.0;
+  for (double initial : {0.0, 5.0, 20.0, 80.0}) {
+    auto node = test::small_node(grid);
+    node.initial_usable_j = initial;
+    auto policy = make_policy(policy_kind);
+    const double dmr =
+        nvp::simulate(graph, trace, *policy, node).overall_dmr();
+    EXPECT_LE(dmr, prev_dmr + 0.05) << "initial " << initial;
+    prev_dmr = dmr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, InitialEnergySweep,
+    ::testing::Combine(::testing::Values(Policy::kIntra, Policy::kOptimal),
+                       ::testing::Values(0, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<Policy, int>>& info) {
+      return policy_name(std::get<0>(info.param)) + std::string("_b") +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Property 4: capacitor physics — round-trip efficiency is below 1 for
+// every capacity and below the product of best-case converter etas.
+// ---------------------------------------------------------------------
+
+class RoundTripSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoundTripSweep, RoundTripLossy) {
+  const double capacity = GetParam();
+  storage::SuperCapacitor cap(
+      storage::CapParams{capacity, 0.5, 5.0},
+      storage::RegulatorModel::analytic_default(), storage::LeakageModel{});
+  const storage::ChargeResult c = cap.charge(10.0);
+  const storage::DischargeResult d = cap.discharge(1e9);
+  const double round_trip = d.delivered_j / c.accepted_j;
+  EXPECT_GT(round_trip, 0.0);
+  EXPECT_LT(round_trip, 0.88 * 0.86);  // Best-case converter product.
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RoundTripSweep,
+                         ::testing::Values(0.5, 1.0, 5.0, 10.0, 50.0, 100.0));
+
+}  // namespace
+}  // namespace solsched

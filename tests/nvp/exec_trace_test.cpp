@@ -1,0 +1,83 @@
+#include "nvp/exec_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/asap.hpp"
+
+namespace solsched::nvp {
+namespace {
+
+solar::SolarTrace bright(const solar::TimeGrid& grid) {
+  solar::SolarTrace t(grid);
+  for (std::size_t f = 0; f < grid.total_slots(); ++f) t.at_flat(f) = 0.2;
+  return t;
+}
+
+TEST(RecordingScheduler, TransparentDecoration) {
+  const auto grid = test::tiny_grid();
+  const auto graph = test::indep3();
+  const auto node = test::small_node(grid);
+
+  sched::AsapScheduler inner1, inner2;
+  RecordingScheduler recorder(inner1);
+  const auto recorded = simulate(graph, bright(grid), recorder, node);
+  const auto plain = simulate(graph, bright(grid), inner2, node);
+  EXPECT_DOUBLE_EQ(recorded.overall_dmr(), plain.overall_dmr());
+  EXPECT_EQ(recorder.name(), "ASAP");
+}
+
+TEST(RecordingScheduler, RecordsEverySlotAndPeriod) {
+  const auto grid = test::tiny_grid();
+  const auto graph = test::indep3();
+  const auto node = test::small_node(grid);
+  sched::AsapScheduler inner;
+  RecordingScheduler recorder(inner);
+  simulate(graph, bright(grid), recorder, node);
+  EXPECT_EQ(recorder.slots().size(), grid.total_slots());
+  EXPECT_EQ(recorder.period_caps().size(), grid.total_periods());
+  for (std::size_t cap : recorder.period_caps())
+    EXPECT_LT(cap, node.capacities_f.size());
+}
+
+TEST(RecordingScheduler, FirstSlotRunsSomething) {
+  const auto grid = test::tiny_grid();
+  const auto graph = test::indep3();
+  const auto node = test::small_node(grid);
+  sched::AsapScheduler inner;
+  RecordingScheduler recorder(inner);
+  simulate(graph, bright(grid), recorder, node);
+  EXPECT_FALSE(recorder.slots().front().executed.empty());
+}
+
+TEST(RenderGantt, ShapeAndMarkers) {
+  const auto graph = test::indep3();
+  std::vector<SlotRecord> slots = {
+      {{0, 1}}, {{1}}, {{}}, {{2}},
+  };
+  const std::string chart = render_gantt(graph, slots, 0, 4, 2);
+  // Three rows, each with the task name and the right marks.
+  EXPECT_NE(chart.find("x"), std::string::npos);
+  // Task 0 ran in slot 0 only: "#." then separator then "..".
+  const std::size_t row_x = chart.find("x");
+  const std::string line = chart.substr(row_x, chart.find('\n', row_x) - row_x);
+  EXPECT_NE(line.find("#.|.."), std::string::npos) << line;
+}
+
+TEST(RenderGantt, EmptyWindow) {
+  const auto graph = test::indep3();
+  EXPECT_TRUE(render_gantt(graph, {}, 0, 0, 10).empty());
+  EXPECT_TRUE(render_gantt(graph, {{{0}}}, 5, 2, 10).empty());
+}
+
+TEST(RenderGantt, ClampsEndToRecording) {
+  const auto graph = test::chain2();
+  std::vector<SlotRecord> slots = {{{0}}, {{0}}};
+  const std::string chart = render_gantt(graph, slots, 0, 100, 0);
+  EXPECT_NE(chart.find("a"), std::string::npos);
+  EXPECT_NE(chart.find("##"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solsched::nvp

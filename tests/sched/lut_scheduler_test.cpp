@@ -1,0 +1,78 @@
+#include "sched/lut_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/pipeline.hpp"
+#include "nvp/node_sim.hpp"
+
+namespace solsched::sched {
+namespace {
+
+const core::TrainedController& controller() {
+  static const core::TrainedController c = [] {
+    const auto grid = test::small_grid();
+    const auto gen = test::scaled_generator(grid, 81);
+    core::PipelineConfig config;
+    config.n_caps = 3;
+    config.dp.energy_buckets = 8;
+    config.dbn.pretrain.epochs = 2;
+    config.dbn.finetune.epochs = 20;
+    return core::train_pipeline(test::indep3(), gen.generate_days(3, grid),
+                                test::small_node(grid), config);
+  }();
+  return c;
+}
+
+LutScheduler make_lut_policy() {
+  return LutScheduler(std::make_shared<Lut>(controller().lut),
+                      controller().node.capacities_f, test::indep3().size(),
+                      controller().online);
+}
+
+TEST(LutScheduler, RejectsEmptyLut) {
+  EXPECT_THROW(LutScheduler(std::make_shared<Lut>(), {10.0}, 3),
+               std::invalid_argument);
+}
+
+TEST(LutScheduler, RejectsEmptyBank) {
+  EXPECT_THROW(
+      LutScheduler(std::make_shared<Lut>(controller().lut), {}, 3),
+      std::invalid_argument);
+}
+
+TEST(LutScheduler, RunsCleanlyUnderEngineValidation) {
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 82);
+  const auto trace = gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+  auto policy = make_lut_policy();
+  const auto r =
+      nvp::simulate(test::indep3(), trace, policy, controller().node);
+  EXPECT_EQ(r.periods.size(), grid.total_periods());
+  EXPECT_GE(r.overall_dmr(), 0.0);
+  EXPECT_LE(r.overall_dmr(), 1.0);
+}
+
+TEST(LutScheduler, ReasonableVersusDbn) {
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 81);  // Training climate.
+  const auto trace = gen.generate_days(2, grid);
+  auto lut_policy = make_lut_policy();
+  auto dbn_policy = core::make_proposed(controller());
+  const double lut_dmr =
+      nvp::simulate(test::indep3(), trace, lut_policy, controller().node)
+          .overall_dmr();
+  const double dbn_dmr =
+      nvp::simulate(test::indep3(), trace, *dbn_policy, controller().node)
+          .overall_dmr();
+  // Both consume the same offline knowledge; they should land in the same
+  // neighbourhood on the training climate.
+  EXPECT_NEAR(lut_dmr, dbn_dmr, 0.25);
+}
+
+TEST(LutScheduler, NameStable) {
+  EXPECT_EQ(make_lut_policy().name(), "LUT-online");
+}
+
+}  // namespace
+}  // namespace solsched::sched

@@ -1,0 +1,143 @@
+#include "sched/proposed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/pipeline.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/lsa_inter.hpp"
+
+namespace solsched::sched {
+namespace {
+
+/// Trains a small controller once for the whole suite (expensive-ish).
+const core::TrainedController& trained_controller() {
+  static const core::TrainedController controller = [] {
+    const auto grid = test::small_grid();
+    const auto gen = test::scaled_generator(grid, 3);
+    const auto trace = gen.generate_days(3, grid);
+    core::PipelineConfig config;
+    config.n_caps = 3;
+    config.dp.energy_buckets = 10;
+    config.dbn.pretrain.epochs = 5;
+    config.dbn.finetune.epochs = 60;
+    return core::train_pipeline(test::indep3(), trace,
+                                test::small_node(grid), config);
+  }();
+  return controller;
+}
+
+TEST(Proposed, ConstructionValidatesModel) {
+  ProposedModel empty;
+  EXPECT_THROW(ProposedScheduler{empty}, std::invalid_argument);
+}
+
+TEST(Proposed, BuildInputLayout) {
+  const auto grid = test::small_grid();
+  const auto node = test::small_node(grid);
+  auto bank = node.make_bank();
+  nvp::PeriodContext ctx;
+  ctx.bank = &bank;
+  ctx.accumulated_dmr = 0.25;
+  ctx.last_period_solar_w = {0.01, 0.02};
+  const ann::Vector x = ProposedScheduler::build_input(ctx, 4);
+  // 4 solar slots (zero-padded) + 3 voltages + accumulated DMR.
+  ASSERT_EQ(x.size(), 4u + 3u + 1u);
+  EXPECT_DOUBLE_EQ(x[0], 0.01);
+  EXPECT_DOUBLE_EQ(x[1], 0.02);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+  EXPECT_DOUBLE_EQ(x.back(), 0.25);
+}
+
+TEST(Proposed, RunsAndStaysValid) {
+  const auto& controller = trained_controller();
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 4);
+  const auto trace = gen.generate_day(solar::DayKind::kPartlyCloudy, grid);
+  auto policy = core::make_proposed(controller);
+  // The simulator enforces all constraints; a clean run is the assertion.
+  const auto r =
+      nvp::simulate(test::indep3(), trace, *policy, controller.node);
+  EXPECT_EQ(r.periods.size(), grid.total_periods());
+  EXPECT_GE(r.overall_dmr(), 0.0);
+  EXPECT_LE(r.overall_dmr(), 1.0);
+}
+
+TEST(Proposed, DecodedOutputsWellFormed) {
+  const auto& controller = trained_controller();
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 5);
+  const auto trace = gen.generate_day(solar::DayKind::kClear, grid);
+  auto policy = core::make_proposed(controller);
+  nvp::simulate(test::indep3(), trace, *policy, controller.node);
+  const auto& decoded = policy->last_decision();
+  EXPECT_LT(decoded.cap_index, controller.node.capacities_f.size());
+  EXPECT_GE(decoded.alpha, 0.0);
+  EXPECT_LE(decoded.alpha, controller.model.alpha_cap);
+  EXPECT_EQ(decoded.te.size(), test::indep3().size());
+}
+
+TEST(Proposed, EthGateBlocksSwitchWithStoredEnergy) {
+  // With a huge E_th the policy may switch anytime; with E_th = 0 it can
+  // never switch away from a charged capacitor.
+  const auto& controller = trained_controller();
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 6);
+  const auto trace = gen.generate_days(2, grid);
+
+  core::TrainedController no_switch = controller;
+  no_switch.online.e_th_j = 0.0;
+  no_switch.online.greedy_bank = false;  // Isolate the Eq. 22 gate.
+  no_switch.node.initial_usable_j = 5.0;  // Start charged.
+  auto policy = core::make_proposed(no_switch);
+  const auto r =
+      nvp::simulate(test::indep3(), trace, *policy, no_switch.node);
+  // The selected capacitor can only change in a period that started with
+  // an essentially drained capacitor.
+  for (std::size_t i = 1; i < r.periods.size(); ++i) {
+    if (r.periods[i].cap_index != r.periods[i - 1].cap_index) {
+      ADD_FAILURE() << "capacitor switched despite E_th = 0 at period " << i;
+      break;
+    }
+  }
+}
+
+TEST(Proposed, DeltaRuleSelectsMode) {
+  // δ = infinity -> always inter mode; δ large means |1-α| <= δ always ->
+  // always intra. Verify the flag follows the configuration.
+  const auto& controller = trained_controller();
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 7);
+  const auto trace = gen.generate_day(solar::DayKind::kClear, grid);
+
+  core::TrainedController always_intra = controller;
+  always_intra.online.delta = 1e9;
+  auto policy = core::make_proposed(always_intra);
+  nvp::simulate(test::indep3(), trace, *policy, always_intra.node);
+  EXPECT_TRUE(policy->intra_mode());
+
+  core::TrainedController always_inter = controller;
+  always_inter.online.delta = -1.0;  // |1-α| > -1 always.
+  auto policy2 = core::make_proposed(always_inter);
+  nvp::simulate(test::indep3(), trace, *policy2, always_inter.node);
+  EXPECT_FALSE(policy2->intra_mode());
+}
+
+TEST(Proposed, CompetitiveWithLsaBaseline) {
+  const auto& controller = trained_controller();
+  const auto grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid, 3);  // Same climate as training.
+  const auto trace = gen.generate_days(2, grid, solar::DayKind::kPartlyCloudy);
+  auto proposed = core::make_proposed(controller);
+  LsaInterScheduler lsa;
+  const double dmr_prop =
+      nvp::simulate(test::indep3(), trace, *proposed, controller.node)
+          .overall_dmr();
+  const double dmr_lsa =
+      nvp::simulate(test::indep3(), trace, lsa, controller.node)
+          .overall_dmr();
+  EXPECT_LE(dmr_prop, dmr_lsa + 0.1);  // Never catastrophically worse.
+}
+
+}  // namespace
+}  // namespace solsched::sched

@@ -1,0 +1,80 @@
+#include "solar/irradiance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::solar {
+namespace {
+
+TEST(ClearSky, NightIsZero) {
+  const ClearSkyModel m;
+  EXPECT_DOUBLE_EQ(m.irradiance(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.irradiance(5.9 * 3600), 0.0);
+  EXPECT_DOUBLE_EQ(m.irradiance(18.1 * 3600), 0.0);
+  EXPECT_DOUBLE_EQ(m.irradiance(23.0 * 3600), 0.0);
+}
+
+TEST(ClearSky, NoonIsPeak) {
+  const ClearSkyModel m;
+  EXPECT_NEAR(m.irradiance(12.0 * 3600), m.peak_w_m2, 1e-9);
+}
+
+TEST(ClearSky, MorningRises) {
+  const ClearSkyModel m;
+  const double i8 = m.irradiance(8.0 * 3600);
+  const double i10 = m.irradiance(10.0 * 3600);
+  const double i12 = m.irradiance(12.0 * 3600);
+  EXPECT_LT(0.0, i8);
+  EXPECT_LT(i8, i10);
+  EXPECT_LT(i10, i12);
+}
+
+TEST(ClearSky, SymmetricAroundNoon) {
+  const ClearSkyModel m;
+  EXPECT_NEAR(m.irradiance(10.0 * 3600), m.irradiance(14.0 * 3600), 1e-9);
+}
+
+TEST(DayKind, Names) {
+  EXPECT_EQ(to_string(DayKind::kClear), "Clear");
+  EXPECT_EQ(to_string(DayKind::kPartlyCloudy), "PartlyCloudy");
+  EXPECT_EQ(to_string(DayKind::kOvercast), "Overcast");
+  EXPECT_EQ(to_string(DayKind::kRainy), "Rainy");
+}
+
+TEST(CloudProcess, FactorsInUnitInterval) {
+  for (DayKind kind : {DayKind::kClear, DayKind::kPartlyCloudy,
+                       DayKind::kOvercast, DayKind::kRainy}) {
+    CloudProcess clouds(kind, util::Rng(5));
+    for (int i = 0; i < 500; ++i) {
+      const double f = clouds.step(30.0);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(CloudProcess, ArchetypesOrderedByMeanAttenuation) {
+  auto mean_factor = [](DayKind kind) {
+    CloudProcess clouds(kind, util::Rng(9));
+    double acc = 0.0;
+    constexpr int kSteps = 2000;
+    for (int i = 0; i < kSteps; ++i) acc += clouds.step(30.0);
+    return acc / kSteps;
+  };
+  const double clear = mean_factor(DayKind::kClear);
+  const double partly = mean_factor(DayKind::kPartlyCloudy);
+  const double overcast = mean_factor(DayKind::kOvercast);
+  const double rainy = mean_factor(DayKind::kRainy);
+  EXPECT_GT(clear, partly);
+  EXPECT_GT(partly, overcast);
+  EXPECT_GT(overcast, rainy);
+}
+
+TEST(CloudProcess, DeterministicForSameSeed) {
+  CloudProcess a(DayKind::kPartlyCloudy, util::Rng(3));
+  CloudProcess b(DayKind::kPartlyCloudy, util::Rng(3));
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.step(30.0), b.step(30.0));
+}
+
+}  // namespace
+}  // namespace solsched::solar

@@ -1,0 +1,36 @@
+#include "solar/panel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace solsched::solar {
+namespace {
+
+TEST(SolarPanel, PaperPanelPeakPower) {
+  const SolarPanel p = SolarPanel::paper_panel();
+  // 3.5 x 4.5 cm^2 at 6% under 1000 W/m^2 -> 94.5 mW.
+  EXPECT_NEAR(util::w_to_mw(p.power_w(1000.0)), 94.5, 1e-9);
+}
+
+TEST(SolarPanel, LinearInIrradiance) {
+  const SolarPanel p(0.01, 0.1);
+  EXPECT_DOUBLE_EQ(p.power_w(500.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.power_w(0.0), 0.0);
+}
+
+TEST(SolarPanel, RejectsBadParameters) {
+  EXPECT_THROW(SolarPanel(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(SolarPanel(-1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(SolarPanel(0.01, 0.0), std::invalid_argument);
+  EXPECT_THROW(SolarPanel(0.01, 1.5), std::invalid_argument);
+}
+
+TEST(SolarPanel, Accessors) {
+  const SolarPanel p(0.02, 0.08);
+  EXPECT_DOUBLE_EQ(p.area_m2(), 0.02);
+  EXPECT_DOUBLE_EQ(p.efficiency(), 0.08);
+}
+
+}  // namespace
+}  // namespace solsched::solar

@@ -1,0 +1,131 @@
+#include "solar/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "../test_helpers.hpp"
+#include "solar/trace_generator.hpp"
+
+namespace solsched::solar {
+namespace {
+
+/// Perfectly periodic trace: same diurnal profile every day.
+SolarTrace periodic_trace(const TimeGrid& day_grid, std::size_t n_days) {
+  TimeGrid grid = day_grid;
+  grid.n_days = n_days;
+  SolarTrace t(grid);
+  for (std::size_t f = 0; f < grid.total_slots(); ++f) {
+    const double phase = grid.time_of_day_s(f) / grid.day_s();
+    t.at_flat(f) =
+        std::max(0.0, 0.05 * std::sin(2.0 * std::numbers::pi * phase));
+  }
+  return t;
+}
+
+TEST(EwmaPredictor, LearnsPeriodicTraceExactly) {
+  const TimeGrid day = test::tiny_grid();
+  const SolarTrace t = periodic_trace(day, 3);
+  EwmaPredictor p(day.slots_per_day(), 0.5);
+  // After the cold-start day the per-slot averages equal the periodic
+  // values; only the first day's unseen slots contribute error.
+  const double mae = evaluate_predictor_mae(p, t, 1);
+  EXPECT_LT(mae, 0.01);
+}
+
+TEST(EwmaPredictor, ColdStartPredictsZero) {
+  EwmaPredictor p(10);
+  EXPECT_DOUBLE_EQ(p.predict(1), 0.0);
+}
+
+TEST(EwmaPredictor, ResetClearsHistory) {
+  EwmaPredictor p(4);
+  p.observe(1.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.predict(4), 0.0);
+}
+
+TEST(EwmaPredictor, RejectsBadParams) {
+  EXPECT_THROW(EwmaPredictor(0), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(5, 1.5), std::invalid_argument);
+}
+
+TEST(WcmaPredictor, BeatsZeroPredictorOnPeriodicTrace) {
+  const TimeGrid day = test::tiny_grid();
+  const SolarTrace t = periodic_trace(day, 4);
+  WcmaPredictor p(day.slots_per_day());
+  const double mae = evaluate_predictor_mae(p, t, 1);
+  // Mean power of the trace (what predicting 0 would score).
+  double mean_p = 0.0;
+  for (double x : t.raw()) mean_p += x;
+  mean_p /= static_cast<double>(t.raw().size());
+  EXPECT_LT(mae, 0.5 * mean_p);
+}
+
+TEST(WcmaPredictor, GapScalesDarkDays) {
+  const TimeGrid day = test::tiny_grid();
+  // Two identical days then a 50%-darker day: WCMA should track down.
+  const SolarTrace base = periodic_trace(day, 1);
+  std::vector<SolarTrace> days = {base, base, base.scaled(0.5)};
+  const SolarTrace t = SolarTrace::concat_days(days);
+  WcmaPredictor p(day.slots_per_day(), 2, 3, 0.5);
+
+  const std::size_t day_slots = day.slots_per_day();
+  // Observe through the morning peak of day 3 (phase 0.25 of the sine).
+  const std::size_t until = 2 * day_slots + day_slots / 4;
+  for (std::size_t f = 0; f < until; ++f) p.observe(t.at_flat(f));
+  const double predicted = p.predict(1);
+  const double actual_dark = t.at_flat(until);
+  const double bright = base.at_flat(day_slots / 4);
+  // Prediction is closer to the dark-day value than to the bright history.
+  EXPECT_LT(std::fabs(predicted - actual_dark),
+            std::fabs(predicted - bright));
+}
+
+TEST(WcmaPredictor, RejectsBadParams) {
+  EXPECT_THROW(WcmaPredictor(0), std::invalid_argument);
+  EXPECT_THROW(WcmaPredictor(5, 0), std::invalid_argument);
+  EXPECT_THROW(WcmaPredictor(5, 3, 3, 1.5), std::invalid_argument);
+}
+
+TEST(OraclePredictor, PerfectForesight) {
+  const TimeGrid day = test::tiny_grid();
+  const SolarTrace t = periodic_trace(day, 2);
+  OraclePredictor p(t);
+  EXPECT_DOUBLE_EQ(evaluate_predictor_mae(p, t, 1), 0.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(evaluate_predictor_mae(p, t, 7), 0.0);
+}
+
+TEST(OraclePredictor, BeyondTraceIsZero) {
+  const TimeGrid day = test::tiny_grid();
+  const SolarTrace t = periodic_trace(day, 1);
+  OraclePredictor p(t);
+  EXPECT_DOUBLE_EQ(p.predict(t.grid().total_slots() + 5), 0.0);
+}
+
+TEST(PredictEnergy, SumsSlots) {
+  const TimeGrid day = test::tiny_grid();
+  SolarTrace t(day);
+  for (std::size_t f = 0; f < day.total_slots(); ++f) t.at_flat(f) = 0.01;
+  OraclePredictor p(t);
+  EXPECT_NEAR(p.predict_energy_j(5, day.dt_s), 5 * 0.01 * 30.0, 1e-12);
+}
+
+TEST(PredictorComparison, WcmaBeatsEwmaOnWeatherShift) {
+  // Markov weather trace: WCMA's weather conditioning should beat plain
+  // per-slot EWMA at short horizons.
+  const TimeGrid day = test::small_grid();
+  const auto gen = test::scaled_generator(day, 21);
+  const SolarTrace t = gen.generate_days(6, day, DayKind::kPartlyCloudy);
+  WcmaPredictor wcma(day.slots_per_day());
+  EwmaPredictor ewma(day.slots_per_day());
+  const double mae_wcma = evaluate_predictor_mae(wcma, t, 1);
+  const double mae_ewma = evaluate_predictor_mae(ewma, t, 1);
+  EXPECT_LT(mae_wcma, mae_ewma * 1.05);  // At least on par, usually better.
+}
+
+}  // namespace
+}  // namespace solsched::solar

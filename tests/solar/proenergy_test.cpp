@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "../test_helpers.hpp"
+#include "solar/predictor.hpp"
+#include "solar/trace_generator.hpp"
+
+namespace solsched::solar {
+namespace {
+
+SolarTrace sine_day(const TimeGrid& day_grid, double scale) {
+  SolarTrace t(day_grid);
+  for (std::size_t f = 0; f < day_grid.total_slots(); ++f) {
+    const double phase = day_grid.time_of_day_s(f) / day_grid.day_s();
+    t.at_flat(f) = std::max(
+        0.0, scale * std::sin(2.0 * std::numbers::pi * phase));
+  }
+  return t;
+}
+
+TEST(ProEnergy, RejectsBadParams) {
+  EXPECT_THROW(ProEnergyPredictor(0), std::invalid_argument);
+  EXPECT_THROW(ProEnergyPredictor(5, 0), std::invalid_argument);
+  EXPECT_THROW(ProEnergyPredictor(5, 3, 3, 1.5), std::invalid_argument);
+}
+
+TEST(ProEnergy, ColdStartIsPersistence) {
+  ProEnergyPredictor p(10);
+  p.observe(0.05);
+  EXPECT_DOUBLE_EQ(p.predict(1), 0.05);
+  EXPECT_DOUBLE_EQ(p.predict(7), 0.05);
+}
+
+TEST(ProEnergy, SelectsSimilarProfileMode) {
+  // Pool holds a bright day and a dark day; today looks dark, so the dark
+  // profile must be selected and drive the forecast.
+  const TimeGrid day = test::tiny_grid();
+  const SolarTrace bright = sine_day(day, 0.08);
+  const SolarTrace dark = sine_day(day, 0.02);
+  ProEnergyPredictor p(day.slots_per_day(), 5, 4, 0.3);
+  for (double v : bright.raw()) p.observe(v);
+  for (double v : dark.raw()) p.observe(v);
+  // Observe the first quarter of a new dark day.
+  for (std::size_t f = 0; f < day.slots_per_day() / 4; ++f)
+    p.observe(dark.at_flat(f));
+  EXPECT_EQ(p.most_similar_profile(), 1u);  // The dark profile.
+  // Prediction for the next slot tracks the dark curve, not the bright one.
+  const std::size_t next = day.slots_per_day() / 4;
+  const double predicted = p.predict(1);
+  EXPECT_LT(std::fabs(predicted - dark.at_flat(next)),
+            std::fabs(predicted - bright.at_flat(next)));
+}
+
+TEST(ProEnergy, PoolEvictsOldestBeyondCapacity) {
+  const TimeGrid day = test::tiny_grid();
+  ProEnergyPredictor p(day.slots_per_day(), 2, 4, 0.5);
+  const SolarTrace a = sine_day(day, 0.01);
+  const SolarTrace b = sine_day(day, 0.05);
+  const SolarTrace c = sine_day(day, 0.09);
+  for (double v : a.raw()) p.observe(v);
+  for (double v : b.raw()) p.observe(v);
+  for (double v : c.raw()) p.observe(v);  // Evicts `a`.
+  // Observe a dim morning: the closest remaining profile is `b`, index 0.
+  for (std::size_t f = 0; f < 3; ++f) p.observe(b.at_flat(f));
+  EXPECT_LE(p.most_similar_profile(), 1u);  // Pool only holds 2 profiles.
+}
+
+TEST(ProEnergy, ResetClearsEverything) {
+  ProEnergyPredictor p(4);
+  for (int i = 0; i < 8; ++i) p.observe(0.05);
+  p.reset();
+  p.observe(0.02);
+  EXPECT_DOUBLE_EQ(p.predict(1), 0.02);  // Pure persistence again.
+}
+
+TEST(ProEnergy, CompetitiveWithWcmaOnModalWeather) {
+  // A climate that flips between clear and rainy modes favours profile
+  // selection; Pro-Energy should at least stay within range of WCMA.
+  const TimeGrid day = test::small_grid();
+  const auto gen = test::scaled_generator(day, 211);
+  const SolarTrace t = gen.generate_days(8, day, DayKind::kPartlyCloudy);
+  ProEnergyPredictor pro(day.slots_per_day());
+  WcmaPredictor wcma(day.slots_per_day());
+  const double mae_pro = evaluate_predictor_mae(pro, t, 1);
+  const double mae_wcma = evaluate_predictor_mae(wcma, t, 1);
+  EXPECT_LT(mae_pro, mae_wcma * 2.0);
+}
+
+}  // namespace
+}  // namespace solsched::solar

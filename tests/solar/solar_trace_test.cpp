@@ -1,0 +1,92 @@
+#include "solar/solar_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::solar {
+namespace {
+
+TimeGrid grid2x3x4() { return TimeGrid{2, 3, 4, 10.0}; }
+
+TEST(SolarTrace, ZeroInitialized) {
+  const SolarTrace t(grid2x3x4());
+  EXPECT_DOUBLE_EQ(t.total_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak_power_w(), 0.0);
+}
+
+TEST(SolarTrace, SizeMismatchThrows) {
+  EXPECT_THROW(SolarTrace(grid2x3x4(), std::vector<double>(5, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(SolarTrace, IndexingConsistent) {
+  SolarTrace t(grid2x3x4());
+  t.at_flat(grid2x3x4().flat_slot(1, 2, 3)) = 7.5;
+  EXPECT_DOUBLE_EQ(t.at(1, 2, 3), 7.5);
+}
+
+TEST(SolarTrace, PeriodPowersAndEnergy) {
+  SolarTrace t(grid2x3x4());
+  for (std::size_t m = 0; m < 4; ++m)
+    t.at_flat(grid2x3x4().flat_slot(0, 1, m)) = 2.0;
+  const auto powers = t.period_powers(0, 1);
+  ASSERT_EQ(powers.size(), 4u);
+  EXPECT_DOUBLE_EQ(powers[2], 2.0);
+  EXPECT_DOUBLE_EQ(t.period_energy_j(0, 1), 2.0 * 4 * 10.0);
+}
+
+TEST(SolarTrace, DayEnergySumsPeriods) {
+  SolarTrace t(grid2x3x4());
+  for (std::size_t f = 0; f < grid2x3x4().slots_per_day(); ++f)
+    t.at_flat(f) = 1.0;
+  EXPECT_DOUBLE_EQ(t.day_energy_j(0), 12 * 10.0);
+  EXPECT_DOUBLE_EQ(t.day_energy_j(1), 0.0);
+}
+
+TEST(SolarTrace, ScaledMultipliesPower) {
+  SolarTrace t(grid2x3x4());
+  t.at_flat(0) = 3.0;
+  const SolarTrace s = t.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.at_flat(0), 6.0);
+  EXPECT_DOUBLE_EQ(s.total_energy_j(), 2.0 * t.total_energy_j());
+}
+
+TEST(SolarTrace, DaySliceExtractsOneDay) {
+  SolarTrace t(grid2x3x4());
+  t.at_flat(grid2x3x4().flat_slot(1, 0, 0)) = 9.0;
+  const SolarTrace day1 = t.day_slice(1);
+  EXPECT_EQ(day1.grid().n_days, 1u);
+  EXPECT_DOUBLE_EQ(day1.at(0, 0, 0), 9.0);
+  EXPECT_THROW(t.day_slice(2), std::out_of_range);
+}
+
+TEST(SolarTrace, ConcatDays) {
+  TimeGrid one = grid2x3x4();
+  one.n_days = 1;
+  SolarTrace a(one), b(one);
+  a.at_flat(0) = 1.0;
+  b.at_flat(0) = 2.0;
+  const SolarTrace joined = SolarTrace::concat_days({a, b});
+  EXPECT_EQ(joined.grid().n_days, 2u);
+  EXPECT_DOUBLE_EQ(joined.at(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(joined.at(1, 0, 0), 2.0);
+}
+
+TEST(SolarTrace, ConcatIncompatibleThrows) {
+  TimeGrid one = grid2x3x4();
+  one.n_days = 1;
+  TimeGrid other = one;
+  other.n_slots = 5;
+  EXPECT_THROW(
+      SolarTrace::concat_days({SolarTrace(one), SolarTrace(other)}),
+      std::invalid_argument);
+}
+
+TEST(SolarTrace, PeakPower) {
+  SolarTrace t(grid2x3x4());
+  t.at_flat(5) = 4.0;
+  t.at_flat(9) = 11.0;
+  EXPECT_DOUBLE_EQ(t.peak_power_w(), 11.0);
+}
+
+}  // namespace
+}  // namespace solsched::solar

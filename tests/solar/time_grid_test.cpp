@@ -1,0 +1,57 @@
+#include "solar/time_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::solar {
+namespace {
+
+TEST(TimeGrid, DefaultGridIsFullDay) {
+  const TimeGrid g = default_grid();
+  EXPECT_DOUBLE_EQ(g.period_s(), 600.0);
+  EXPECT_DOUBLE_EQ(g.day_s(), 86400.0);
+  EXPECT_EQ(g.slots_per_day(), 2880u);
+}
+
+TEST(TimeGrid, TotalsScaleWithDays) {
+  const TimeGrid g = default_grid(3);
+  EXPECT_EQ(g.total_slots(), 3u * 2880u);
+  EXPECT_EQ(g.total_periods(), 3u * 144u);
+}
+
+TEST(TimeGrid, FlatSlotRoundTrip) {
+  const TimeGrid g{2, 4, 5, 30.0};
+  EXPECT_EQ(g.flat_slot(0, 0, 0), 0u);
+  EXPECT_EQ(g.flat_slot(0, 1, 0), 5u);
+  EXPECT_EQ(g.flat_slot(1, 0, 0), 20u);
+  EXPECT_EQ(g.flat_slot(1, 3, 4), 39u);
+}
+
+TEST(TimeGrid, FlatPeriod) {
+  const TimeGrid g{2, 4, 5, 30.0};
+  EXPECT_EQ(g.flat_period(0, 3), 3u);
+  EXPECT_EQ(g.flat_period(1, 0), 4u);
+}
+
+TEST(TimeGrid, SlotStartTime) {
+  const TimeGrid g{1, 4, 5, 30.0};
+  EXPECT_DOUBLE_EQ(g.slot_start_s(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g.slot_start_s(0, 1, 2), 7.0 * 30.0);
+}
+
+TEST(TimeGrid, TimeOfDayWraps) {
+  const TimeGrid g{2, 4, 5, 30.0};
+  const std::size_t day_slots = g.slots_per_day();
+  EXPECT_DOUBLE_EQ(g.time_of_day_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.time_of_day_s(day_slots), 0.0);  // Second day restarts.
+  EXPECT_DOUBLE_EQ(g.time_of_day_s(day_slots + 1), 30.0);
+}
+
+TEST(TimeGrid, Equality) {
+  EXPECT_EQ(default_grid(), default_grid());
+  TimeGrid g = default_grid();
+  g.dt_s = 15.0;
+  EXPECT_FALSE(g == default_grid());
+}
+
+}  // namespace
+}  // namespace solsched::solar

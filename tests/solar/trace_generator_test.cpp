@@ -1,0 +1,88 @@
+#include "solar/trace_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace solsched::solar {
+namespace {
+
+TEST(TraceGenerator, DayEnergyOrderedByArchetype) {
+  const TimeGrid grid = default_grid();
+  const TraceGenerator gen;
+  const auto days = gen.four_representative_days(grid);
+  ASSERT_EQ(days.size(), 4u);
+  // Day1 (clear) down to Day4 (rainy), strictly decreasing total energy.
+  EXPECT_GT(days[0].total_energy_j(), days[1].total_energy_j());
+  EXPECT_GT(days[1].total_energy_j(), days[2].total_energy_j());
+  EXPECT_GT(days[2].total_energy_j(), days[3].total_energy_j());
+}
+
+TEST(TraceGenerator, PanelBoundsPeakPower) {
+  const TimeGrid grid = default_grid();
+  const TraceGenerator gen;
+  const SolarTrace clear = gen.generate_day(DayKind::kClear, grid);
+  // 15.75 cm^2 at 6% of 1000 W/m^2 -> 94.5 mW ceiling.
+  EXPECT_LE(clear.peak_power_w(), 0.0945 + 1e-9);
+  EXPECT_GT(clear.peak_power_w(), 0.06);  // A clear day approaches it.
+}
+
+TEST(TraceGenerator, NightIsDark) {
+  const TimeGrid grid = default_grid();
+  const TraceGenerator gen;
+  const SolarTrace t = gen.generate_day(DayKind::kClear, grid);
+  // Slot at 03:00.
+  const auto idx = static_cast<std::size_t>(3.0 * 3600.0 / grid.dt_s);
+  EXPECT_DOUBLE_EQ(t.at_flat(idx), 0.0);
+}
+
+TEST(TraceGenerator, Deterministic) {
+  const TimeGrid grid = test::tiny_grid();
+  TraceGeneratorConfig config;
+  config.seed = 7;
+  const TraceGenerator a(config), b(config);
+  const SolarTrace ta = a.generate_days(3, grid);
+  const SolarTrace tb = b.generate_days(3, grid);
+  EXPECT_EQ(ta.raw(), tb.raw());
+}
+
+TEST(TraceGenerator, SeedChangesTrace) {
+  const TimeGrid grid = test::tiny_grid();
+  const SolarTrace t1 = test::scaled_generator(grid, 1).generate_day(
+      DayKind::kPartlyCloudy, grid);
+  const SolarTrace t2 = test::scaled_generator(grid, 2).generate_day(
+      DayKind::kPartlyCloudy, grid);
+  EXPECT_NE(t1.raw(), t2.raw());
+}
+
+TEST(TraceGenerator, WeatherSequenceStartsAtFirst) {
+  const TraceGenerator gen;
+  const auto seq = gen.weather_sequence(10, DayKind::kRainy);
+  ASSERT_EQ(seq.size(), 10u);
+  EXPECT_EQ(seq[0], DayKind::kRainy);
+}
+
+TEST(TraceGenerator, MultiDayGridShape) {
+  const TimeGrid day = test::tiny_grid();
+  const TraceGenerator gen;
+  const SolarTrace t = gen.generate_days(5, day);
+  EXPECT_EQ(t.grid().n_days, 5u);
+  EXPECT_EQ(t.grid().n_periods, day.n_periods);
+  EXPECT_EQ(t.grid().total_slots(), 5u * day.slots_per_day());
+}
+
+TEST(TraceGenerator, BadTransitionMatrixThrows) {
+  TraceGeneratorConfig config;
+  config.weather_transition = {{1.0}};
+  EXPECT_THROW(TraceGenerator{config}, std::invalid_argument);
+}
+
+TEST(TraceGenerator, AllPowersNonNegative) {
+  const TimeGrid grid = test::small_grid();
+  const auto gen = test::scaled_generator(grid);
+  const SolarTrace t = gen.generate_days(4, grid, DayKind::kPartlyCloudy);
+  for (double p : t.raw()) EXPECT_GE(p, 0.0);
+}
+
+}  // namespace
+}  // namespace solsched::solar

@@ -1,0 +1,65 @@
+#include "storage/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::storage {
+namespace {
+
+TEST(Leakage, ZeroAtZeroVoltage) {
+  const LeakageModel m;
+  EXPECT_DOUBLE_EQ(m.power_w(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.power_w(-1.0, 10.0), 0.0);
+}
+
+TEST(Leakage, IncreasesWithVoltage) {
+  const LeakageModel m;
+  double prev = 0.0;
+  for (double v = 0.5; v <= 5.0; v += 0.5) {
+    const double p = m.power_w(v, 10.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Leakage, IncreasesWithCapacity) {
+  const LeakageModel m;
+  EXPECT_GT(m.power_w(2.5, 100.0), m.power_w(2.5, 1.0));
+}
+
+TEST(Leakage, CalibratedMagnitudes) {
+  const LeakageModel m;
+  // 10 F at 2.5 V leaks about half a milliwatt.
+  EXPECT_NEAR(m.power_w(2.5, 10.0), 0.5e-3, 0.3e-3);
+  // 1 F near V_H leaks milliwatt-scale (long holds in small caps are bad).
+  EXPECT_GT(m.power_w(5.0, 1.0), 1.5e-3);
+}
+
+TEST(Leakage, SuperlinearVoltageTermDominatesSmallCaps) {
+  const LeakageModel m;
+  // For a 1 F cap, quadrupling the voltage multiplies leakage far more than
+  // the quadratic capacity term alone would.
+  const double low = m.power_w(1.0, 1.0);
+  const double high = m.power_w(4.0, 1.0);
+  EXPECT_GT(high / low, 16.0);
+}
+
+TEST(Leakage, FittedDefaultCloseToTruth) {
+  const LeakageModel truth{};
+  const LeakageModel fitted = LeakageModel::fitted_default();
+  for (double c : {1.0, 10.0, 100.0})
+    for (double v = 0.5; v <= 5.0; v += 0.9) {
+      const double a = truth.power_w(v, c);
+      const double b = fitted.power_w(v, c);
+      EXPECT_NEAR(b, a, 0.15 * a + 1e-9);
+    }
+}
+
+TEST(Leakage, FittedDeterministic) {
+  const LeakageModel a = LeakageModel::fitted_default(11);
+  const LeakageModel b = LeakageModel::fitted_default(11);
+  EXPECT_DOUBLE_EQ(a.k_cap(), b.k_cap());
+  EXPECT_DOUBLE_EQ(a.k_volt(), b.k_volt());
+}
+
+}  // namespace
+}  // namespace solsched::storage

@@ -1,0 +1,96 @@
+#include "storage/migration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::storage {
+namespace {
+
+const RegulatorModel kReg = RegulatorModel::fitted_default();
+const LeakageModel kLeak = LeakageModel::fitted_default();
+
+TEST(MigrationPattern, PhasesCoverDuration) {
+  const MigrationPattern p{7.0, 3600.0, 0.25, 0.25};
+  const auto phases = pattern_phases(p);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_DOUBLE_EQ(phases[0].duration_s + phases[1].duration_s +
+                       phases[2].duration_s,
+                   3600.0);
+  // Charge phase injects exactly Q.
+  EXPECT_NEAR(phases[0].input_w * phases[0].duration_s, 7.0, 1e-9);
+  // Discharge demand is oversized so extraction is capacitor-limited.
+  EXPECT_GT(phases[2].demand_w * phases[2].duration_s, 7.0);
+}
+
+TEST(MigrationCoarse, EfficiencyInUnitInterval) {
+  const MigrationPattern p{7.0, 3600.0};
+  const MigrationResult r = migrate_coarse(10.0, kReg, kLeak, p);
+  EXPECT_GT(r.efficiency, 0.0);
+  EXPECT_LT(r.efficiency, 1.0);
+  EXPECT_NEAR(r.offered_j, 7.0, 0.1);
+}
+
+TEST(MigrationCoarse, LedgerBalances) {
+  const MigrationPattern p{7.0, 3600.0};
+  const MigrationResult r = migrate_coarse(10.0, kReg, kLeak, p);
+  EXPECT_NEAR(r.offered_j,
+              r.delivered_j + r.conversion_loss_j + r.leakage_loss_j +
+                  r.spilled_j + r.residual_j,
+              0.05);
+}
+
+TEST(MigrationCoarse, SmallCapBestForSmallShortMigration) {
+  // Paper Table 2, 7 J / 60 min: efficiency decreases with capacity.
+  const MigrationPattern p{7.0, 3600.0};
+  const double e1 = migrate_coarse(1.0, kReg, kLeak, p).efficiency;
+  const double e10 = migrate_coarse(10.0, kReg, kLeak, p).efficiency;
+  const double e100 = migrate_coarse(100.0, kReg, kLeak, p).efficiency;
+  EXPECT_GT(e1, e10);
+  EXPECT_GT(e10, e100);
+}
+
+TEST(MigrationCoarse, MediumCapBestForLargeLongMigration) {
+  // Paper Table 2, 30 J / 400 min: 10 F wins; 1 F saturates and leaks dry.
+  const MigrationPattern p{30.0, 24000.0};
+  const double e1 = migrate_coarse(1.0, kReg, kLeak, p).efficiency;
+  const double e10 = migrate_coarse(10.0, kReg, kLeak, p).efficiency;
+  const double e100 = migrate_coarse(100.0, kReg, kLeak, p).efficiency;
+  EXPECT_GT(e10, e1);
+  EXPECT_GT(e10, e100);
+  EXPECT_LT(e1, 0.15);  // The 1 F case collapses, as in the paper (8.6%).
+}
+
+TEST(MigrationFine, CloseToCoarseModel) {
+  // The model-vs-test error should be a few percent in the well-behaved
+  // regimes (paper average: 5.38%).
+  const MigrationPattern p{7.0, 3600.0};
+  for (double c : {1.0, 10.0, 50.0}) {
+    const double model = migrate_coarse(c, kReg, kLeak, p).efficiency;
+    const double test = migrate_fine(c, kReg, p).efficiency;
+    EXPECT_LT(relative_error(model, test), 0.25)
+        << "capacity " << c << ": model " << model << " vs test " << test;
+  }
+}
+
+TEST(MigrationFine, EfficiencyPositive) {
+  const MigrationPattern p{30.0, 24000.0};
+  const MigrationResult r = migrate_fine(10.0, kReg, p);
+  EXPECT_GT(r.efficiency, 0.05);
+  EXPECT_LT(r.efficiency, 1.0);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(0.5, 0.4), 0.25);
+  EXPECT_DOUBLE_EQ(relative_error(0.4, 0.5), 0.2);
+  EXPECT_DOUBLE_EQ(relative_error(0.3, 0.0), 0.0);
+}
+
+TEST(MigrationCoarse, LongerDistanceLosesMore) {
+  const MigrationPattern short_p{7.0, 3600.0};
+  const MigrationPattern long_p{7.0, 24000.0};
+  const double e_short = migrate_coarse(10.0, kReg, kLeak, short_p).efficiency;
+  const double e_long = migrate_coarse(10.0, kReg, kLeak, long_p).efficiency;
+  EXPECT_GT(e_short, e_long);  // Leakage scales with the hold time.
+}
+
+}  // namespace
+}  // namespace solsched::storage

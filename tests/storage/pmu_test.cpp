@@ -1,0 +1,127 @@
+#include "storage/pmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace solsched::storage {
+namespace {
+
+CapacitorBank make_bank() {
+  return CapacitorBank({10.0}, RegulatorModel::analytic_default(),
+                       LeakageModel{});
+}
+
+constexpr double kDt = 30.0;
+
+TEST(Pmu, DirectChannelServesLoad) {
+  CapacitorBank bank = make_bank();
+  const Pmu pmu;
+  // Solar 100 mW, load 50 mW: direct channel covers it, surplus banked.
+  const SlotFlow flow = pmu.run_slot(0.1, 0.05, bank, kDt);
+  EXPECT_FALSE(flow.brownout);
+  EXPECT_NEAR(flow.direct_supplied_j, 0.05 * kDt, 1e-9);
+  EXPECT_DOUBLE_EQ(flow.cap_supplied_j, 0.0);
+  EXPECT_GT(flow.stored_j, 0.0);
+}
+
+TEST(Pmu, SurplusChargesSelectedCap) {
+  CapacitorBank bank = make_bank();
+  const Pmu pmu;
+  const SlotFlow flow = pmu.run_slot(0.1, 0.0, bank, kDt);
+  EXPECT_GT(bank.selected().usable_energy_j(), 0.0);
+  EXPECT_NEAR(flow.migrated_in_j, 0.1 * kDt, 1e-9);
+  EXPECT_GT(flow.conversion_loss_j, 0.0);
+}
+
+TEST(Pmu, DeficitDrawsFromCap) {
+  CapacitorBank bank = make_bank();
+  bank.selected().set_usable_energy_j(50.0);
+  const Pmu pmu;
+  // No solar, 40 mW load: everything from the capacitor.
+  const SlotFlow flow = pmu.run_slot(0.0, 0.04, bank, kDt);
+  EXPECT_FALSE(flow.brownout);
+  EXPECT_NEAR(flow.cap_supplied_j, 0.04 * kDt, 1e-9);
+  EXPECT_LT(bank.selected().usable_energy_j(), 50.0);
+}
+
+TEST(Pmu, BrownoutWhenEnergyInsufficient) {
+  CapacitorBank bank = make_bank();  // Empty cap.
+  const Pmu pmu;
+  const SlotFlow flow = pmu.run_slot(0.0, 0.04, bank, kDt);
+  EXPECT_TRUE(flow.brownout);
+  EXPECT_DOUBLE_EQ(flow.direct_supplied_j, 0.0);
+  EXPECT_DOUBLE_EQ(flow.cap_supplied_j, 0.0);
+}
+
+TEST(Pmu, BrownoutSlotStillBanksSolar) {
+  CapacitorBank bank = make_bank();
+  const Pmu pmu;
+  // Solar too weak for the load, cap empty -> brownout, but the slot's
+  // solar goes into storage instead of being wasted.
+  const SlotFlow flow = pmu.run_slot(0.01, 0.05, bank, kDt);
+  EXPECT_TRUE(flow.brownout);
+  EXPECT_GT(flow.stored_j, 0.0);
+  EXPECT_GT(bank.selected().usable_energy_j(), 0.0);
+}
+
+TEST(Pmu, BrownoutNeverHalfDrainsCap) {
+  CapacitorBank bank = make_bank();
+  bank.selected().set_usable_energy_j(0.5);  // Not enough for the load.
+  const Pmu pmu;
+  const double before = bank.selected().usable_energy_j();
+  const SlotFlow flow = pmu.run_slot(0.0, 0.05, bank, kDt);
+  EXPECT_TRUE(flow.brownout);
+  // Only leakage may touch the stored energy in a brownout slot.
+  EXPECT_NEAR(bank.selected().usable_energy_j(), before,
+              flow.leakage_loss_j + 1e-9);
+}
+
+TEST(Pmu, SupplyableCombinesDirectAndStorage) {
+  CapacitorBank bank = make_bank();
+  bank.selected().set_usable_energy_j(10.0);
+  const Pmu pmu;
+  const double supply = pmu.supplyable_j(0.05, bank, kDt);
+  EXPECT_NEAR(supply,
+              0.05 * kDt * pmu.config().direct_eta +
+                  bank.selected().deliverable_j(),
+              1e-9);
+}
+
+TEST(Pmu, MixedSupplyUsesDirectFirst) {
+  CapacitorBank bank = make_bank();
+  bank.selected().set_usable_energy_j(50.0);
+  const Pmu pmu;
+  // Solar covers half the load; the rest comes from the capacitor.
+  const SlotFlow flow = pmu.run_slot(0.05, 0.08, bank, kDt);
+  EXPECT_FALSE(flow.brownout);
+  EXPECT_NEAR(flow.direct_supplied_j, 0.05 * kDt * pmu.config().direct_eta,
+              1e-9);
+  EXPECT_NEAR(flow.cap_supplied_j,
+              0.08 * kDt - flow.direct_supplied_j, 1e-9);
+  EXPECT_DOUBLE_EQ(flow.stored_j, 0.0);  // No surplus to bank.
+}
+
+TEST(PmuProperty, EnergyConservationOverRandomSlots) {
+  CapacitorBank bank = make_bank();
+  const Pmu pmu;
+  util::Rng rng(4);
+  const double initial_energy = bank.total_energy_j();
+  double solar_in = 0.0, served = 0.0, losses = 0.0, spilled = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const double solar = rng.uniform(0.0, 0.12);
+    const double load = rng.uniform(0.0, 0.1);
+    const SlotFlow f = pmu.run_slot(solar, load, bank, kDt);
+    solar_in += f.solar_in_j;
+    served += f.direct_supplied_j + f.cap_supplied_j;
+    losses += f.conversion_loss_j + f.leakage_loss_j;
+    spilled += f.spilled_j;
+  }
+  const double stored_delta = bank.total_energy_j() - initial_energy;
+  // solar_in = served + losses + spilled + Δstored (within rounding).
+  EXPECT_NEAR(solar_in, served + losses + spilled + stored_delta,
+              1e-6 * std::max(1.0, solar_in));
+}
+
+}  // namespace
+}  // namespace solsched::storage

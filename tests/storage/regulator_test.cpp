@@ -1,0 +1,84 @@
+#include "storage/regulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::storage {
+namespace {
+
+TEST(ConverterLaw, MonotoneIncreasingInVoltage) {
+  const ConverterLaw law = RegulatorModel::input_law();
+  double prev = 0.0;
+  for (double v = 0.3; v <= 5.0; v += 0.1) {
+    const double eta = law.eta(v);
+    EXPECT_GE(eta, prev - 1e-12);
+    prev = eta;
+  }
+}
+
+TEST(ConverterLaw, BoundedByFloorAndCeil) {
+  const ConverterLaw law{0.9, 5.0, 0.1, 0.05, 0.95};
+  EXPECT_DOUBLE_EQ(law.eta(0.0), 0.05);   // Deep low-voltage clamp.
+  EXPECT_LE(law.eta(100.0), 0.95);
+}
+
+TEST(RegulatorCurve, FitTracksGroundTruth) {
+  const ConverterLaw law = RegulatorModel::input_law();
+  const auto points =
+      RegulatorModel::synth_measurements(law, 30, 0.3, 5.0, 0.0, 1);
+  const RegulatorCurve curve = RegulatorCurve::fit(points);
+  EXPECT_TRUE(curve.is_fitted());
+  for (double v = 0.5; v <= 5.0; v += 0.5)
+    EXPECT_NEAR(curve.eta(v), law.eta(v), 0.03);
+}
+
+TEST(RegulatorCurve, FitRmseSmallWithNoise) {
+  const auto points = RegulatorModel::synth_measurements(
+      RegulatorModel::output_law(), 25, 0.3, 5.0, 0.02, 3);
+  const RegulatorCurve curve = RegulatorCurve::fit(points);
+  EXPECT_LT(curve.fit_rmse(), 0.05);
+}
+
+TEST(RegulatorCurve, FitNeedsFourPoints) {
+  const std::vector<EfficiencyPoint> few = {{1.0, 0.5}, {2.0, 0.6}, {3.0, 0.7}};
+  EXPECT_THROW(RegulatorCurve::fit(few), std::invalid_argument);
+}
+
+TEST(RegulatorCurve, ExtrapolationClamped) {
+  const auto points = RegulatorModel::synth_measurements(
+      RegulatorModel::input_law(), 25, 0.5, 4.0, 0.0, 5);
+  const RegulatorCurve curve = RegulatorCurve::fit(points);
+  // Outside the fit range the value is clamped to the boundary behaviour,
+  // never negative or above 0.98.
+  const double lo = curve.eta(0.01);
+  const double hi = curve.eta(50.0);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LE(hi, 0.98);
+}
+
+TEST(RegulatorCurve, AnalyticWrapsLaw) {
+  const ConverterLaw law = RegulatorModel::output_law();
+  const RegulatorCurve curve = RegulatorCurve::from_law(law);
+  EXPECT_FALSE(curve.is_fitted());
+  EXPECT_DOUBLE_EQ(curve.eta(2.0), law.eta(2.0));
+}
+
+TEST(RegulatorModel, FittedDefaultDeterministic) {
+  const RegulatorModel a = RegulatorModel::fitted_default(7);
+  const RegulatorModel b = RegulatorModel::fitted_default(7);
+  for (double v = 0.5; v <= 5.0; v += 0.7) {
+    EXPECT_DOUBLE_EQ(a.input.eta(v), b.input.eta(v));
+    EXPECT_DOUBLE_EQ(a.output.eta(v), b.output.eta(v));
+  }
+}
+
+TEST(RegulatorModel, FittedCloseToAnalytic) {
+  const RegulatorModel fitted = RegulatorModel::fitted_default();
+  const RegulatorModel analytic = RegulatorModel::analytic_default();
+  for (double v = 0.5; v <= 5.0; v += 0.5) {
+    EXPECT_NEAR(fitted.input.eta(v), analytic.input.eta(v), 0.05);
+    EXPECT_NEAR(fitted.output.eta(v), analytic.output.eta(v), 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace solsched::storage

@@ -1,0 +1,171 @@
+#include "storage/supercap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace solsched::storage {
+namespace {
+
+SuperCapacitor make_cap(double c = 10.0) {
+  return SuperCapacitor(CapParams{c, 0.5, 5.0},
+                        RegulatorModel::analytic_default(), LeakageModel{});
+}
+
+TEST(SuperCap, StartsAtCutoff) {
+  const SuperCapacitor cap = make_cap();
+  EXPECT_DOUBLE_EQ(cap.voltage_v(), 0.5);
+  EXPECT_NEAR(cap.usable_energy_j(), 0.0, 1e-12);
+  EXPECT_TRUE(cap.is_empty());
+  EXPECT_FALSE(cap.is_full());
+}
+
+TEST(SuperCap, EnergyVoltageRelation) {
+  SuperCapacitor cap = make_cap(2.0);
+  cap.set_voltage(3.0);
+  EXPECT_DOUBLE_EQ(cap.energy_j(), 0.5 * 2.0 * 9.0);
+  EXPECT_DOUBLE_EQ(cap.usable_energy_j(), 0.5 * 2.0 * (9.0 - 0.25));
+}
+
+TEST(SuperCap, MaxUsableEnergy) {
+  const SuperCapacitor cap = make_cap(1.0);
+  EXPECT_DOUBLE_EQ(cap.max_usable_energy_j(), 0.5 * (25.0 - 0.25));
+}
+
+TEST(SuperCap, RejectsBadParams) {
+  const RegulatorModel reg = RegulatorModel::analytic_default();
+  EXPECT_THROW(SuperCapacitor(CapParams{0.0, 0.5, 5.0}, reg, LeakageModel{}),
+               std::invalid_argument);
+  EXPECT_THROW(SuperCapacitor(CapParams{1.0, 5.0, 5.0}, reg, LeakageModel{}),
+               std::invalid_argument);
+  EXPECT_THROW(SuperCapacitor(CapParams{1.0, -0.1, 5.0}, reg, LeakageModel{}),
+               std::invalid_argument);
+}
+
+TEST(SuperCap, ChargeStoresWithLoss) {
+  SuperCapacitor cap = make_cap();
+  const double eta = cap.charge_eta();
+  const ChargeResult r = cap.charge(10.0);
+  EXPECT_DOUBLE_EQ(r.accepted_j, 10.0);
+  EXPECT_NEAR(r.stored_j, 10.0 * eta, 1e-9);
+  EXPECT_NEAR(r.conversion_loss_j, 10.0 * (1.0 - eta), 1e-9);
+  EXPECT_DOUBLE_EQ(r.spilled_j, 0.0);
+  EXPECT_NEAR(cap.usable_energy_j(), r.stored_j, 1e-9);
+}
+
+TEST(SuperCap, ChargeClampsAtFull) {
+  SuperCapacitor cap = make_cap(1.0);
+  cap.set_voltage(4.99);
+  const ChargeResult r = cap.charge(100.0);
+  EXPECT_LT(r.accepted_j, 100.0);
+  EXPECT_GT(r.spilled_j, 0.0);
+  EXPECT_NEAR(cap.voltage_v(), 5.0, 1e-9);
+  EXPECT_TRUE(cap.is_full());
+  // Energy books balance: accepted = stored + conversion loss.
+  EXPECT_NEAR(r.accepted_j, r.stored_j + r.conversion_loss_j, 1e-9);
+}
+
+TEST(SuperCap, ChargeWhenFullSpillsEverything) {
+  SuperCapacitor cap = make_cap(1.0);
+  cap.set_voltage(5.0);
+  const ChargeResult r = cap.charge(5.0);
+  EXPECT_DOUBLE_EQ(r.spilled_j, 5.0);
+  EXPECT_DOUBLE_EQ(r.accepted_j, 0.0);
+}
+
+TEST(SuperCap, ZeroOrNegativeChargeIsNoop) {
+  SuperCapacitor cap = make_cap();
+  const ChargeResult r = cap.charge(0.0);
+  EXPECT_DOUBLE_EQ(r.accepted_j, 0.0);
+  EXPECT_DOUBLE_EQ(cap.usable_energy_j(), 0.0);
+}
+
+TEST(SuperCap, DischargeDeliversRequested) {
+  SuperCapacitor cap = make_cap();
+  cap.set_usable_energy_j(50.0);
+  const double eta = cap.discharge_eta();
+  const DischargeResult r = cap.discharge(5.0);
+  EXPECT_DOUBLE_EQ(r.delivered_j, 5.0);
+  EXPECT_NEAR(r.drawn_j, 5.0 / eta, 1e-9);
+  EXPECT_NEAR(cap.usable_energy_j(), 50.0 - 5.0 / eta, 1e-9);
+}
+
+TEST(SuperCap, DischargeLimitedByCutoff) {
+  SuperCapacitor cap = make_cap();
+  cap.set_usable_energy_j(2.0);
+  const DischargeResult r = cap.discharge(100.0);
+  EXPECT_LT(r.delivered_j, 2.0);   // Losses eat part of the 2 J.
+  EXPECT_NEAR(r.drawn_j, 2.0, 1e-9);
+  EXPECT_NEAR(cap.voltage_v(), 0.5, 1e-9);
+  EXPECT_TRUE(cap.is_empty());
+}
+
+TEST(SuperCap, DischargeEmptyDeliversNothing) {
+  SuperCapacitor cap = make_cap();
+  const DischargeResult r = cap.discharge(1.0);
+  EXPECT_DOUBLE_EQ(r.delivered_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.drawn_j, 0.0);
+}
+
+TEST(SuperCap, DeliverableMatchesUnboundedDischarge) {
+  SuperCapacitor cap = make_cap();
+  cap.set_usable_energy_j(20.0);
+  const double deliverable = cap.deliverable_j();
+  const DischargeResult r = cap.discharge(1e9);
+  EXPECT_NEAR(r.delivered_j, deliverable, 1e-9);
+}
+
+TEST(SuperCap, LeakageDrainsEnergy) {
+  SuperCapacitor cap = make_cap();
+  cap.set_voltage(4.0);
+  const double before = cap.energy_j();
+  const double leaked = cap.apply_leakage(600.0);
+  EXPECT_GT(leaked, 0.0);
+  EXPECT_NEAR(cap.energy_j(), before - leaked, 1e-9);
+}
+
+TEST(SuperCap, LeakageGoesBelowCutoffButNotNegative) {
+  SuperCapacitor cap = make_cap(0.5);
+  cap.set_voltage(0.6);
+  // Very long leak: voltage may sink below V_L (parasitic), never below 0.
+  for (int i = 0; i < 10000; ++i) cap.apply_leakage(600.0);
+  EXPECT_GE(cap.voltage_v(), 0.0);
+  EXPECT_LE(cap.voltage_v(), 0.6);
+}
+
+TEST(SuperCap, EfficienciesEvaluatedAtStartVoltage) {
+  // Charging from a low voltage uses the low-voltage (poor) efficiency even
+  // though the final voltage is higher — the Eq. 3 convention.
+  SuperCapacitor cap = make_cap(1.0);
+  const double eta_low = cap.charge_eta();
+  cap.charge(8.0);
+  const double eta_high = cap.charge_eta();
+  EXPECT_GT(eta_high, eta_low);
+}
+
+TEST(SuperCap, CycleEfficiencyDecreasesWithSize) {
+  EXPECT_GT(cycle_efficiency(1.0), cycle_efficiency(10.0));
+  EXPECT_GT(cycle_efficiency(10.0), cycle_efficiency(100.0));
+  EXPECT_GE(cycle_efficiency(1e6), 0.90);  // Clamped.
+}
+
+TEST(SuperCapProperty, RandomOpsPreserveInvariants) {
+  SuperCapacitor cap = make_cap(5.0);
+  util::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const int op = rng.uniform_int(0, 2);
+    if (op == 0)
+      cap.charge(rng.uniform(0.0, 5.0));
+    else if (op == 1)
+      cap.discharge(rng.uniform(0.0, 5.0));
+    else
+      cap.apply_leakage(rng.uniform(0.0, 120.0));
+    EXPECT_GE(cap.voltage_v(), 0.0);
+    EXPECT_LE(cap.voltage_v(), 5.0 + 1e-12);
+    EXPECT_GE(cap.usable_energy_j(), 0.0);
+    EXPECT_LE(cap.usable_energy_j(), cap.max_usable_energy_j() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace solsched::storage

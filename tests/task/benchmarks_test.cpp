@@ -1,0 +1,137 @@
+#include "task/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace solsched::task {
+namespace {
+
+/// Unlimited-energy list-schedule feasibility: every task can finish by its
+/// deadline when energy is free (id order is a topological order for our
+/// benchmarks).
+bool schedulable_with_free_energy(const TaskGraph& g) {
+  std::vector<double> nvp_free(g.nvp_count(), 0.0);
+  std::vector<double> finish(g.size(), 0.0);
+  for (std::size_t id : g.topo_order()) {
+    double earliest = nvp_free[g.task(id).nvp];
+    for (std::size_t p : g.predecessors(id))
+      earliest = std::max(earliest, finish[p]);
+    finish[id] = earliest + g.task(id).exec_s;
+    nvp_free[g.task(id).nvp] = finish[id];
+    if (finish[id] > g.task(id).deadline_s + 1e-9) return false;
+  }
+  return true;
+}
+
+TEST(Benchmarks, WamShape) {
+  const TaskGraph g = wam_benchmark();
+  EXPECT_EQ(g.name(), "WAM");
+  EXPECT_EQ(g.size(), 8u);   // Footnote 1: eight tasks.
+  EXPECT_EQ(g.nvp_count(), 4u);
+  EXPECT_EQ(g.edges().size(), 5u);
+  EXPECT_TRUE(schedulable_with_free_energy(g));
+}
+
+TEST(Benchmarks, EcgShape) {
+  const TaskGraph g = ecg_benchmark();
+  EXPECT_EQ(g.size(), 6u);   // Footnote 2: six tasks.
+  EXPECT_TRUE(schedulable_with_free_energy(g));
+}
+
+TEST(Benchmarks, ShmShape) {
+  const TaskGraph g = shm_benchmark();
+  EXPECT_EQ(g.size(), 5u);   // Footnote 3: five tasks.
+  EXPECT_TRUE(schedulable_with_free_energy(g));
+}
+
+TEST(Benchmarks, RealBenchmarksEnergyInPeriodScale) {
+  // A 10-minute period at tens of mW: single-digit joules per period.
+  for (const TaskGraph& g :
+       {wam_benchmark(), ecg_benchmark(), shm_benchmark()}) {
+    EXPECT_GT(g.total_energy_j(), 2.0) << g.name();
+    EXPECT_LT(g.total_energy_j(), 20.0) << g.name();
+  }
+}
+
+TEST(Benchmarks, RandomWithinPaperEnvelope) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const TaskGraph g = random_benchmark(seed);
+    EXPECT_GE(g.size(), 4u);
+    EXPECT_LE(g.size(), 8u);
+    EXPECT_LE(g.edges().size(), 2u);
+    EXPECT_GE(g.nvp_count(), 1u);  // At least one NVP referenced.
+    EXPECT_LE(g.nvp_count(), 6u);
+    EXPECT_TRUE(schedulable_with_free_energy(g)) << "seed " << seed;
+  }
+}
+
+TEST(Benchmarks, RandomDeterministicPerSeed) {
+  const TaskGraph a = random_benchmark(77);
+  const TaskGraph b = random_benchmark(77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.task(i).deadline_s, b.task(i).deadline_s);
+    EXPECT_DOUBLE_EQ(a.task(i).power_w, b.task(i).power_w);
+  }
+}
+
+TEST(Benchmarks, RandomDeadlinesSlotAligned) {
+  const TaskGraph g = random_benchmark(5);
+  for (const auto& t : g.tasks()) {
+    const double slots = t.deadline_s / 30.0;
+    EXPECT_NEAR(slots, std::round(slots), 1e-9) << t.name;
+    EXPECT_LE(t.deadline_s, 600.0);
+  }
+}
+
+TEST(Benchmarks, RandomCaseValidIndices) {
+  EXPECT_EQ(random_case(1).name(), "rand1");
+  EXPECT_EQ(random_case(2).name(), "rand2");
+  EXPECT_EQ(random_case(3).name(), "rand3");
+  EXPECT_THROW(random_case(0), std::invalid_argument);
+  EXPECT_THROW(random_case(4), std::invalid_argument);
+}
+
+TEST(Benchmarks, PaperSuiteOrderAndSize) {
+  const auto suite = paper_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name(), "rand1");
+  EXPECT_EQ(suite[3].name(), "WAM");
+  EXPECT_EQ(suite[5].name(), "SHM");
+}
+
+TEST(Benchmarks, ScaledPowerMultipliesOnlyPower) {
+  const TaskGraph g = ecg_benchmark();
+  const TaskGraph s = scaled_power(g, 2.0);
+  ASSERT_EQ(s.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.task(i).power_w, 2.0 * g.task(i).power_w);
+    EXPECT_DOUBLE_EQ(s.task(i).exec_s, g.task(i).exec_s);
+    EXPECT_DOUBLE_EQ(s.task(i).deadline_s, g.task(i).deadline_s);
+  }
+  EXPECT_NEAR(s.total_energy_j(), 2.0 * g.total_energy_j(), 1e-12);
+  EXPECT_THROW(scaled_power(g, 0.0), std::invalid_argument);
+}
+
+TEST(Benchmarks, StretchedTimePreservesFeasibility) {
+  const TaskGraph g = shm_benchmark();
+  const TaskGraph s = stretched_time(g, 1.5);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.task(i).exec_s, 1.5 * g.task(i).exec_s);
+    EXPECT_DOUBLE_EQ(s.task(i).deadline_s, 1.5 * g.task(i).deadline_s);
+    EXPECT_DOUBLE_EQ(s.task(i).power_w, g.task(i).power_w);
+  }
+  EXPECT_TRUE(schedulable_with_free_energy(s));
+  EXPECT_THROW(stretched_time(g, -1.0), std::invalid_argument);
+}
+
+TEST(Benchmarks, WamAudioPipelineChain) {
+  const TaskGraph g = wam_benchmark();
+  // voice_rec -> audio_proc -> audio_comp -> storage -> transmit.
+  EXPECT_EQ(g.predecessors(3), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(g.predecessors(7), (std::vector<std::size_t>{6}));
+}
+
+}  // namespace
+}  // namespace solsched::task

@@ -1,0 +1,90 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.add_flag("days", "7", "number of days");
+  cli.add_flag("seed", "42", "random seed");
+  cli.add_flag("scale", "1.5", "panel scale");
+  cli.add_flag("verbose", "false", "chatty output");
+  return cli;
+}
+
+TEST(Cli, DefaultsWhenUnset) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("days"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 1.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.was_set("days"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--days", "30", "--scale", "0.5"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("days"), 30);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.5);
+  EXPECT_TRUE(cli.was_set("days"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--seed=99", "--verbose=true"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_seed("seed"), 99u);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, BareFlagIsBoolean) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, BareFlagBeforeAnotherFlag) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose", "--days", "3"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("days"), 3);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, PositionalArgumentFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--days"), std::string::npos);
+  EXPECT_NE(usage.find("number of days"), std::string::npos);
+}
+
+TEST(Cli, UndeclaredGetThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.get("nonexistent"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace solsched::util

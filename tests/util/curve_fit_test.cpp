@@ -1,0 +1,58 @@
+#include "util/curve_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace solsched::util {
+namespace {
+
+TEST(Polyfit, ExactQuadraticRecovery) {
+  const auto xs = linspace(-2.0, 2.0, 15);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(1.0 - 2.0 * x + 0.5 * x * x);
+  const FitResult fit = polyfit(xs, ys, 2);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], -2.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[2], 0.5, 1e-9);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(Polyfit, NoisyLinearCloseToTruth) {
+  Rng rng(77);
+  const auto xs = linspace(0.0, 10.0, 100);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 + 0.7 * x + rng.normal(0.0, 0.05));
+  const FitResult fit = polyfit(xs, ys, 1);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs[0], 3.0, 0.05);
+  EXPECT_NEAR(fit.coeffs[1], 0.7, 0.02);
+  EXPECT_LT(fit.rmse, 0.1);
+}
+
+TEST(Polyfit, TooFewPointsFails) {
+  const FitResult fit = polyfit({1.0, 2.0}, {1.0, 2.0}, 3);
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(Polyfit, MismatchedSizesFail) {
+  const FitResult fit = polyfit({1.0, 2.0, 3.0}, {1.0, 2.0}, 1);
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(Polyfit, DegreeZeroIsMean) {
+  const FitResult fit = polyfit({0.0, 1.0, 2.0}, {2.0, 4.0, 6.0}, 0);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs[0], 4.0, 1e-9);
+}
+
+TEST(PolyRmse, MatchesResiduals) {
+  // poly = x; points (0,1) and (2,1): residuals -1 and 1 -> rmse 1.
+  const double rmse = poly_rmse({0.0, 1.0}, {0.0, 2.0}, {1.0, 1.0});
+  EXPECT_NEAR(rmse, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace solsched::util

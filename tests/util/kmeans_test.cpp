@@ -1,0 +1,60 @@
+#include "util/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+namespace solsched::util {
+namespace {
+
+TEST(KMeans, TwoObviousClusters) {
+  const std::vector<double> pts{1.0, 1.1, 0.9, 10.0, 10.2, 9.8};
+  const KMeansResult r = kmeans_1d(pts, 2);
+  ASSERT_EQ(r.centroids.size(), 2u);
+  EXPECT_NEAR(r.centroids[0], 1.0, 0.1);
+  EXPECT_NEAR(r.centroids[1], 10.0, 0.1);
+  // Labels 0..2 cluster 0, labels 3..5 cluster 1 (centroids ascending).
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r.labels[i], 0u);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(r.labels[i], 1u);
+}
+
+TEST(KMeans, SingleCluster) {
+  const KMeansResult r = kmeans_1d({1.0, 2.0, 3.0}, 1);
+  ASSERT_EQ(r.centroids.size(), 1u);
+  EXPECT_NEAR(r.centroids[0], 2.0, 1e-12);
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  const KMeansResult r = kmeans_1d({5.0, 7.0}, 10);
+  EXPECT_EQ(r.centroids.size(), 2u);
+}
+
+TEST(KMeans, EmptyInput) {
+  const KMeansResult r = kmeans_1d({}, 3);
+  EXPECT_TRUE(r.centroids.empty());
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(KMeans, CentroidsAscending) {
+  const KMeansResult r =
+      kmeans_1d({50.0, 3.0, 20.0, 4.0, 55.0, 19.0, 2.0, 21.0}, 3);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  EXPECT_LT(r.centroids[0], r.centroids[1]);
+  EXPECT_LT(r.centroids[1], r.centroids[2]);
+}
+
+TEST(KMeans, InertiaZeroForExactClusters) {
+  const KMeansResult r = kmeans_1d({4.0, 4.0, 9.0, 9.0}, 2);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, LabelsMatchNearestCentroid) {
+  const std::vector<double> pts{0.0, 1.0, 2.0, 100.0, 101.0};
+  const KMeansResult r = kmeans_1d(pts, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double d0 = std::abs(pts[i] - r.centroids[0]);
+    const double d1 = std::abs(pts[i] - r.centroids[1]);
+    EXPECT_EQ(r.labels[i], d0 <= d1 ? 0u : 1u);
+  }
+}
+
+}  // namespace
+}  // namespace solsched::util
