@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_extension.dir/dvfs_extension.cpp.o"
+  "CMakeFiles/dvfs_extension.dir/dvfs_extension.cpp.o.d"
+  "dvfs_extension"
+  "dvfs_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_prediction.dir/fig10a_prediction.cpp.o"
+  "CMakeFiles/fig10a_prediction.dir/fig10a_prediction.cpp.o.d"
+  "fig10a_prediction"
+  "fig10a_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_capcount.dir/fig10b_capcount.cpp.o"
+  "CMakeFiles/fig10b_capcount.dir/fig10b_capcount.cpp.o.d"
+  "fig10b_capcount"
+  "fig10b_capcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_capcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_motivation.dir/fig12_motivation.cpp.o"
+  "CMakeFiles/fig12_motivation.dir/fig12_motivation.cpp.o.d"
+  "fig12_motivation"
+  "fig12_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_regulator.dir/fig5_regulator.cpp.o"
+  "CMakeFiles/fig5_regulator.dir/fig5_regulator.cpp.o.d"
+  "fig5_regulator"
+  "fig5_regulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_regulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

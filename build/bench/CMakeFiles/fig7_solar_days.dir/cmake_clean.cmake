@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_solar_days.dir/fig7_solar_days.cpp.o"
+  "CMakeFiles/fig7_solar_days.dir/fig7_solar_days.cpp.o.d"
+  "fig7_solar_days"
+  "fig7_solar_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_solar_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dmr_days.dir/fig8_dmr_days.cpp.o"
+  "CMakeFiles/fig8_dmr_days.dir/fig8_dmr_days.cpp.o.d"
+  "fig8_dmr_days"
+  "fig8_dmr_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dmr_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

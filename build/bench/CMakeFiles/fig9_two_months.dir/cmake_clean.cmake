@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_two_months.dir/fig9_two_months.cpp.o"
+  "CMakeFiles/fig9_two_months.dir/fig9_two_months.cpp.o.d"
+  "fig9_two_months"
+  "fig9_two_months.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_two_months.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_sensitivity.dir/load_sensitivity.cpp.o"
+  "CMakeFiles/load_sensitivity.dir/load_sensitivity.cpp.o.d"
+  "load_sensitivity"
+  "load_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

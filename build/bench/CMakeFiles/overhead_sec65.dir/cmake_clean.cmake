@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_sec65.dir/overhead.cpp.o"
+  "CMakeFiles/overhead_sec65.dir/overhead.cpp.o.d"
+  "overhead_sec65"
+  "overhead_sec65.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_sec65.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for overhead_sec65.
+# This may be replaced when dependencies are built.

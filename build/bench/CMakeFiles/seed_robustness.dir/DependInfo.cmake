@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/seed_robustness.cpp" "bench/CMakeFiles/seed_robustness.dir/seed_robustness.cpp.o" "gcc" "bench/CMakeFiles/seed_robustness.dir/seed_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/solsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/solsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/solsched_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/solsched_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvp/CMakeFiles/solsched_nvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/solsched_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/solsched_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/solsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/solsched_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

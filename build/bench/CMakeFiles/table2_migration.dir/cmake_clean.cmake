@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_migration.dir/table2_migration.cpp.o"
+  "CMakeFiles/table2_migration.dir/table2_migration.cpp.o.d"
+  "table2_migration"
+  "table2_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

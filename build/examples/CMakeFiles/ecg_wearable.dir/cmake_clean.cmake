@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_wearable.dir/ecg_wearable.cpp.o"
+  "CMakeFiles/ecg_wearable.dir/ecg_wearable.cpp.o.d"
+  "ecg_wearable"
+  "ecg_wearable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_wearable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

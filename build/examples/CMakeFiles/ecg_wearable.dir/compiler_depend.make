@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecg_wearable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_bridge.dir/shm_bridge.cpp.o"
+  "CMakeFiles/shm_bridge.dir/shm_bridge.cpp.o.d"
+  "shm_bridge"
+  "shm_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

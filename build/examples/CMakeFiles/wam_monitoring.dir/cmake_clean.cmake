@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wam_monitoring.dir/wam_monitoring.cpp.o"
+  "CMakeFiles/wam_monitoring.dir/wam_monitoring.cpp.o.d"
+  "wam_monitoring"
+  "wam_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wam_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

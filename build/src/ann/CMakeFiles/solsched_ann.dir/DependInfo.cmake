@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/dbn.cpp" "src/ann/CMakeFiles/solsched_ann.dir/dbn.cpp.o" "gcc" "src/ann/CMakeFiles/solsched_ann.dir/dbn.cpp.o.d"
+  "/root/repo/src/ann/matrix.cpp" "src/ann/CMakeFiles/solsched_ann.dir/matrix.cpp.o" "gcc" "src/ann/CMakeFiles/solsched_ann.dir/matrix.cpp.o.d"
+  "/root/repo/src/ann/mlp.cpp" "src/ann/CMakeFiles/solsched_ann.dir/mlp.cpp.o" "gcc" "src/ann/CMakeFiles/solsched_ann.dir/mlp.cpp.o.d"
+  "/root/repo/src/ann/normalizer.cpp" "src/ann/CMakeFiles/solsched_ann.dir/normalizer.cpp.o" "gcc" "src/ann/CMakeFiles/solsched_ann.dir/normalizer.cpp.o.d"
+  "/root/repo/src/ann/rbm.cpp" "src/ann/CMakeFiles/solsched_ann.dir/rbm.cpp.o" "gcc" "src/ann/CMakeFiles/solsched_ann.dir/rbm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_ann.dir/dbn.cpp.o"
+  "CMakeFiles/solsched_ann.dir/dbn.cpp.o.d"
+  "CMakeFiles/solsched_ann.dir/matrix.cpp.o"
+  "CMakeFiles/solsched_ann.dir/matrix.cpp.o.d"
+  "CMakeFiles/solsched_ann.dir/mlp.cpp.o"
+  "CMakeFiles/solsched_ann.dir/mlp.cpp.o.d"
+  "CMakeFiles/solsched_ann.dir/normalizer.cpp.o"
+  "CMakeFiles/solsched_ann.dir/normalizer.cpp.o.d"
+  "CMakeFiles/solsched_ann.dir/rbm.cpp.o"
+  "CMakeFiles/solsched_ann.dir/rbm.cpp.o.d"
+  "libsolsched_ann.a"
+  "libsolsched_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller_io.cpp" "src/core/CMakeFiles/solsched_core.dir/controller_io.cpp.o" "gcc" "src/core/CMakeFiles/solsched_core.dir/controller_io.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/solsched_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/solsched_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/solsched_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/solsched_core.dir/overhead.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/solsched_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/solsched_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/solsched_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/solsched_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/solsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/solsched_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvp/CMakeFiles/solsched_nvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/solsched_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/solsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/solsched_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/solsched_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_core.dir/controller_io.cpp.o"
+  "CMakeFiles/solsched_core.dir/controller_io.cpp.o.d"
+  "CMakeFiles/solsched_core.dir/experiment.cpp.o"
+  "CMakeFiles/solsched_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/solsched_core.dir/overhead.cpp.o"
+  "CMakeFiles/solsched_core.dir/overhead.cpp.o.d"
+  "CMakeFiles/solsched_core.dir/pipeline.cpp.o"
+  "CMakeFiles/solsched_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/solsched_core.dir/report.cpp.o"
+  "CMakeFiles/solsched_core.dir/report.cpp.o.d"
+  "libsolsched_core.a"
+  "libsolsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

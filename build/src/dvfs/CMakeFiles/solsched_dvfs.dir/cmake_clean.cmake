@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_dvfs.dir/dvfs_sim.cpp.o"
+  "CMakeFiles/solsched_dvfs.dir/dvfs_sim.cpp.o.d"
+  "libsolsched_dvfs.a"
+  "libsolsched_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvp/exec_trace.cpp" "src/nvp/CMakeFiles/solsched_nvp.dir/exec_trace.cpp.o" "gcc" "src/nvp/CMakeFiles/solsched_nvp.dir/exec_trace.cpp.o.d"
+  "/root/repo/src/nvp/node_config.cpp" "src/nvp/CMakeFiles/solsched_nvp.dir/node_config.cpp.o" "gcc" "src/nvp/CMakeFiles/solsched_nvp.dir/node_config.cpp.o.d"
+  "/root/repo/src/nvp/node_sim.cpp" "src/nvp/CMakeFiles/solsched_nvp.dir/node_sim.cpp.o" "gcc" "src/nvp/CMakeFiles/solsched_nvp.dir/node_sim.cpp.o.d"
+  "/root/repo/src/nvp/sim_result.cpp" "src/nvp/CMakeFiles/solsched_nvp.dir/sim_result.cpp.o" "gcc" "src/nvp/CMakeFiles/solsched_nvp.dir/sim_result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/solsched_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/solsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/solsched_task.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

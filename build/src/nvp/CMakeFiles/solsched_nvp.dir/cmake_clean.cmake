@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_nvp.dir/exec_trace.cpp.o"
+  "CMakeFiles/solsched_nvp.dir/exec_trace.cpp.o.d"
+  "CMakeFiles/solsched_nvp.dir/node_config.cpp.o"
+  "CMakeFiles/solsched_nvp.dir/node_config.cpp.o.d"
+  "CMakeFiles/solsched_nvp.dir/node_sim.cpp.o"
+  "CMakeFiles/solsched_nvp.dir/node_sim.cpp.o.d"
+  "CMakeFiles/solsched_nvp.dir/sim_result.cpp.o"
+  "CMakeFiles/solsched_nvp.dir/sim_result.cpp.o.d"
+  "libsolsched_nvp.a"
+  "libsolsched_nvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsolsched_nvp.a"
+)

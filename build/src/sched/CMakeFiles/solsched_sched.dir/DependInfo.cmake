@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/asap.cpp" "src/sched/CMakeFiles/solsched_sched.dir/asap.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/asap.cpp.o.d"
+  "/root/repo/src/sched/duty_cycle.cpp" "src/sched/CMakeFiles/solsched_sched.dir/duty_cycle.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/duty_cycle.cpp.o.d"
+  "/root/repo/src/sched/edf.cpp" "src/sched/CMakeFiles/solsched_sched.dir/edf.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/edf.cpp.o.d"
+  "/root/repo/src/sched/intra_task.cpp" "src/sched/CMakeFiles/solsched_sched.dir/intra_task.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/intra_task.cpp.o.d"
+  "/root/repo/src/sched/lsa_inter.cpp" "src/sched/CMakeFiles/solsched_sched.dir/lsa_inter.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/lsa_inter.cpp.o.d"
+  "/root/repo/src/sched/lut.cpp" "src/sched/CMakeFiles/solsched_sched.dir/lut.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/lut.cpp.o.d"
+  "/root/repo/src/sched/lut_scheduler.cpp" "src/sched/CMakeFiles/solsched_sched.dir/lut_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/lut_scheduler.cpp.o.d"
+  "/root/repo/src/sched/optimal.cpp" "src/sched/CMakeFiles/solsched_sched.dir/optimal.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/optimal.cpp.o.d"
+  "/root/repo/src/sched/period_optimizer.cpp" "src/sched/CMakeFiles/solsched_sched.dir/period_optimizer.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/period_optimizer.cpp.o.d"
+  "/root/repo/src/sched/proposed.cpp" "src/sched/CMakeFiles/solsched_sched.dir/proposed.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/proposed.cpp.o.d"
+  "/root/repo/src/sched/sched_util.cpp" "src/sched/CMakeFiles/solsched_sched.dir/sched_util.cpp.o" "gcc" "src/sched/CMakeFiles/solsched_sched.dir/sched_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvp/CMakeFiles/solsched_nvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/solsched_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/solsched_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/solsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/solsched_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

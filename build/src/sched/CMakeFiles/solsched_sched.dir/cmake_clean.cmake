@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_sched.dir/asap.cpp.o"
+  "CMakeFiles/solsched_sched.dir/asap.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/duty_cycle.cpp.o"
+  "CMakeFiles/solsched_sched.dir/duty_cycle.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/edf.cpp.o"
+  "CMakeFiles/solsched_sched.dir/edf.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/intra_task.cpp.o"
+  "CMakeFiles/solsched_sched.dir/intra_task.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/lsa_inter.cpp.o"
+  "CMakeFiles/solsched_sched.dir/lsa_inter.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/lut.cpp.o"
+  "CMakeFiles/solsched_sched.dir/lut.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/lut_scheduler.cpp.o"
+  "CMakeFiles/solsched_sched.dir/lut_scheduler.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/optimal.cpp.o"
+  "CMakeFiles/solsched_sched.dir/optimal.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/period_optimizer.cpp.o"
+  "CMakeFiles/solsched_sched.dir/period_optimizer.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/proposed.cpp.o"
+  "CMakeFiles/solsched_sched.dir/proposed.cpp.o.d"
+  "CMakeFiles/solsched_sched.dir/sched_util.cpp.o"
+  "CMakeFiles/solsched_sched.dir/sched_util.cpp.o.d"
+  "libsolsched_sched.a"
+  "libsolsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sizing/cap_sizing.cpp" "src/sizing/CMakeFiles/solsched_sizing.dir/cap_sizing.cpp.o" "gcc" "src/sizing/CMakeFiles/solsched_sizing.dir/cap_sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/solsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/solsched_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/solsched_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_sizing.dir/cap_sizing.cpp.o"
+  "CMakeFiles/solsched_sizing.dir/cap_sizing.cpp.o.d"
+  "libsolsched_sizing.a"
+  "libsolsched_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

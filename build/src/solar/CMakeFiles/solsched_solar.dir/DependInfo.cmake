@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solar/csv_trace.cpp" "src/solar/CMakeFiles/solsched_solar.dir/csv_trace.cpp.o" "gcc" "src/solar/CMakeFiles/solsched_solar.dir/csv_trace.cpp.o.d"
+  "/root/repo/src/solar/irradiance.cpp" "src/solar/CMakeFiles/solsched_solar.dir/irradiance.cpp.o" "gcc" "src/solar/CMakeFiles/solsched_solar.dir/irradiance.cpp.o.d"
+  "/root/repo/src/solar/panel.cpp" "src/solar/CMakeFiles/solsched_solar.dir/panel.cpp.o" "gcc" "src/solar/CMakeFiles/solsched_solar.dir/panel.cpp.o.d"
+  "/root/repo/src/solar/predictor.cpp" "src/solar/CMakeFiles/solsched_solar.dir/predictor.cpp.o" "gcc" "src/solar/CMakeFiles/solsched_solar.dir/predictor.cpp.o.d"
+  "/root/repo/src/solar/solar_trace.cpp" "src/solar/CMakeFiles/solsched_solar.dir/solar_trace.cpp.o" "gcc" "src/solar/CMakeFiles/solsched_solar.dir/solar_trace.cpp.o.d"
+  "/root/repo/src/solar/statistics.cpp" "src/solar/CMakeFiles/solsched_solar.dir/statistics.cpp.o" "gcc" "src/solar/CMakeFiles/solsched_solar.dir/statistics.cpp.o.d"
+  "/root/repo/src/solar/trace_generator.cpp" "src/solar/CMakeFiles/solsched_solar.dir/trace_generator.cpp.o" "gcc" "src/solar/CMakeFiles/solsched_solar.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

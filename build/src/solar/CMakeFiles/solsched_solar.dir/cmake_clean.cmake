@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_solar.dir/csv_trace.cpp.o"
+  "CMakeFiles/solsched_solar.dir/csv_trace.cpp.o.d"
+  "CMakeFiles/solsched_solar.dir/irradiance.cpp.o"
+  "CMakeFiles/solsched_solar.dir/irradiance.cpp.o.d"
+  "CMakeFiles/solsched_solar.dir/panel.cpp.o"
+  "CMakeFiles/solsched_solar.dir/panel.cpp.o.d"
+  "CMakeFiles/solsched_solar.dir/predictor.cpp.o"
+  "CMakeFiles/solsched_solar.dir/predictor.cpp.o.d"
+  "CMakeFiles/solsched_solar.dir/solar_trace.cpp.o"
+  "CMakeFiles/solsched_solar.dir/solar_trace.cpp.o.d"
+  "CMakeFiles/solsched_solar.dir/statistics.cpp.o"
+  "CMakeFiles/solsched_solar.dir/statistics.cpp.o.d"
+  "CMakeFiles/solsched_solar.dir/trace_generator.cpp.o"
+  "CMakeFiles/solsched_solar.dir/trace_generator.cpp.o.d"
+  "libsolsched_solar.a"
+  "libsolsched_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

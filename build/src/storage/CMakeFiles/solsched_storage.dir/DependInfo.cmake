@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cap_bank.cpp" "src/storage/CMakeFiles/solsched_storage.dir/cap_bank.cpp.o" "gcc" "src/storage/CMakeFiles/solsched_storage.dir/cap_bank.cpp.o.d"
+  "/root/repo/src/storage/fine_sim.cpp" "src/storage/CMakeFiles/solsched_storage.dir/fine_sim.cpp.o" "gcc" "src/storage/CMakeFiles/solsched_storage.dir/fine_sim.cpp.o.d"
+  "/root/repo/src/storage/leakage.cpp" "src/storage/CMakeFiles/solsched_storage.dir/leakage.cpp.o" "gcc" "src/storage/CMakeFiles/solsched_storage.dir/leakage.cpp.o.d"
+  "/root/repo/src/storage/migration.cpp" "src/storage/CMakeFiles/solsched_storage.dir/migration.cpp.o" "gcc" "src/storage/CMakeFiles/solsched_storage.dir/migration.cpp.o.d"
+  "/root/repo/src/storage/pmu.cpp" "src/storage/CMakeFiles/solsched_storage.dir/pmu.cpp.o" "gcc" "src/storage/CMakeFiles/solsched_storage.dir/pmu.cpp.o.d"
+  "/root/repo/src/storage/regulator.cpp" "src/storage/CMakeFiles/solsched_storage.dir/regulator.cpp.o" "gcc" "src/storage/CMakeFiles/solsched_storage.dir/regulator.cpp.o.d"
+  "/root/repo/src/storage/supercap.cpp" "src/storage/CMakeFiles/solsched_storage.dir/supercap.cpp.o" "gcc" "src/storage/CMakeFiles/solsched_storage.dir/supercap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_storage.dir/cap_bank.cpp.o"
+  "CMakeFiles/solsched_storage.dir/cap_bank.cpp.o.d"
+  "CMakeFiles/solsched_storage.dir/fine_sim.cpp.o"
+  "CMakeFiles/solsched_storage.dir/fine_sim.cpp.o.d"
+  "CMakeFiles/solsched_storage.dir/leakage.cpp.o"
+  "CMakeFiles/solsched_storage.dir/leakage.cpp.o.d"
+  "CMakeFiles/solsched_storage.dir/migration.cpp.o"
+  "CMakeFiles/solsched_storage.dir/migration.cpp.o.d"
+  "CMakeFiles/solsched_storage.dir/pmu.cpp.o"
+  "CMakeFiles/solsched_storage.dir/pmu.cpp.o.d"
+  "CMakeFiles/solsched_storage.dir/regulator.cpp.o"
+  "CMakeFiles/solsched_storage.dir/regulator.cpp.o.d"
+  "CMakeFiles/solsched_storage.dir/supercap.cpp.o"
+  "CMakeFiles/solsched_storage.dir/supercap.cpp.o.d"
+  "libsolsched_storage.a"
+  "libsolsched_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/benchmarks.cpp" "src/task/CMakeFiles/solsched_task.dir/benchmarks.cpp.o" "gcc" "src/task/CMakeFiles/solsched_task.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/task/period_state.cpp" "src/task/CMakeFiles/solsched_task.dir/period_state.cpp.o" "gcc" "src/task/CMakeFiles/solsched_task.dir/period_state.cpp.o.d"
+  "/root/repo/src/task/task_graph.cpp" "src/task/CMakeFiles/solsched_task.dir/task_graph.cpp.o" "gcc" "src/task/CMakeFiles/solsched_task.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_task.dir/benchmarks.cpp.o"
+  "CMakeFiles/solsched_task.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/solsched_task.dir/period_state.cpp.o"
+  "CMakeFiles/solsched_task.dir/period_state.cpp.o.d"
+  "CMakeFiles/solsched_task.dir/task_graph.cpp.o"
+  "CMakeFiles/solsched_task.dir/task_graph.cpp.o.d"
+  "libsolsched_task.a"
+  "libsolsched_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solsched_util.dir/cli.cpp.o"
+  "CMakeFiles/solsched_util.dir/cli.cpp.o.d"
+  "CMakeFiles/solsched_util.dir/csv.cpp.o"
+  "CMakeFiles/solsched_util.dir/csv.cpp.o.d"
+  "CMakeFiles/solsched_util.dir/curve_fit.cpp.o"
+  "CMakeFiles/solsched_util.dir/curve_fit.cpp.o.d"
+  "CMakeFiles/solsched_util.dir/kmeans.cpp.o"
+  "CMakeFiles/solsched_util.dir/kmeans.cpp.o.d"
+  "CMakeFiles/solsched_util.dir/mathx.cpp.o"
+  "CMakeFiles/solsched_util.dir/mathx.cpp.o.d"
+  "CMakeFiles/solsched_util.dir/rng.cpp.o"
+  "CMakeFiles/solsched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/solsched_util.dir/stats.cpp.o"
+  "CMakeFiles/solsched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/solsched_util.dir/table.cpp.o"
+  "CMakeFiles/solsched_util.dir/table.cpp.o.d"
+  "libsolsched_util.a"
+  "libsolsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_tests.dir/ann/dbn_test.cpp.o"
+  "CMakeFiles/ann_tests.dir/ann/dbn_test.cpp.o.d"
+  "CMakeFiles/ann_tests.dir/ann/matrix_test.cpp.o"
+  "CMakeFiles/ann_tests.dir/ann/matrix_test.cpp.o.d"
+  "CMakeFiles/ann_tests.dir/ann/mlp_test.cpp.o"
+  "CMakeFiles/ann_tests.dir/ann/mlp_test.cpp.o.d"
+  "CMakeFiles/ann_tests.dir/ann/normalizer_test.cpp.o"
+  "CMakeFiles/ann_tests.dir/ann/normalizer_test.cpp.o.d"
+  "CMakeFiles/ann_tests.dir/ann/rbm_test.cpp.o"
+  "CMakeFiles/ann_tests.dir/ann/rbm_test.cpp.o.d"
+  "ann_tests"
+  "ann_tests.pdb"
+  "ann_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

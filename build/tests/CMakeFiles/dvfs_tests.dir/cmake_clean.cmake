@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_tests.dir/dvfs/dvfs_test.cpp.o"
+  "CMakeFiles/dvfs_tests.dir/dvfs/dvfs_test.cpp.o.d"
+  "dvfs_tests"
+  "dvfs_tests.pdb"
+  "dvfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

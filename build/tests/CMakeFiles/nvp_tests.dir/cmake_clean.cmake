@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_tests.dir/nvp/exec_trace_test.cpp.o"
+  "CMakeFiles/nvp_tests.dir/nvp/exec_trace_test.cpp.o.d"
+  "CMakeFiles/nvp_tests.dir/nvp/node_sim_test.cpp.o"
+  "CMakeFiles/nvp_tests.dir/nvp/node_sim_test.cpp.o.d"
+  "nvp_tests"
+  "nvp_tests.pdb"
+  "nvp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

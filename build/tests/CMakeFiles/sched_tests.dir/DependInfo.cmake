@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/baselines_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o.d"
+  "/root/repo/tests/sched/brute_force_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/brute_force_test.cpp.o.d"
+  "/root/repo/tests/sched/duty_cycle_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/duty_cycle_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/duty_cycle_test.cpp.o.d"
+  "/root/repo/tests/sched/greedy_bank_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/greedy_bank_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/greedy_bank_test.cpp.o.d"
+  "/root/repo/tests/sched/lut_scheduler_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/lut_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/lut_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sched/lut_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/lut_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/lut_test.cpp.o.d"
+  "/root/repo/tests/sched/optimal_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/optimal_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/optimal_test.cpp.o.d"
+  "/root/repo/tests/sched/period_optimizer_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/period_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/period_optimizer_test.cpp.o.d"
+  "/root/repo/tests/sched/proposed_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/proposed_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/proposed_test.cpp.o.d"
+  "/root/repo/tests/sched/sched_util_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/sched_util_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/sched_util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/solsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/solsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/solsched_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/solsched_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvp/CMakeFiles/solsched_nvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/solsched_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/solsched_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/solsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/solsched_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

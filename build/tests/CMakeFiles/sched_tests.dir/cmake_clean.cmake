@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/brute_force_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/brute_force_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/duty_cycle_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/duty_cycle_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/greedy_bank_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/greedy_bank_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/lut_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/lut_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/lut_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/lut_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/optimal_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/optimal_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/period_optimizer_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/period_optimizer_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/proposed_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/proposed_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/sched_util_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/sched_util_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

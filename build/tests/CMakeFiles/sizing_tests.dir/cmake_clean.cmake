@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_tests.dir/sizing/cap_sizing_test.cpp.o"
+  "CMakeFiles/sizing_tests.dir/sizing/cap_sizing_test.cpp.o.d"
+  "sizing_tests"
+  "sizing_tests.pdb"
+  "sizing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solar/csv_trace_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/csv_trace_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/csv_trace_test.cpp.o.d"
+  "/root/repo/tests/solar/irradiance_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/irradiance_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/irradiance_test.cpp.o.d"
+  "/root/repo/tests/solar/panel_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/panel_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/panel_test.cpp.o.d"
+  "/root/repo/tests/solar/predictor_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/predictor_test.cpp.o.d"
+  "/root/repo/tests/solar/proenergy_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/proenergy_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/proenergy_test.cpp.o.d"
+  "/root/repo/tests/solar/solar_trace_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/solar_trace_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/solar_trace_test.cpp.o.d"
+  "/root/repo/tests/solar/statistics_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/statistics_test.cpp.o.d"
+  "/root/repo/tests/solar/time_grid_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/time_grid_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/time_grid_test.cpp.o.d"
+  "/root/repo/tests/solar/trace_generator_test.cpp" "tests/CMakeFiles/solar_tests.dir/solar/trace_generator_test.cpp.o" "gcc" "tests/CMakeFiles/solar_tests.dir/solar/trace_generator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/solsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/solsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/solsched_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/solsched_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvp/CMakeFiles/solsched_nvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/solsched_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/solsched_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/solsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/solsched_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/solsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_tests.dir/solar/csv_trace_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/csv_trace_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/irradiance_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/irradiance_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/panel_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/panel_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/predictor_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/predictor_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/proenergy_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/proenergy_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/solar_trace_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/solar_trace_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/statistics_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/statistics_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/time_grid_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/time_grid_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/solar/trace_generator_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/solar/trace_generator_test.cpp.o.d"
+  "solar_tests"
+  "solar_tests.pdb"
+  "solar_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

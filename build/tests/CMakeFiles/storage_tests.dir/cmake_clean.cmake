@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage/cap_bank_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/cap_bank_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/fine_sim_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/fine_sim_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/leakage_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/leakage_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/migration_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/migration_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/pmu_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/pmu_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/regulator_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/regulator_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/supercap_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/supercap_test.cpp.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_tests.dir/task/benchmarks_test.cpp.o"
+  "CMakeFiles/task_tests.dir/task/benchmarks_test.cpp.o.d"
+  "CMakeFiles/task_tests.dir/task/period_state_test.cpp.o"
+  "CMakeFiles/task_tests.dir/task/period_state_test.cpp.o.d"
+  "CMakeFiles/task_tests.dir/task/task_graph_test.cpp.o"
+  "CMakeFiles/task_tests.dir/task/task_graph_test.cpp.o.d"
+  "task_tests"
+  "task_tests.pdb"
+  "task_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/solar_tests[1]_include.cmake")
+include("/root/repo/build/tests/storage_tests[1]_include.cmake")
+include("/root/repo/build/tests/task_tests[1]_include.cmake")
+include("/root/repo/build/tests/nvp_tests[1]_include.cmake")
+include("/root/repo/build/tests/ann_tests[1]_include.cmake")
+include("/root/repo/build/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/dvfs_tests[1]_include.cmake")
+include("/root/repo/build/tests/sizing_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
