@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "sched/period_option_cache.hpp"
 #include "sched/period_optimizer.hpp"
 #include "solar/predictor.hpp"
 
@@ -72,6 +73,48 @@ void BM_PeriodOptimizerPareto(benchmark::State& state) {
     benchmark::DoNotOptimize(optimizer.pareto_options(solar, 10.0, 2.0));
 }
 BENCHMARK(BM_PeriodOptimizerPareto);
+
+void BM_ParetoCold(benchmark::State& state) {
+  const auto graph = task::wam_benchmark();
+  const sched::PeriodOptimizer optimizer(
+      graph, storage::PmuConfig{}, storage::RegulatorModel::fitted_default(),
+      storage::LeakageModel::fitted_default(), 0.5, 5.0, 30.0);
+  // Rotating solar vectors so every iteration is a genuinely new period
+  // (no warm allocator or branch-predictor aliasing on one input).
+  std::vector<std::vector<double>> solars;
+  for (std::size_t k = 0; k < 16; ++k)
+    solars.push_back(std::vector<double>(20, 0.01 + 0.005 * double(k)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimizer.pareto_options(solars[i % solars.size()], 10.0, 2.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_ParetoCold);
+
+void BM_ParetoCached(benchmark::State& state) {
+  const auto graph = task::wam_benchmark();
+  const sched::PeriodOptimizer optimizer(
+      graph, storage::PmuConfig{}, storage::RegulatorModel::fitted_default(),
+      storage::LeakageModel::fitted_default(), 0.5, 5.0, 30.0);
+  std::vector<std::vector<double>> solars;
+  for (std::size_t k = 0; k < 16; ++k)
+    solars.push_back(std::vector<double>(20, 0.01 + 0.005 * double(k)));
+  sched::PeriodOptionCache cache;
+  const auto lookup = [&](const std::vector<double>& solar) {
+    return cache.lookup_or_compute(solar, 10.0, 2.0, [&] {
+      return optimizer.pareto_options(solar, 10.0, 2.0);
+    });
+  };
+  for (const auto& solar : solars) lookup(solar);  // Warm every key.
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lookup(solars[i % solars.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ParetoCached);
 
 void BM_WcmaPredict(benchmark::State& state) {
   const auto grid = bench::paper_grid();

@@ -1,0 +1,178 @@
+// Wall-clock benchmark of the offline pipeline: train_pipeline plus the
+// policy comparison on the same trace, run end to end in two configurations:
+//
+//  - baseline: the seed-faithful path (no period-option cache, exact start
+//    voltages, serial slot-recording subset sweep, unfused ANN kernels) at
+//    one thread;
+//  - fast: the memoized + fused path at 1, 2 and N threads (N from
+//    SOLSCHED_THREADS or hardware concurrency).
+//
+// Emits BENCH_pipeline.json next to the binary with per-configuration
+// wall-clock and the DP option-cache hit rate, and asserts nothing: the
+// determinism guarantees are covered by the test suite.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace solsched;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::size_t kTrainDays = 2;
+constexpr std::size_t kNCaps = 4;
+constexpr std::uint64_t kSeed = 2015;
+constexpr int kReps = 3;  ///< Best-of-reps to shed scheduler noise.
+
+struct RunResult {
+  double total_ms = 0.0;
+  double train_ms = 0.0;
+  double compare_ms = 0.0;
+  sched::OptionCacheStats cache;
+  double train_mse = 0.0;
+  double oracle_dmr = 0.0;
+  double optimal_row_dmr = 0.0;
+};
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+core::PipelineConfig make_config(bool fast) {
+  core::PipelineConfig config = bench::paper_pipeline(kNCaps);
+  if (!fast) {
+    config.dp.use_option_cache = false;
+    config.dp.v0_quant_steps = 0;
+    config.dp.legacy_eval = true;
+    config.dbn.pretrain.fused_kernels = false;
+    config.dbn.finetune.fused_kernels = false;
+  }
+  return config;
+}
+
+RunResult run_once(bool fast, std::size_t threads) {
+  util::ThreadPool::set_global_threads(threads);
+
+  const auto grid = bench::paper_grid();
+  const auto gen = bench::paper_generator(kSeed);
+  const auto trace =
+      gen.generate_days(kTrainDays, grid, solar::DayKind::kPartlyCloudy);
+  const auto graph = task::wam_benchmark();
+  const nvp::NodeConfig node = bench::paper_node();
+  const core::PipelineConfig config = make_config(fast);
+
+  RunResult result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = Clock::now();
+    const core::TrainedController trained =
+        core::train_pipeline(graph, trace, node, config);
+    const auto t1 = Clock::now();
+    core::ComparisonConfig cmp;
+    cmp.dp = config.dp;
+    const auto rows = core::run_comparison(graph, trace, node, &trained, cmp);
+    const auto t2 = Clock::now();
+
+    const double total = ms_between(t0, t2);
+    if (rep == 0 || total < result.total_ms) {
+      result.total_ms = total;
+      result.train_ms = ms_between(t0, t1);
+      result.compare_ms = ms_between(t1, t2);
+      // Counters over the whole end-to-end run, including the comparison's
+      // Optimal row on the shared cache.
+      result.cache = trained.option_cache ? trained.option_cache->stats()
+                                          : sched::OptionCacheStats{};
+      result.train_mse = trained.train_mse;
+      result.oracle_dmr = trained.oracle_dmr;
+      result.optimal_row_dmr = core::row_of(rows, "Optimal").dmr;
+    }
+  }
+  return result;
+}
+
+void print_json_entry(std::FILE* f, const std::string& name,
+                      const RunResult& r, std::size_t threads, bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\n"
+               "      \"threads\": %zu,\n"
+               "      \"total_ms\": %.2f,\n"
+               "      \"train_ms\": %.2f,\n"
+               "      \"compare_ms\": %.2f,\n"
+               "      \"cache_hits\": %zu,\n"
+               "      \"cache_misses\": %zu,\n"
+               "      \"cache_hit_rate\": %.4f,\n"
+               "      \"train_mse\": %.6f,\n"
+               "      \"oracle_dmr\": %.6f,\n"
+               "      \"optimal_row_dmr\": %.6f\n"
+               "    }%s\n",
+               name.c_str(), threads, r.total_ms, r.train_ms, r.compare_ms,
+               r.cache.hits, r.cache.misses, r.cache.hit_rate(), r.train_mse,
+               r.oracle_dmr, r.optimal_row_dmr, last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_env = util::ThreadPool::thread_count_from_env();
+  std::vector<std::size_t> fast_threads{1, 2};
+  if (n_env > 2) fast_threads.push_back(n_env);
+
+  bench::print_header("pipeline_bench",
+                      "offline pipeline wall-clock (train + comparison)");
+  std::printf("workload: WAM, %zu days, %zu capacitors, seed %llu\n",
+              kTrainDays, kNCaps,
+              static_cast<unsigned long long>(kSeed));
+
+  const RunResult baseline = run_once(/*fast=*/false, /*threads=*/1);
+  std::printf("baseline (seed path, 1 thread): %.1f ms "
+              "(train %.1f + compare %.1f)\n",
+              baseline.total_ms, baseline.train_ms, baseline.compare_ms);
+
+  std::vector<RunResult> fast;
+  for (std::size_t t : fast_threads) {
+    fast.push_back(run_once(/*fast=*/true, t));
+    const RunResult& r = fast.back();
+    std::printf("fast (cache+fused, %zu thread%s): %.1f ms "
+                "(train %.1f + compare %.1f), hit rate %.0f%%, "
+                "speedup %.2fx\n",
+                t, t == 1 ? "" : "s", r.total_ms, r.train_ms, r.compare_ms,
+                100.0 * r.cache.hit_rate(), baseline.total_ms / r.total_ms);
+  }
+
+  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"workload\": \"wam\",\n"
+               "  \"train_days\": %zu,\n"
+               "  \"n_caps\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"reps\": %d,\n",
+               kTrainDays, kNCaps, static_cast<unsigned long long>(kSeed),
+               kReps);
+  std::fprintf(f, "  \"runs\": {\n");
+  print_json_entry(f, "baseline_1t", baseline, 1, /*last=*/false);
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    print_json_entry(f, "fast_" + std::to_string(fast_threads[i]) + "t",
+                     fast[i], fast_threads[i], /*last=*/i + 1 == fast.size());
+  std::fprintf(f, "  },\n");
+  const double best_fast =
+      std::min_element(fast.begin(), fast.end(),
+                       [](const RunResult& a, const RunResult& b) {
+                         return a.total_ms < b.total_ms;
+                       })
+          ->total_ms;
+  std::fprintf(f, "  \"speedup_best\": %.3f\n", baseline.total_ms / best_fast);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_pipeline.json (best speedup %.2fx)\n",
+              baseline.total_ms / best_fast);
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace solsched::ann {
 namespace {
 
@@ -53,10 +55,12 @@ DbnTrainReport Dbn::train(const std::vector<Sample>& samples) {
     // Inject the pretrained weights into the MLP layer.
     net_.set_layer(l, rbm.weights(), rbm.hidden_bias());
 
-    // Propagate the data one layer up for the next RBM.
-    std::vector<Vector> next;
-    next.reserve(layer_data.size());
-    for (const auto& v : layer_data) next.push_back(rbm.hidden_probs(v));
+    // Propagate the data one layer up for the next RBM. Samples are
+    // independent under the frozen RBM: per-index slots, any thread count.
+    std::vector<Vector> next(layer_data.size());
+    util::parallel_for(layer_data.size(), [&](std::size_t i) {
+      next[i] = rbm.hidden_probs(layer_data[i]);
+    });
     layer_data = std::move(next);
     below = width;
   }

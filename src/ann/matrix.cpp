@@ -17,28 +17,38 @@ Matrix Matrix::randn(std::size_t rows, std::size_t cols, util::Rng& rng,
 }
 
 Vector Matrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply_into(x, y);
+  return y;
+}
+
+void Matrix::multiply_into(const Vector& x, Vector& y) const {
   if (x.size() != cols_)
     throw std::invalid_argument("Matrix::multiply: size mismatch");
-  Vector y(rows_, 0.0);
+  y.assign(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     const double* row = &data_[r * cols_];
     for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
     y[r] = acc;
   }
-  return y;
 }
 
 Vector Matrix::multiply_transposed(const Vector& x) const {
+  Vector y;
+  multiply_transposed_into(x, y);
+  return y;
+}
+
+void Matrix::multiply_transposed_into(const Vector& x, Vector& y) const {
   if (x.size() != rows_)
     throw std::invalid_argument("Matrix::multiply_transposed: size mismatch");
-  Vector y(cols_, 0.0);
+  y.assign(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     const double* row = &data_[r * cols_];
     for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
   }
-  return y;
 }
 
 void Matrix::add_outer(const Vector& a, const Vector& b, double scale) {
@@ -66,6 +76,45 @@ double Matrix::frobenius() const {
   double acc = 0.0;
   for (double w : data_) acc += w * w;
   return std::sqrt(acc);
+}
+
+void momentum_update(Matrix& w, Matrix& vel, const Vector& a, const Vector& b,
+                     double momentum, double coeff, double decay) {
+  if (a.size() != w.rows() || b.size() != w.cols() ||
+      vel.rows() != w.rows() || vel.cols() != w.cols())
+    throw std::invalid_argument("momentum_update: size mismatch");
+  const std::size_t cols = w.cols();
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    double* wr = &w.data()[r * cols];
+    double* vr = &vel.data()[r * cols];
+    const double ar = a[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double grad = ar * b[c] + decay * wr[c];
+      vr[c] = momentum * vr[c] + coeff * grad;
+      wr[c] += vr[c];
+    }
+  }
+}
+
+void momentum_update2(Matrix& w, Matrix& vel, const Vector& a1,
+                      const Vector& b1, const Vector& a2, const Vector& b2,
+                      double momentum, double coeff, double decay) {
+  if (a1.size() != w.rows() || b1.size() != w.cols() ||
+      a2.size() != w.rows() || b2.size() != w.cols() ||
+      vel.rows() != w.rows() || vel.cols() != w.cols())
+    throw std::invalid_argument("momentum_update2: size mismatch");
+  const std::size_t cols = w.cols();
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    double* wr = &w.data()[r * cols];
+    double* vr = &vel.data()[r * cols];
+    const double a1r = a1[r];
+    const double a2r = a2[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double grad = a1r * b1[c] - a2r * b2[c] + decay * wr[c];
+      vr[c] = momentum * vr[c] + coeff * grad;
+      wr[c] += vr[c];
+    }
+  }
 }
 
 double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }

@@ -39,8 +39,15 @@ class Matrix {
   /// y = W x  (x.size() == cols).
   Vector multiply(const Vector& x) const;
 
+  /// y = W x written into a caller-owned buffer (resized as needed) — the
+  /// allocation-free variant the training inner loops use.
+  void multiply_into(const Vector& x, Vector& y) const;
+
   /// y = W^T x  (x.size() == rows).
   Vector multiply_transposed(const Vector& x) const;
+
+  /// y = W^T x into a caller-owned buffer (resized as needed).
+  void multiply_transposed_into(const Vector& x, Vector& y) const;
 
   /// W += scale * a b^T  (a.size() == rows, b.size() == cols).
   void add_outer(const Vector& a, const Vector& b, double scale);
@@ -71,5 +78,19 @@ double sigmoid_deriv_from_output(double s) noexcept;
 void add_inplace(Vector& v, const Vector& w);
 /// Mean squared error between two equal-size vectors.
 double mse(const Vector& a, const Vector& b);
+
+/// Fused SGD-with-momentum step over one weight matrix:
+///   vel = momentum * vel + coeff * (a b^T + decay * w);  w += vel.
+/// One pass over w/vel instead of the scale + add_outer + add_scaled
+/// sequence (which walks the matrix four times and allocates a gradient).
+void momentum_update(Matrix& w, Matrix& vel, const Vector& a, const Vector& b,
+                     double momentum, double coeff, double decay);
+
+/// Same with the contrastive-divergence two-term gradient:
+///   vel = momentum * vel + coeff * (a1 b1^T - a2 b2^T + decay * w);
+///   w += vel.
+void momentum_update2(Matrix& w, Matrix& vel, const Vector& a1,
+                      const Vector& b1, const Vector& a2, const Vector& b2,
+                      double momentum, double coeff, double decay);
 
 }  // namespace solsched::ann

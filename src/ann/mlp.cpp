@@ -3,6 +3,9 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace solsched::ann {
 
@@ -40,6 +43,56 @@ double Mlp::train_epoch(const std::vector<Sample>& samples,
   double loss_acc = 0.0;
   const auto order = rng_.permutation(samples.size());
   const std::size_t depth = weights_.size();
+
+  if (config.fused_kernels) {
+    // Activation/delta buffers live across the whole epoch; the weight
+    // step is one fused pass (momentum_update) instead of the four-pass
+    // scale/add_outer/add_scaled sequence.
+    std::vector<Vector> acts(depth + 1);
+    Vector delta;
+    Vector next_delta;
+    for (std::size_t idx : order) {
+      const Sample& sample = samples[idx];
+      if (sample.x.size() != n_inputs() || sample.y.size() != n_outputs())
+        throw std::invalid_argument("Mlp::train_epoch: sample size mismatch");
+
+      acts[0] = sample.x;
+      for (std::size_t l = 0; l < depth; ++l) {
+        weights_[l].multiply_into(acts[l], acts[l + 1]);
+        add_inplace(acts[l + 1], biases_[l]);
+        sigmoid_inplace(acts[l + 1]);
+      }
+      loss_acc += mse(acts[depth], sample.y);
+
+      delta.assign(n_outputs(), 0.0);
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        const double out = acts[depth][i];
+        delta[i] = (out - sample.y[i]) * sigmoid_deriv_from_output(out);
+      }
+
+      for (std::size_t l = depth; l-- > 0;) {
+        // Propagate before updating so we use the pre-update weights.
+        if (l > 0) {
+          weights_[l].multiply_transposed_into(delta, next_delta);
+          for (std::size_t i = 0; i < next_delta.size(); ++i)
+            next_delta[i] *= sigmoid_deriv_from_output(acts[l][i]);
+        }
+
+        momentum_update(weights_[l], vel_w_[l], delta, acts[l],
+                        config.momentum, -config.learning_rate,
+                        config.weight_decay);
+
+        for (std::size_t i = 0; i < biases_[l].size(); ++i) {
+          vel_b_[l][i] = config.momentum * vel_b_[l][i] -
+                         config.learning_rate * delta[i];
+          biases_[l][i] += vel_b_[l][i];
+        }
+
+        if (l > 0) std::swap(delta, next_delta);
+      }
+    }
+    return loss_acc / static_cast<double>(samples.size());
+  }
 
   for (std::size_t idx : order) {
     const Sample& sample = samples[idx];
@@ -104,8 +157,15 @@ double Mlp::train(const std::vector<Sample>& samples,
 
 double Mlp::evaluate(const std::vector<Sample>& samples) const {
   if (samples.empty()) return 0.0;
+  // Samples are independent under a const net: per-index error slots in
+  // parallel, then a serial sum in sample order (deterministic at any
+  // thread count).
+  std::vector<double> errs(samples.size());
+  util::parallel_for(samples.size(), [&](std::size_t i) {
+    errs[i] = mse(forward(samples[i].x), samples[i].y);
+  });
   double acc = 0.0;
-  for (const auto& s : samples) acc += mse(forward(s.x), s.y);
+  for (double e : errs) acc += e;
   return acc / static_cast<double>(samples.size());
 }
 

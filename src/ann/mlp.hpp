@@ -27,6 +27,10 @@ struct MlpTrainConfig {
   double learning_rate = 0.2;
   double momentum = 0.7;
   double weight_decay = 1e-5;
+  /// Fused momentum step + reused activation buffers. Same update rule as
+  /// the legacy path but with a different floating-point evaluation order;
+  /// set false to reproduce the original sequence bit-for-bit.
+  bool fused_kernels = true;
 };
 
 /// Fully connected feed-forward network.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace solsched::ann {
 
 Rbm::Rbm(std::size_t n_visible, std::size_t n_hidden, std::uint64_t seed)
@@ -42,6 +44,60 @@ double Rbm::train_epoch(const std::vector<Vector>& data,
   if (data.empty()) return 0.0;
   double err_acc = 0.0;
   const auto order = rng_.permutation(data.size());
+
+  if (config.fused_kernels) {
+    // Phase buffers live across the epoch; the CD-1 weight step is one
+    // fused pass (momentum_update2) instead of building an explicit
+    // gradient matrix per sample. RNG consumption matches the legacy path
+    // exactly (one permutation + one Bernoulli draw per hidden unit).
+    Vector h0_probs;
+    Vector h0;
+    Vector v1;
+    Vector h1_probs;
+    for (std::size_t idx : order) {
+      const Vector& v0 = data[idx];
+      if (v0.size() != n_visible())
+        throw std::invalid_argument("Rbm::train_epoch: sample size mismatch");
+
+      // Positive phase.
+      weights_.multiply_into(v0, h0_probs);
+      add_inplace(h0_probs, hidden_bias_);
+      sigmoid_inplace(h0_probs);
+      if (config.sample_hidden) {
+        h0.assign(h0_probs.size(), 0.0);
+        for (std::size_t i = 0; i < h0_probs.size(); ++i)
+          h0[i] = rng_.bernoulli(h0_probs[i]) ? 1.0 : 0.0;
+      }
+      const Vector& h0_state = config.sample_hidden ? h0 : h0_probs;
+
+      // Negative phase (one Gibbs step, probabilities for the statistics).
+      weights_.multiply_transposed_into(h0_state, v1);
+      add_inplace(v1, visible_bias_);
+      sigmoid_inplace(v1);
+      weights_.multiply_into(v1, h1_probs);
+      add_inplace(h1_probs, hidden_bias_);
+      sigmoid_inplace(h1_probs);
+
+      momentum_update2(weights_, momentum_w_, h0_probs, v0, h1_probs, v1,
+                       config.momentum, config.learning_rate,
+                       -config.weight_decay);
+
+      for (std::size_t i = 0; i < n_hidden(); ++i) {
+        momentum_h_[i] = config.momentum * momentum_h_[i] +
+                         config.learning_rate * (h0_probs[i] - h1_probs[i]);
+        hidden_bias_[i] += momentum_h_[i];
+      }
+      for (std::size_t i = 0; i < n_visible(); ++i) {
+        momentum_v_[i] = config.momentum * momentum_v_[i] +
+                         config.learning_rate * (v0[i] - v1[i]);
+        visible_bias_[i] += momentum_v_[i];
+      }
+
+      err_acc += mse(v0, v1);
+    }
+    return err_acc / static_cast<double>(data.size());
+  }
+
   for (std::size_t idx : order) {
     const Vector& v0 = data[idx];
     if (v0.size() != n_visible())
@@ -92,8 +148,14 @@ double Rbm::train(const std::vector<Vector>& data,
 
 double Rbm::reconstruction_mse(const std::vector<Vector>& data) const {
   if (data.empty()) return 0.0;
+  // Independent reconstructions: per-index slots in parallel, serial sum
+  // in data order (deterministic at any thread count).
+  std::vector<double> errs(data.size());
+  util::parallel_for(data.size(), [&](std::size_t i) {
+    errs[i] = mse(data[i], visible_probs(hidden_probs(data[i])));
+  });
   double acc = 0.0;
-  for (const auto& v : data) acc += mse(v, visible_probs(hidden_probs(v)));
+  for (double e : errs) acc += e;
   return acc / static_cast<double>(data.size());
 }
 

@@ -22,6 +22,10 @@ struct RbmTrainConfig {
   double momentum = 0.5;
   double weight_decay = 1e-4;
   bool sample_hidden = true;  ///< Stochastic hidden states in the positive phase.
+  /// Fused CD-1 momentum step + reused phase buffers. Same update rule as
+  /// the legacy path but with a different floating-point evaluation order;
+  /// set false to reproduce the original sequence bit-for-bit.
+  bool fused_kernels = true;
 };
 
 /// Bernoulli-Bernoulli RBM.

@@ -1,14 +1,18 @@
 #include "core/experiment.hpp"
 
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "sched/asap.hpp"
 #include "sched/duty_cycle.hpp"
 #include "sched/edf.hpp"
 #include "sched/intra_task.hpp"
 #include "sched/lsa_inter.hpp"
+#include "util/thread_pool.hpp"
 
 namespace solsched::core {
 namespace {
@@ -65,40 +69,53 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
   }
   baseline_node.initial_cap = single;
 
-  std::vector<ComparisonRow> rows;
-  if (config.run_asap) {
-    sched::AsapScheduler policy;
-    rows.push_back(
-        run_one(graph, trace, baseline_node, policy, policy.name()));
-  }
-  if (config.run_edf) {
-    sched::EdfScheduler policy;
-    rows.push_back(
-        run_one(graph, trace, baseline_node, policy, policy.name()));
-  }
-  if (config.run_duty) {
-    sched::DutyCycleScheduler policy;
-    rows.push_back(
-        run_one(graph, trace, baseline_node, policy, policy.name()));
-  }
-  if (config.run_inter) {
-    sched::LsaInterScheduler policy;
-    rows.push_back(
-        run_one(graph, trace, baseline_node, policy, policy.name()));
-  }
-  if (config.run_intra) {
-    sched::IntraTaskScheduler policy;
-    rows.push_back(
-        run_one(graph, trace, baseline_node, policy, policy.name()));
-  }
-  if (config.run_proposed && trained) {
-    auto policy = make_proposed(*trained);
-    rows.push_back(run_one(graph, trace, effective, *policy, policy->name()));
-  }
-  if (config.run_optimal) {
-    sched::OptimalScheduler policy(config.dp);
-    rows.push_back(run_one(graph, trace, effective, policy, policy.name()));
-  }
+  // Policy rows are independent simulations: collect one factory per
+  // enabled row, run them on the thread pool into pre-sized slots, and
+  // return in the declaration order — identical rows at any thread count.
+  std::vector<std::function<ComparisonRow()>> row_jobs;
+  if (config.run_asap)
+    row_jobs.push_back([&] {
+      sched::AsapScheduler policy;
+      return run_one(graph, trace, baseline_node, policy, policy.name());
+    });
+  if (config.run_edf)
+    row_jobs.push_back([&] {
+      sched::EdfScheduler policy;
+      return run_one(graph, trace, baseline_node, policy, policy.name());
+    });
+  if (config.run_duty)
+    row_jobs.push_back([&] {
+      sched::DutyCycleScheduler policy;
+      return run_one(graph, trace, baseline_node, policy, policy.name());
+    });
+  if (config.run_inter)
+    row_jobs.push_back([&] {
+      sched::LsaInterScheduler policy;
+      return run_one(graph, trace, baseline_node, policy, policy.name());
+    });
+  if (config.run_intra)
+    row_jobs.push_back([&] {
+      sched::IntraTaskScheduler policy;
+      return run_one(graph, trace, baseline_node, policy, policy.name());
+    });
+  if (config.run_proposed && trained)
+    row_jobs.push_back([&] {
+      auto policy = make_proposed(*trained);
+      return run_one(graph, trace, effective, *policy, policy->name());
+    });
+  if (config.run_optimal)
+    row_jobs.push_back([&] {
+      sched::OptimalConfig dp = config.dp;
+      // Reuse the pipeline's period-option cache when available: the same
+      // trace + node means this DP run hits on nearly every period.
+      if (!dp.shared_cache && trained) dp.shared_cache = trained->option_cache;
+      sched::OptimalScheduler policy(std::move(dp));
+      return run_one(graph, trace, effective, policy, policy.name());
+    });
+
+  std::vector<ComparisonRow> rows(row_jobs.size());
+  util::parallel_for(row_jobs.size(),
+                     [&](std::size_t i) { rows[i] = row_jobs[i](); });
   return rows;
 }
 

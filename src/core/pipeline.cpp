@@ -87,13 +87,18 @@ TrainedController train_pipeline(const task::TaskGraph& graph,
   // ---- Step 2: DP oracle on the training trace + sample recording --------
   const solar::TimeGrid& grid = training_trace.grid();
   const double alpha_cap = 3.0;
-  sched::OptimalScheduler oracle(config.dp);
+  sched::OptimalConfig dp_cfg = config.dp;
+  if (dp_cfg.use_option_cache && !dp_cfg.shared_cache)
+    dp_cfg.shared_cache = std::make_shared<sched::PeriodOptionCache>();
+  sched::OptimalScheduler oracle(dp_cfg);
   SampleRecorder recorder(oracle, grid.n_slots, out.node.capacities_f.size(),
                           graph.size(), alpha_cap);
   const nvp::SimResult oracle_run =
       nvp::simulate(graph, training_trace, recorder, out.node);
   out.oracle_dmr = oracle_run.overall_dmr();
   out.lut = oracle.lut();
+  out.option_cache = dp_cfg.shared_cache;
+  out.dp_cache_stats = oracle.option_cache_stats();
 
   std::vector<ann::Sample> samples = recorder.take_samples();
   out.n_samples = samples.size();

@@ -25,10 +25,20 @@ namespace solsched::core {
 
 /// Knobs of the whole offline flow.
 struct PipelineConfig {
+  /// The oracle's DP config with start-voltage quantization enabled: inside
+  /// the pipeline the DP is a training-label generator, so the sub-bucket
+  /// plan perturbation is within training noise and buys cross-cell
+  /// period-option cache hits (see PeriodOptionCache).
+  static sched::OptimalConfig default_dp() {
+    sched::OptimalConfig dp;
+    dp.v0_quant_steps = 16;
+    return dp;
+  }
+
   std::size_t n_caps = 4;  ///< H: number of distributed capacitors to size.
   bool run_sizing = true;  ///< false = keep the node config's capacities.
   sizing::SizingConfig sizing{};
-  sched::OptimalConfig dp{};
+  sched::OptimalConfig dp = default_dp();
   ann::DbnConfig dbn{};
   sched::ProposedConfig online{};
 };
@@ -44,6 +54,11 @@ struct TrainedController {
   double oracle_dmr = 0.0;       ///< DMR the oracle achieved on the
                                  ///< training trace (sanity reference).
   sched::ProposedConfig online;  ///< Thresholds for the online policy.
+  /// Period-option cache populated by the oracle run. Later Optimal runs on
+  /// the same trace/node (e.g. the comparison's Optimal row) reuse it and
+  /// hit on nearly every period.
+  std::shared_ptr<sched::PeriodOptionCache> option_cache;
+  sched::OptionCacheStats dp_cache_stats;  ///< Counters after the oracle run.
 };
 
 /// Runs the full offline flow. `base` supplies physics and grid; its

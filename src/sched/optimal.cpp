@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "sched/sched_util.hpp"
 #include "util/rng.hpp"
@@ -24,9 +26,13 @@ double forecast_factor(std::uint64_t seed, std::size_t window_start,
 
 }  // namespace
 
-OptimalScheduler::OptimalScheduler(OptimalConfig config) : config_(config) {
+OptimalScheduler::OptimalScheduler(OptimalConfig config)
+    : config_(std::move(config)) {
   if (config_.energy_buckets == 0)
     throw std::invalid_argument("OptimalScheduler: need >= 1 energy bucket");
+  if (config_.use_option_cache)
+    cache_ = config_.shared_cache ? config_.shared_cache
+                                  : std::make_shared<PeriodOptionCache>();
 }
 
 void OptimalScheduler::begin_trace(const task::TaskGraph& graph,
@@ -46,8 +52,34 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
   const std::size_t n_buckets = config_.energy_buckets;
   const double dt = grid.dt_s;
 
+  if (graph.size() > 64)
+    throw std::invalid_argument(
+        "OptimalScheduler: task graphs above 64 tasks are not supported "
+        "(the DP packs the te decision into a 64-bit mask); got " +
+        std::to_string(graph.size()) + " tasks");
+
   PeriodOptimizer optimizer(graph, config.pmu, config.regulators,
                             config.leakage, config.v_low, config.v_high, dt);
+  optimizer.set_fast_eval(!config_.legacy_eval);
+
+  // One funnel for every option-set derivation: quantize the start voltage
+  // (identically with or without the cache, so cached and uncached runs
+  // stay bit-identical), then memoize on the exact resulting key.
+  const auto options_for = [&](const std::vector<double>& solar_w,
+                               double capacity_f, double v0) {
+    const double vq = PeriodOptionCache::quantize_v0(
+        v0, config.v_low, config.v_high, config_.v0_quant_steps);
+    if (!cache_)
+      return std::make_shared<const std::vector<PeriodOption>>(
+          optimizer.pareto_options(solar_w, capacity_f, vq));
+    return cache_->lookup_or_compute(solar_w, capacity_f, vq, [&] {
+      return optimizer.pareto_options(solar_w, capacity_f, vq);
+    });
+  };
+  const auto quantized_v0 = [&](double v0) {
+    return PeriodOptionCache::quantize_v0(v0, config.v_low, config.v_high,
+                                          config_.v0_quant_steps);
+  };
 
   // Per-capacitor bucket geometry over usable energy. Buckets only bound the
   // number of labels kept per layer; each label carries its *continuous*
@@ -92,7 +124,7 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
     int prev_h = -1;
     int prev_b = -1;
     bool from_switch = false;     ///< Day-boundary capacitor change marker.
-    std::uint32_t te_mask = 0;    ///< Decision that produced this label.
+    std::uint64_t te_mask = 0;    ///< Decision that produced this label.
     float alpha = 0.0f;
     float consumed = 0.0f;
     std::uint8_t misses = 0;
@@ -107,9 +139,9 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
     return false;
   };
   auto mask_of = [](const std::vector<bool>& te) {
-    std::uint32_t mask = 0;
+    std::uint64_t mask = 0;
     for (std::size_t n = 0; n < te.size(); ++n)
-      if (te[n]) mask |= (1u << n);
+      if (te[n]) mask |= (std::uint64_t{1} << n);
     return mask;
   };
 
@@ -169,10 +201,10 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
           const Cell& from = at(layers[i], h, b);
           if (from.cost >= kInf) continue;
           ++dp_evaluations_;
-          const auto options = optimizer.pareto_options(
-              window_solar[i], config.capacities_f[h],
-              voltage_of(h, from.usable));
-          for (const PeriodOption& opt : options) {
+          const auto options = options_for(window_solar[i],
+                                           config.capacities_f[h],
+                                           voltage_of(h, from.usable));
+          for (const PeriodOption& opt : *options) {
             Cell candidate;
             candidate.cost = from.cost + static_cast<double>(opt.misses);
             candidate.usable = opt.final_usable_j;
@@ -223,22 +255,24 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
       planned.alpha = cell.alpha;
       planned.planned_misses = cell.misses;
       planned.planned_consumed_j = cell.consumed;
-      planned.planned_v0 = voltage_of(ph, prev.usable);
+      // The quantized voltage is what the options were evaluated at; record
+      // it so plan and LUT describe the evaluation that actually ran.
+      planned.planned_v0 = quantized_v0(voltage_of(ph, prev.usable));
       plan_[w0 + i] = std::move(planned);
       planned_misses_ += cell.misses;
 
       double solar_energy = 0.0;
       for (double sw : window_solar[i]) solar_energy += sw * dt;
-      const auto options = optimizer.pareto_options(
-          window_solar[i], config.capacities_f[ph],
-          voltage_of(ph, prev.usable));
-      for (const auto& sibling : options) {
+      const auto options = options_for(window_solar[i],
+                                       config.capacities_f[ph],
+                                       voltage_of(ph, prev.usable));
+      for (const auto& sibling : *options) {
         LutEntry entry;
         entry.key = LutKey{
             static_cast<double>(sibling.misses) /
                 static_cast<double>(std::max<std::size_t>(1, graph.size())),
             solar_energy, config.capacities_f[ph],
-            voltage_of(ph, prev.usable)};
+            quantized_v0(voltage_of(ph, prev.usable))};
         entry.consumed_j = sibling.consumed_cap_j;
         entry.alpha = sibling.alpha;
         entry.te = sibling.te;

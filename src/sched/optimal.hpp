@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nvp/scheduler.hpp"
 #include "sched/lut.hpp"
+#include "sched/period_option_cache.hpp"
 #include "sched/period_optimizer.hpp"
 
 namespace solsched::sched {
@@ -36,6 +38,27 @@ struct OptimalConfig {
   double forecast_noise = 0.0;
   std::uint64_t noise_seed = 99;
   bool allow_cap_switch = true;  ///< Day-boundary capacitor re-selection.
+
+  /// Memoize pareto_options across DP cells and the backtrack. The cache is
+  /// exact: with identical remaining knobs, cached and uncached runs produce
+  /// bit-identical plans, LUTs and miss counts.
+  bool use_option_cache = true;
+  /// Snap each label's start voltage onto a grid of this many points on the
+  /// DP's sqrt-usable-energy axis before evaluating its period options
+  /// (0 = exact v0, the pure-oracle default). Applied in cached AND
+  /// uncached runs alike, so it never breaks cache/no-cache equivalence; it
+  /// trades sub-grid start-voltage detail for cross-cell cache hits. The
+  /// offline pipeline turns this on (see PipelineConfig), where the small
+  /// plan perturbation is within training noise; leave at 0 where exact
+  /// oracle optimality matters.
+  std::size_t v0_quant_steps = 0;
+  /// Optional externally owned cache, e.g. shared between the training
+  /// oracle and a comparison run on the same trace. Null = private cache.
+  std::shared_ptr<PeriodOptionCache> shared_cache;
+  /// Seed-faithful evaluation inside pareto_options: serial subset sweep
+  /// with full per-slot schedule recording. Only useful for benchmarking
+  /// against the pre-optimization behaviour.
+  bool legacy_eval = false;
 };
 
 /// Per-period decision recovered from the DP.
@@ -73,11 +96,18 @@ class OptimalScheduler final : public nvp::Scheduler {
   /// planning-complexity measure reported by the Fig. 10(a) bench.
   std::size_t dp_evaluations() const noexcept { return dp_evaluations_; }
 
+  /// Hit/miss/eviction counters of the option cache (all-zero when
+  /// use_option_cache is false). Valid after begin_trace.
+  OptionCacheStats option_cache_stats() const {
+    return cache_ ? cache_->stats() : OptionCacheStats{};
+  }
+
  private:
   void run_dp(const task::TaskGraph& graph, const nvp::NodeConfig& config,
               const solar::SolarTrace& trace);
 
   OptimalConfig config_;
+  std::shared_ptr<PeriodOptionCache> cache_;  ///< Null when caching is off.
   std::vector<PlannedPeriod> plan_;
   Lut lut_;
   std::size_t planned_misses_ = 0;

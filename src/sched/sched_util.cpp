@@ -6,15 +6,20 @@
 
 namespace solsched::sched {
 
-std::vector<std::vector<std::size_t>> candidates_by_nvp(
-    const task::TaskGraph& graph, const task::PeriodState& state,
-    double now_s, const std::vector<bool>& enabled) {
-  std::vector<std::vector<std::size_t>> by_nvp(graph.nvp_count());
-  for (std::size_t id : state.live_ready_tasks(now_s)) {
+namespace {
+
+void candidates_by_nvp_into(const task::TaskGraph& graph,
+                            const task::PeriodState& state, double now_s,
+                            const std::vector<bool>& enabled,
+                            LoadMatchScratch& s) {
+  s.by_nvp.resize(graph.nvp_count());
+  for (auto& list : s.by_nvp) list.clear();
+  state.live_ready_tasks_into(now_s, s.live);
+  for (std::size_t id : s.live) {
     if (!enabled.empty() && !enabled[id]) continue;
-    by_nvp[graph.task(id).nvp].push_back(id);
+    s.by_nvp[graph.task(id).nvp].push_back(id);
   }
-  for (auto& list : by_nvp)
+  for (auto& list : s.by_nvp)
     std::sort(list.begin(), list.end(), [&](std::size_t a, std::size_t b) {
       const auto& ta = graph.task(a);
       const auto& tb = graph.task(b);
@@ -23,7 +28,16 @@ std::vector<std::vector<std::size_t>> candidates_by_nvp(
         return state.remaining_s(a) < state.remaining_s(b);
       return a < b;
     });
-  return by_nvp;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> candidates_by_nvp(
+    const task::TaskGraph& graph, const task::PeriodState& state,
+    double now_s, const std::vector<bool>& enabled) {
+  LoadMatchScratch s;
+  candidates_by_nvp_into(graph, state, now_s, enabled, s);
+  return std::move(s.by_nvp);
 }
 
 double latest_start_s(const task::TaskGraph& graph,
@@ -69,12 +83,28 @@ std::vector<std::size_t> load_match_decision(
     const task::TaskGraph& graph, const task::PeriodState& state,
     double now_s, double dt_s, const std::vector<bool>& enabled,
     double target_w, const std::vector<bool>& must_run, double max_load_w) {
-  const auto by_nvp = candidates_by_nvp(graph, state, now_s, enabled);
+  LoadMatchScratch scratch;
+  std::vector<std::size_t> chosen;
+  load_match_decision_into(graph, state, now_s, dt_s, enabled, target_w,
+                           must_run, max_load_w, scratch, chosen);
+  return chosen;
+}
 
-  std::vector<std::size_t> heads;
-  std::vector<bool> forced;
+void load_match_decision_into(const task::TaskGraph& graph,
+                              const task::PeriodState& state, double now_s,
+                              double dt_s, const std::vector<bool>& enabled,
+                              double target_w,
+                              const std::vector<bool>& must_run,
+                              double max_load_w, LoadMatchScratch& scratch,
+                              std::vector<std::size_t>& chosen) {
+  candidates_by_nvp_into(graph, state, now_s, enabled, scratch);
+
+  std::vector<std::size_t>& heads = scratch.heads;
+  std::vector<bool>& forced = scratch.forced;
+  heads.clear();
+  forced.clear();
   double forced_w = 0.0;
-  for (const auto& list : by_nvp) {
+  for (const auto& list : scratch.by_nvp) {
     if (list.empty()) continue;
     const std::size_t head = list.front();
     heads.push_back(head);
@@ -124,10 +154,9 @@ std::vector<std::size_t> load_match_decision(
     }
   }
 
-  std::vector<std::size_t> chosen;
+  chosen.clear();
   for (std::size_t i = 0; i < n; ++i)
     if (forced[i] || ((best_mask >> i) & 1u)) chosen.push_back(heads[i]);
-  return chosen;
 }
 
 double alpha_index(const task::TaskGraph& graph,

@@ -55,6 +55,27 @@ std::vector<std::size_t> load_match_decision(
     double target_w, const std::vector<bool>& must_run = {},
     double max_load_w = 1e18);
 
+/// Reused buffers for load_match_decision_into. One set per period
+/// evaluation instead of one per slot: the DP's subset sweep makes ~1M
+/// slot decisions per training run and the per-slot allocations dominate
+/// its profile.
+struct LoadMatchScratch {
+  std::vector<std::size_t> live;
+  std::vector<std::vector<std::size_t>> by_nvp;
+  std::vector<std::size_t> heads;
+  std::vector<bool> forced;
+};
+
+/// Buffer-reusing variant of load_match_decision: identical decision,
+/// result lands in `chosen` (cleared first).
+void load_match_decision_into(const task::TaskGraph& graph,
+                              const task::PeriodState& state, double now_s,
+                              double dt_s, const std::vector<bool>& enabled,
+                              double target_w,
+                              const std::vector<bool>& must_run,
+                              double max_load_w, LoadMatchScratch& scratch,
+                              std::vector<std::size_t>& chosen);
+
 /// The scheduling-pattern index α (Eq. 18): energy demanded by the subset /
 /// solar energy supplied in the period. Returns a large sentinel (1e9) when
 /// the period has no solar.

@@ -8,6 +8,7 @@
 #include "task/period_state.hpp"
 #include "util/kmeans.hpp"
 #include "util/mathx.hpp"
+#include "util/thread_pool.hpp"
 
 namespace solsched::sizing {
 
@@ -47,8 +48,15 @@ std::vector<double> day_migration_deltas_j(const task::TaskGraph& graph,
                                            std::size_t day,
                                            const storage::PmuConfig& pmu) {
   const solar::TimeGrid& grid = trace.grid();
-  const std::vector<double> load =
-      asap_period_load_w(graph, grid.n_slots, grid.dt_s);
+  return day_migration_deltas_j(
+      asap_period_load_w(graph, grid.n_slots, grid.dt_s), trace, day, pmu);
+}
+
+std::vector<double> day_migration_deltas_j(const std::vector<double>& load,
+                                           const solar::SolarTrace& trace,
+                                           std::size_t day,
+                                           const storage::PmuConfig& pmu) {
+  const solar::TimeGrid& grid = trace.grid();
   std::vector<double> deltas;
   deltas.reserve(grid.n_periods * grid.n_slots);
   for (std::size_t j = 0; j < grid.n_periods; ++j)
@@ -91,14 +99,20 @@ double optimal_capacity_f(const std::vector<double>& deltas_j,
   const auto grid_points = util::linspace(
       std::log10(config.c_min_f), std::log10(config.c_max_f),
       config.coarse_points);
+  // Independent candidate capacities: evaluate in parallel into per-index
+  // slots, pick the minimum serially in grid order (deterministic at any
+  // thread count).
+  std::vector<double> losses(grid_points.size());
+  util::parallel_for(grid_points.size(), [&](std::size_t i) {
+    losses[i] =
+        migration_loss_j(deltas_j, std::pow(10.0, grid_points[i]), config,
+                         dt_s);
+  });
   std::size_t best = 0;
   double best_loss = std::numeric_limits<double>::max();
   for (std::size_t i = 0; i < grid_points.size(); ++i) {
-    const double loss =
-        migration_loss_j(deltas_j, std::pow(10.0, grid_points[i]), config,
-                         dt_s);
-    if (loss < best_loss) {
-      best_loss = loss;
+    if (losses[i] < best_loss) {
+      best_loss = losses[i];
       best = i;
     }
   }
@@ -118,15 +132,19 @@ SizingResult size_capacitors(const task::TaskGraph& graph,
                              const SizingConfig& config) {
   const solar::TimeGrid& grid = trace.grid();
   SizingResult result;
-  result.daily_optimal_f.reserve(grid.n_days);
-  for (std::size_t day = 0; day < grid.n_days; ++day) {
-    const auto deltas =
-        day_migration_deltas_j(graph, trace, day, config.pmu);
+  // The ASAP load is period-invariant: derive it once for all days.
+  const std::vector<double> load =
+      asap_period_load_w(graph, grid.n_slots, grid.dt_s);
+  // Days are independent; each writes its own pre-sized slot.
+  result.daily_optimal_f.assign(grid.n_days, 0.0);
+  result.daily_loss_j.assign(grid.n_days, 0.0);
+  util::parallel_for(grid.n_days, [&](std::size_t day) {
+    const auto deltas = day_migration_deltas_j(load, trace, day, config.pmu);
     const double c_opt = optimal_capacity_f(deltas, config, grid.dt_s);
-    result.daily_optimal_f.push_back(c_opt);
-    result.daily_loss_j.push_back(
-        migration_loss_j(deltas, c_opt, config, grid.dt_s));
-  }
+    result.daily_optimal_f[day] = c_opt;
+    result.daily_loss_j[day] =
+        migration_loss_j(deltas, c_opt, config, grid.dt_s);
+  });
   const util::KMeansResult clusters =
       util::kmeans_1d(result.daily_optimal_f, h);
   result.capacities_f = clusters.centroids;

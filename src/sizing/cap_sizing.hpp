@@ -53,6 +53,13 @@ std::vector<double> day_migration_deltas_j(const task::TaskGraph& graph,
                                            std::size_t day,
                                            const storage::PmuConfig& pmu);
 
+/// Same, with the (day-invariant) ASAP load precomputed by the caller, so a
+/// multi-day sweep does not re-derive it per day.
+std::vector<double> day_migration_deltas_j(const std::vector<double>& load_w,
+                                           const solar::SolarTrace& trace,
+                                           std::size_t day,
+                                           const storage::PmuConfig& pmu);
+
 /// Total migration loss (J) of pushing a ΔE sequence through a capacitor of
 /// the given capacity (Eq. 10).
 double migration_loss_j(const std::vector<double>& deltas_j, double capacity_f,

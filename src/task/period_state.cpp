@@ -32,10 +32,16 @@ void PeriodState::mark_deadlines(double now_s) {
 
 std::vector<std::size_t> PeriodState::live_ready_tasks(double now_s) const {
   std::vector<std::size_t> out;
+  live_ready_tasks_into(now_s, out);
+  return out;
+}
+
+void PeriodState::live_ready_tasks_into(double now_s,
+                                        std::vector<std::size_t>& out) const {
+  out.clear();
   for (std::size_t i = 0; i < remaining_.size(); ++i)
     if (ready(i) && !missed_[i] && graph_->task(i).deadline_s > now_s)
       out.push_back(i);
-  return out;
 }
 
 std::size_t PeriodState::miss_count() const {

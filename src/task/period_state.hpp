@@ -48,6 +48,10 @@ class PeriodState {
   /// (deadline not yet passed), i.e. worth scheduling for DMR.
   std::vector<std::size_t> live_ready_tasks(double now_s) const;
 
+  /// Buffer-reusing variant: clears and refills `out`. The DP's subset
+  /// sweep calls this once per slot, ~1M times per training run.
+  void live_ready_tasks_into(double now_s, std::vector<std::size_t>& out) const;
+
   /// Number of missed tasks so far.
   std::size_t miss_count() const;
 

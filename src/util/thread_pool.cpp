@@ -1,0 +1,196 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace solsched::util {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> active{0};  ///< Workers currently inside work_on.
+    std::atomic<bool> cancelled{false};
+    // First exception by smallest index, so rethrow order is deterministic.
+    std::mutex err_mutex;
+    std::size_t err_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+
+  std::size_t n_threads = 1;
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;   ///< Wakes workers on a new job.
+  std::condition_variable done_cv;   ///< Wakes the caller on completion.
+  Job* job = nullptr;
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+
+  // Serializes top-level run() calls from different threads.
+  std::mutex run_mutex;
+
+  static void record_error(Job& job, std::size_t index) {
+    std::lock_guard<std::mutex> lock(job.err_mutex);
+    if (index < job.err_index) {
+      job.err_index = index;
+      job.error = std::current_exception();
+    }
+    job.cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  static void work_on(Job& job) {
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      if (!job.cancelled.load(std::memory_order_relaxed)) {
+        try {
+          (*job.fn)(i);
+        } catch (...) {
+          record_error(job, i);
+        }
+      }
+      job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void worker_loop() {
+    t_in_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* my_job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock,
+                     [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        my_job = job;
+        // Registered under the mutex so run() cannot retire the job while
+        // this worker still holds a pointer to it.
+        if (my_job) my_job->active.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!my_job) continue;
+      work_on(*my_job);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        my_job->active.fetch_sub(1, std::memory_order_relaxed);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads) : impl_(new Impl) {
+  impl_->n_threads = n_threads == 0 ? 1 : n_threads;
+  impl_->workers.reserve(impl_->n_threads - 1);
+  for (std::size_t t = 0; t + 1 < impl_->n_threads; ++t)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::size() const noexcept { return impl_->n_threads; }
+
+bool ThreadPool::in_worker() noexcept { return t_in_worker; }
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || impl_->workers.empty() || t_in_worker) {
+    // Serial path: exceptions propagate directly; remaining indices are
+    // skipped exactly as in the parallel path.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> top(impl_->run_mutex);
+  Impl::Job job;
+  job.fn = &fn;
+  job.n = n;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller participates instead of idling. While inside the job it
+  // counts as a pool worker: nested run() calls from its own work items
+  // must degrade to serial rather than re-enter run_mutex and deadlock.
+  struct InWorkerGuard {
+    InWorkerGuard() { t_in_worker = true; }
+    ~InWorkerGuard() { t_in_worker = false; }
+  };
+  {
+    InWorkerGuard guard;
+    Impl::work_on(job);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) >= job.n &&
+             job.active.load(std::memory_order_acquire) == 0;
+    });
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) slot.reset(new ThreadPool(thread_count_from_env()));
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t n_threads) {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  global_slot().reset(new ThreadPool(n_threads));
+}
+
+std::size_t ThreadPool::thread_count_from_env() {
+  if (const char* env = std::getenv("SOLSCHED_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace solsched::util

@@ -1,0 +1,70 @@
+// Fixed-size thread pool and a deterministic parallel_for.
+//
+// Determinism contract (relied on by sched/, sizing/, core/ and ann/):
+// parallel_for(n, fn) invokes fn(i) exactly once for every i in [0, n) and
+// callers must write results only to pre-sized per-index slots; any
+// reduction over those slots happens serially, in index order, after
+// parallel_for returns. Under that discipline the numeric output is
+// bit-identical at every thread count, including 1.
+//
+// The global pool is sized from the SOLSCHED_THREADS environment variable
+// (default: std::thread::hardware_concurrency). parallel_for called from
+// inside a pool worker runs the body serially in that worker — nested
+// parallel regions degrade gracefully instead of deadlocking.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace solsched::util {
+
+/// A fixed set of worker threads executing index-ranged jobs.
+class ThreadPool {
+ public:
+  /// Spawns `n_threads - 1` workers (the calling thread participates in
+  /// every job). n_threads == 0 is clamped to 1 (fully serial).
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (>= 1), counting the calling thread.
+  std::size_t size() const noexcept;
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete.
+  /// The first exception (by smallest index i) is rethrown in the caller;
+  /// once any body throws, not-yet-started indices are skipped.
+  /// Serial fallbacks: n <= 1, size() == 1, or when called from inside a
+  /// pool worker (nested use).
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is a pool worker (nested region).
+  static bool in_worker() noexcept;
+
+  /// Process-wide pool, created on first use with thread_count_from_env().
+  static ThreadPool& global();
+
+  /// Replaces the global pool with one of `n_threads` threads. Not safe
+  /// while parallel work is in flight; intended for benches and tests that
+  /// sweep thread counts from the main thread.
+  static void set_global_threads(std::size_t n_threads);
+
+  /// SOLSCHED_THREADS if set and positive, else hardware_concurrency
+  /// (else 1).
+  static std::size_t thread_count_from_env();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// parallel_for over the global pool; see the determinism contract above.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  ThreadPool::global().run(n, std::function<void(std::size_t)>(
+                                  [&fn](std::size_t i) { fn(i); }));
+}
+
+}  // namespace solsched::util

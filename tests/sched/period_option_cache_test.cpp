@@ -1,0 +1,170 @@
+#include "sched/period_option_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace solsched::sched {
+namespace {
+
+std::vector<PeriodOption> make_options(std::size_t misses) {
+  PeriodOption opt;
+  opt.misses = misses;
+  opt.consumed_cap_j = static_cast<double>(misses) * 0.5;
+  return {opt};
+}
+
+TEST(PeriodOptionCache, MissThenHit) {
+  PeriodOptionCache cache;
+  const std::vector<double> solar{0.1, 0.2, 0.3};
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return make_options(2);
+  };
+
+  auto first = cache.lookup_or_compute(solar, 20e-3, 2.5, compute);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->at(0).misses, 2u);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  auto second = cache.lookup_or_compute(solar, 20e-3, 2.5, compute);
+  EXPECT_EQ(computes, 1);  // Served from cache, compute not called again.
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(PeriodOptionCache, DistinctKeysMiss) {
+  PeriodOptionCache cache;
+  const std::vector<double> solar_a{0.1, 0.2};
+  const std::vector<double> solar_b{0.1, 0.3};
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return make_options(0);
+  };
+
+  cache.lookup_or_compute(solar_a, 20e-3, 2.5, compute);
+  cache.lookup_or_compute(solar_b, 20e-3, 2.5, compute);  // Solar differs.
+  cache.lookup_or_compute(solar_a, 60e-3, 2.5, compute);  // Capacity differs.
+  cache.lookup_or_compute(solar_a, 20e-3, 2.6, compute);  // v0 differs.
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().entries, 4u);
+}
+
+TEST(PeriodOptionCache, FifoEviction) {
+  PeriodOptionCache cache(/*max_entries=*/2);
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return make_options(1);
+  };
+
+  cache.lookup_or_compute({0.1}, 20e-3, 2.5, compute);
+  cache.lookup_or_compute({0.2}, 20e-3, 2.5, compute);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Third insert evicts the oldest ({0.1}); re-requesting it recomputes.
+  cache.lookup_or_compute({0.3}, 20e-3, 2.5, compute);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  cache.lookup_or_compute({0.1}, 20e-3, 2.5, compute);
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // {0.3} survived the FIFO churn ({0.2} was evicted by the reinsert).
+  cache.lookup_or_compute({0.3}, 20e-3, 2.5, compute);
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PeriodOptionCache, PointerSurvivesEviction) {
+  PeriodOptionCache cache(/*max_entries=*/1);
+  auto held = cache.lookup_or_compute({0.1}, 20e-3, 2.5,
+                                      [] { return make_options(3); });
+  cache.lookup_or_compute({0.2}, 20e-3, 2.5, [] { return make_options(0); });
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The evicted entry is shared_ptr-owned; the holder keeps it alive.
+  ASSERT_TRUE(held);
+  EXPECT_EQ(held->at(0).misses, 3u);
+}
+
+TEST(PeriodOptionCache, ClearResets) {
+  PeriodOptionCache cache;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return make_options(0);
+  };
+  cache.lookup_or_compute({0.1}, 20e-3, 2.5, compute);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  cache.lookup_or_compute({0.1}, 20e-3, 2.5, compute);
+  EXPECT_EQ(computes, 2);  // Cleared, so the entry had to be recomputed.
+}
+
+TEST(QuantizeV0, ZeroStepsIsIdentity) {
+  EXPECT_EQ(PeriodOptionCache::quantize_v0(2.345, 1.8, 3.3, 0), 2.345);
+}
+
+TEST(QuantizeV0, Idempotent) {
+  const double v_low = 1.8, v_high = 3.3;
+  for (std::size_t steps : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+    for (double v0 = v_low; v0 <= v_high; v0 += 0.01) {
+      const double q = PeriodOptionCache::quantize_v0(v0, v_low, v_high, steps);
+      const double qq = PeriodOptionCache::quantize_v0(q, v_low, v_high, steps);
+      ASSERT_EQ(q, qq) << "v0=" << v0 << " steps=" << steps;
+    }
+  }
+}
+
+TEST(QuantizeV0, StaysInRangeAndNearInput) {
+  const double v_low = 1.8, v_high = 3.3;
+  const std::size_t steps = 16;
+  for (double v0 = v_low; v0 <= v_high; v0 += 0.005) {
+    const double q = PeriodOptionCache::quantize_v0(v0, v_low, v_high, steps);
+    ASSERT_GE(q, v_low - 1e-12);
+    ASSERT_LE(q, v_high + 1e-12);
+    // Grid spacing in volts varies (uniform in sqrt-energy), but with 16
+    // steps over 1.5 V no point is further than ~0.2 V from its snap.
+    ASSERT_LT(std::fabs(q - v0), 0.2) << "v0=" << v0;
+  }
+}
+
+TEST(QuantizeV0, PreservesEndpoints) {
+  const double v_low = 1.8, v_high = 3.3;
+  EXPECT_NEAR(PeriodOptionCache::quantize_v0(v_low, v_low, v_high, 16), v_low,
+              1e-9);
+  EXPECT_NEAR(PeriodOptionCache::quantize_v0(v_high, v_low, v_high, 16),
+              v_high, 1e-9);
+}
+
+TEST(QuantizeV0, CoarserGridMergesMoreInputs) {
+  const double v_low = 1.8, v_high = 3.3;
+  auto distinct = [&](std::size_t steps) {
+    std::vector<double> values;
+    for (double v0 = v_low; v0 <= v_high; v0 += 0.001) {
+      const double q = PeriodOptionCache::quantize_v0(v0, v_low, v_high, steps);
+      if (values.empty() || values.back() != q) values.push_back(q);
+    }
+    return values.size();
+  };
+  EXPECT_LE(distinct(4), std::size_t{5});
+  EXPECT_LE(distinct(16), std::size_t{17});
+  EXPECT_LT(distinct(4), distinct(16));
+}
+
+}  // namespace
+}  // namespace solsched::sched

@@ -1,0 +1,147 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace solsched::util {
+namespace {
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.run(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t n = 257;
+    std::vector<std::atomic<int>> counts(n);
+    pool.run(n, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(counts[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+  }
+}
+
+TEST(ThreadPool, SizeCountsCallingThread) {
+  EXPECT_EQ(ThreadPool(0).size(), 1u);
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(64, [&](std::size_t i) {
+        if (i % 7 == 3) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SerialExceptionIsSmallestIndex) {
+  // With one thread the serial fallback runs in index order, so the first
+  // throwing index is what propagates and later indices never run.
+  ThreadPool pool(1);
+  std::vector<int> ran(10, 0);
+  try {
+    pool.run(10, [&](std::size_t i) {
+      if (i == 4) throw std::runtime_error("at-4");
+      ran[i] = 1;
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "at-4");
+  }
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(ran[i], 1);
+  for (std::size_t i = 5; i < 10; ++i) EXPECT_EQ(ran[i], 0);
+}
+
+TEST(ThreadPool, ParallelExceptionSkipsRemainingWork) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.run(10000,
+                        [&](std::size_t i) {
+                          if (i == 0) throw std::runtime_error("early");
+                          executed.fetch_add(1);
+                        }),
+               std::runtime_error);
+  // Cancellation is advisory (indices already claimed still run), but the
+  // bulk of the range must have been skipped.
+  EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ThreadPool, NestedRunFromCallerDegradesToSerial) {
+  // The caller participates in its own job; a nested run() from one of its
+  // work items must not deadlock on the pool's run mutex.
+  ThreadPool pool(2);
+  constexpr std::size_t n = 8;
+  std::vector<std::vector<int>> inner(n);
+  pool.run(n, [&](std::size_t i) {
+    inner[i].assign(n, 0);
+    pool.run(n, [&](std::size_t j) { inner[i][j] = 1; });
+  });
+  for (const auto& row : inner)
+    for (int v : row) ASSERT_EQ(v, 1);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool::set_global_threads(2);
+  std::vector<double> out(16, 0.0);
+  parallel_for(16, [&](std::size_t i) {
+    std::vector<double> partial(4, 0.0);
+    parallel_for(4, [&](std::size_t j) {
+      partial[j] = static_cast<double>(i * 4 + j);
+    });
+    double acc = 0.0;
+    for (double p : partial) acc += p;
+    out[i] = acc;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(16 * i + 6));
+  ThreadPool::set_global_threads(ThreadPool::thread_count_from_env());
+}
+
+TEST(ThreadPool, SlotResultsIdenticalAcrossThreadCounts) {
+  // The determinism contract: per-index slots + serial reduction give
+  // bit-identical sums at every thread count.
+  constexpr std::size_t n = 1000;
+  auto reduce_with = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> slots(n);
+    pool.run(n, [&](std::size_t i) {
+      slots[i] = 1.0 / (static_cast<double>(i) + 0.1);
+    });
+    double acc = 0.0;
+    for (double s : slots) acc += s;
+    return acc;
+  };
+  const double serial = reduce_with(1);
+  EXPECT_EQ(serial, reduce_with(2));
+  EXPECT_EQ(serial, reduce_with(4));
+}
+
+TEST(ThreadPool, ThreadCountFromEnv) {
+  ::setenv("SOLSCHED_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::thread_count_from_env(), 3u);
+  ::setenv("SOLSCHED_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::thread_count_from_env(), 1u);  // Invalid -> hardware.
+  ::unsetenv("SOLSCHED_THREADS");
+  EXPECT_GE(ThreadPool::thread_count_from_env(), 1u);
+}
+
+TEST(ThreadPool, SetGlobalThreadsReplacesPool) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().size(), 3u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().size(), 1u);
+  ThreadPool::set_global_threads(ThreadPool::thread_count_from_env());
+}
+
+}  // namespace
+}  // namespace solsched::util
