@@ -5,20 +5,52 @@
 // surface, plus a LUT-online vs. DBN-online comparison — everything a user
 // needs to pick deployment values.
 //
+// Every simulated point is scored from its structured event trace (the
+// per-period "deadline" events emitted by nvp::simulate), not from
+// hand-aggregated SimResult fields — the trace is the single source of
+// truth for deadline accounting.
+//
 // Build & run:  ./build/examples/threshold_tuning
+//   --metrics-out m.json   dump the metrics registry snapshot
+//   --trace-out t.json     dump Chrome trace_event JSON (chrome://tracing)
+//   --events-out e.jsonl   dump the DBN head-to-head run's event trace
 #include <cstdio>
 #include <memory>
 
 #include "core/pipeline.hpp"
+#include "core/report.hpp"
 #include "nvp/node_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sim_trace.hpp"
+#include "obs/span.hpp"
 #include "sched/lut_scheduler.hpp"
 #include "solar/trace_generator.hpp"
 #include "task/benchmarks.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace solsched;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("metrics-out", "", "write a metrics registry snapshot (JSON)");
+  cli.add_flag("trace-out", "",
+               "write Chrome trace_event JSON for chrome://tracing");
+  cli.add_flag("events-out", "",
+               "write the DBN head-to-head run's simulation events (JSONL)");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
+                 cli.usage("threshold_tuning").c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage("threshold_tuning").c_str());
+    return 0;
+  }
+  if (!cli.get("metrics-out").empty() || !cli.get("trace-out").empty())
+    obs::set_enabled(true);
+  if (!cli.get("trace-out").empty()) obs::set_trace_events_enabled(true);
+
   const solar::TimeGrid grid = solar::default_grid();
   const task::TaskGraph graph = task::wam_benchmark();
 
@@ -46,9 +78,9 @@ int main() {
       config.e_th_j = e_th;
       config.delta = delta;
       sched::ProposedScheduler policy(controller.model, config);
-      const auto result =
-          nvp::simulate(graph, validation, policy, controller.node);
-      row.push_back(util::fmt_pct(result.overall_dmr()));
+      obs::SimTrace events;
+      nvp::simulate(graph, validation, policy, controller.node, &events);
+      row.push_back(util::fmt_pct(events.mean("deadline", "dmr")));
     }
     table.add_row(std::move(row));
   }
@@ -57,20 +89,37 @@ int main() {
   // --- DBN online vs. raw LUT online --------------------------------------
   {
     auto dbn_policy = core::make_proposed(controller);
-    const double dbn_dmr =
-        nvp::simulate(graph, validation, *dbn_policy, controller.node)
-            .overall_dmr();
+    obs::SimTrace dbn_events;
+    nvp::simulate(graph, validation, *dbn_policy, controller.node,
+                  &dbn_events);
+    const double dbn_dmr = dbn_events.mean("deadline", "dmr");
 
     auto lut = std::make_shared<sched::Lut>(controller.lut);
     sched::LutScheduler lut_policy(lut, controller.node.capacities_f,
                                    graph.size(), controller.online);
-    const double lut_dmr =
-        nvp::simulate(graph, validation, lut_policy, controller.node)
-            .overall_dmr();
+    obs::SimTrace lut_events;
+    nvp::simulate(graph, validation, lut_policy, controller.node,
+                  &lut_events);
+    const double lut_dmr = lut_events.mean("deadline", "dmr");
     std::printf("\nonline policy head-to-head: DBN %.1f%% vs raw LUT "
                 "nearest-neighbour %.1f%% (LUT has %zu entries; the DBN "
                 "compresses and generalizes them)\n",
                 100.0 * dbn_dmr, 100.0 * lut_dmr, controller.lut.size());
+
+    const std::string events_out = cli.get("events-out");
+    if (!events_out.empty() &&
+        core::write_text_file(events_out, dbn_events.to_jsonl()))
+      std::printf("DBN run event trace written to %s\n", events_out.c_str());
   }
+
+  const std::string metrics_out = cli.get("metrics-out");
+  if (!metrics_out.empty() &&
+      core::write_text_file(
+          metrics_out, obs::MetricsRegistry::global().snapshot().to_json()))
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  const std::string trace_out = cli.get("trace-out");
+  if (!trace_out.empty() && obs::write_chrome_trace(trace_out))
+    std::printf("Chrome trace written to %s (open in chrome://tracing)\n",
+                trace_out.c_str());
   return 0;
 }

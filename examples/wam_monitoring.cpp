@@ -7,20 +7,52 @@
 // it, and renders an execution Gantt chart of a dawn period so you can see
 // the load matching at work.
 //
+// The per-day deadline figures come from the structured simulation event
+// trace (obs::SimTrace) rather than hand-aggregated SimResult fields: the
+// week run attaches a trace, and the day table below is grouped from its
+// per-period "deadline" events.
+//
 // Build & run:  ./build/examples/wam_monitoring
+//   --metrics-out m.json   dump the metrics registry snapshot
+//   --trace-out t.json     dump Chrome trace_event JSON (chrome://tracing)
+//   --events-out e.jsonl   dump the week run's simulation events (JSONL)
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/controller_io.hpp"
 #include "core/report.hpp"
 #include "nvp/exec_trace.hpp"
 #include "nvp/node_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sim_trace.hpp"
+#include "obs/span.hpp"
 #include "solar/trace_generator.hpp"
 #include "task/benchmarks.hpp"
+#include "util/cli.hpp"
 
 using namespace solsched;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("metrics-out", "", "write a metrics registry snapshot (JSON)");
+  cli.add_flag("trace-out", "",
+               "write Chrome trace_event JSON for chrome://tracing");
+  cli.add_flag("events-out", "",
+               "write the week run's simulation events (JSONL)");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
+                 cli.usage("wam_monitoring").c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage("wam_monitoring").c_str());
+    return 0;
+  }
+  if (!cli.get("metrics-out").empty() || !cli.get("trace-out").empty())
+    obs::set_enabled(true);
+  if (!cli.get("trace-out").empty()) obs::set_trace_events_enabled(true);
+
   const solar::TimeGrid grid = solar::default_grid();
   const task::TaskGraph graph = task::wam_benchmark();
 
@@ -63,15 +95,38 @@ int main() {
   // --- Online: one week of unseen weather -------------------------------
   solar::TraceGeneratorConfig test_config;
   test_config.seed = 4242;
+  const std::size_t n_days = 7;
   const auto week = solar::TraceGenerator(test_config)
-                        .generate_days(7, grid, solar::DayKind::kClear);
+                        .generate_days(n_days, grid, solar::DayKind::kClear);
 
   auto policy = core::make_proposed(controller);
   nvp::RecordingScheduler recorder(*policy);
+  obs::SimTrace events;
   const nvp::SimResult result =
-      nvp::simulate(graph, week, recorder, controller.node);
+      nvp::simulate(graph, week, recorder, controller.node, &events);
 
-  std::printf("\n%s", core::summarize(result, "one-week run", 7).c_str());
+  std::printf("\n%s", core::summarize(result, "one-week run", 1).c_str());
+
+  // Per-day deadline figures, grouped from the event trace.
+  std::vector<double> day_dmr(n_days, 0.0);
+  std::vector<std::size_t> day_periods(n_days, 0);
+  std::vector<std::size_t> day_misses(n_days, 0);
+  for (const auto& e : events.events()) {
+    if (e.type != "deadline" || e.day >= n_days) continue;
+    day_dmr[e.day] += e.field_or("dmr");
+    day_misses[e.day] += static_cast<std::size_t>(e.field_or("misses"));
+    ++day_periods[e.day];
+  }
+  std::printf("  per-day DMR (from event trace):");
+  for (std::size_t d = 0; d < n_days; ++d)
+    std::printf(" %.1f%%",
+                day_periods[d]
+                    ? 100.0 * day_dmr[d] / static_cast<double>(day_periods[d])
+                    : 0.0);
+  std::printf("\n  per-day misses:");
+  for (std::size_t d = 0; d < n_days; ++d)
+    std::printf(" %zu", day_misses[d]);
+  std::printf("  (capacitor switches: %zu)\n", events.count("cap_switch"));
 
   // --- Gantt of the dawn of day 2 (period 40 = 06:40) -------------------
   const std::size_t period = 1 * grid.n_periods + 40;
@@ -85,5 +140,19 @@ int main() {
   // --- Dump the per-period series for plotting ---------------------------
   if (core::write_text_file("/tmp/wam_week.csv", core::to_csv(result)))
     std::printf("\nper-period series written to /tmp/wam_week.csv\n");
+
+  const std::string events_out = cli.get("events-out");
+  if (!events_out.empty() &&
+      core::write_text_file(events_out, events.to_jsonl()))
+    std::printf("week event trace written to %s\n", events_out.c_str());
+  const std::string metrics_out = cli.get("metrics-out");
+  if (!metrics_out.empty() &&
+      core::write_text_file(
+          metrics_out, obs::MetricsRegistry::global().snapshot().to_json()))
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  const std::string trace_out = cli.get("trace-out");
+  if (!trace_out.empty() && obs::write_chrome_trace(trace_out))
+    std::printf("Chrome trace written to %s (open in chrome://tracing)\n",
+                trace_out.c_str());
   return 0;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 gate: the full test suite on a normal build, plus the concurrency
+# and observability suites rerun under ThreadSanitizer.
+#
+#   scripts/tier1.sh [build-dir] [tsan-build-dir]
+#
+# The first phase is exactly the ROADMAP tier-1 command (configure, build,
+# full ctest); the TSan phase rebuilds only to run `ctest -L "concurrency|obs"`
+# — the two label families with real cross-thread traffic.
+set -eu
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== tier 1: full suite ($BUILD_DIR) =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== tier 1: TSan rerun of concurrency + obs ($TSAN_DIR) =="
+cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L "concurrency|obs"
+
+echo "tier 1 passed"

@@ -4,9 +4,12 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sched/asap.hpp"
 #include "sched/duty_cycle.hpp"
 #include "sched/edf.hpp"
@@ -20,14 +23,20 @@ namespace {
 ComparisonRow run_one(const task::TaskGraph& graph,
                       const solar::SolarTrace& trace,
                       const nvp::NodeConfig& node, nvp::Scheduler& policy,
-                      std::string name) {
+                      std::string name, bool record_events) {
   ComparisonRow row;
   row.algo = std::move(name);
-  row.sim = nvp::simulate(graph, trace, policy, node);
+  // Span names are dynamic (one per policy row), so the ScopedSpan is built
+  // only when obs is on — the string allocation never hits the disabled path.
+  std::optional<obs::ScopedSpan> span;
+  if (obs::enabled()) span.emplace("experiment.row." + row.algo);
+  if (record_events) row.events = std::make_shared<obs::SimTrace>();
+  row.sim = nvp::simulate(graph, trace, policy, node, row.events.get());
   row.dmr = row.sim.overall_dmr();
   row.energy_utilization = row.sim.energy_utilization();
   row.migration_efficiency = row.sim.migration_efficiency();
   row.brownouts = row.sim.total_brownouts();
+  OBS_COUNTER_ADD("experiment.rows", 1);
   return row;
 }
 
@@ -76,32 +85,38 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
   if (config.run_asap)
     row_jobs.push_back([&] {
       sched::AsapScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name());
+      return run_one(graph, trace, baseline_node, policy, policy.name(),
+                     config.record_events);
     });
   if (config.run_edf)
     row_jobs.push_back([&] {
       sched::EdfScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name());
+      return run_one(graph, trace, baseline_node, policy, policy.name(),
+                     config.record_events);
     });
   if (config.run_duty)
     row_jobs.push_back([&] {
       sched::DutyCycleScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name());
+      return run_one(graph, trace, baseline_node, policy, policy.name(),
+                     config.record_events);
     });
   if (config.run_inter)
     row_jobs.push_back([&] {
       sched::LsaInterScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name());
+      return run_one(graph, trace, baseline_node, policy, policy.name(),
+                     config.record_events);
     });
   if (config.run_intra)
     row_jobs.push_back([&] {
       sched::IntraTaskScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name());
+      return run_one(graph, trace, baseline_node, policy, policy.name(),
+                     config.record_events);
     });
   if (config.run_proposed && trained)
     row_jobs.push_back([&] {
       auto policy = make_proposed(*trained);
-      return run_one(graph, trace, effective, *policy, policy->name());
+      return run_one(graph, trace, effective, *policy, policy->name(),
+                     config.record_events);
     });
   if (config.run_optimal)
     row_jobs.push_back([&] {
@@ -110,7 +125,8 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
       // trace + node means this DP run hits on nearly every period.
       if (!dp.shared_cache && trained) dp.shared_cache = trained->option_cache;
       sched::OptimalScheduler policy(std::move(dp));
-      return run_one(graph, trace, effective, policy, policy.name());
+      return run_one(graph, trace, effective, policy, policy.name(),
+                     config.record_events);
     });
 
   std::vector<ComparisonRow> rows(row_jobs.size());

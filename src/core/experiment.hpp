@@ -2,12 +2,14 @@
 // policies, producing the rows Figures 8-10 are built from.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "nvp/node_sim.hpp"
+#include "obs/sim_trace.hpp"
 
 namespace solsched::core {
 
@@ -20,6 +22,7 @@ struct ComparisonConfig {
   bool run_edf = false;     ///< Extra energy-oblivious reference.
   bool run_asap = false;    ///< Extra greedy reference.
   bool run_duty = false;    ///< Extra duty-cycling reference.
+  bool record_events = false;  ///< Attach a SimTrace to every row's sim.
   sched::OptimalConfig dp{};
 };
 
@@ -31,6 +34,10 @@ struct ComparisonRow {
   double migration_efficiency = 0.0;
   std::size_t brownouts = 0;
   nvp::SimResult sim;  ///< Full per-period records for series plots.
+  /// Structured event trace of this row's simulation; non-null only when
+  /// ComparisonConfig::record_events was set. Each row owns its own trace,
+  /// so parallel rows never share a sink and the events stay deterministic.
+  std::shared_ptr<obs::SimTrace> events;
 };
 
 /// Runs the configured policies. The trained controller supplies both the

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "nvp/node_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/mathx.hpp"
 
 namespace solsched::core {
@@ -72,6 +74,7 @@ TrainedController train_pipeline(const task::TaskGraph& graph,
 
   // ---- Step 1: capacitor sizing -----------------------------------------
   if (config.run_sizing) {
+    OBS_SPAN("pipeline.sizing");
     sizing::SizingConfig sizing_cfg = config.sizing;
     sizing_cfg.v_low = base.v_low;
     sizing_cfg.v_high = base.v_high;
@@ -93,15 +96,19 @@ TrainedController train_pipeline(const task::TaskGraph& graph,
   sched::OptimalScheduler oracle(dp_cfg);
   SampleRecorder recorder(oracle, grid.n_slots, out.node.capacities_f.size(),
                           graph.size(), alpha_cap);
-  const nvp::SimResult oracle_run =
-      nvp::simulate(graph, training_trace, recorder, out.node);
-  out.oracle_dmr = oracle_run.overall_dmr();
-  out.lut = oracle.lut();
-  out.option_cache = dp_cfg.shared_cache;
-  out.dp_cache_stats = oracle.option_cache_stats();
-
-  std::vector<ann::Sample> samples = recorder.take_samples();
+  std::vector<ann::Sample> samples;
+  {
+    OBS_SPAN("pipeline.oracle");
+    const nvp::SimResult oracle_run =
+        nvp::simulate(graph, training_trace, recorder, out.node);
+    out.oracle_dmr = oracle_run.overall_dmr();
+    out.lut = oracle.lut();
+    out.option_cache = dp_cfg.shared_cache;
+    out.dp_cache_stats = oracle.option_cache_stats();
+    samples = recorder.take_samples();
+  }
   out.n_samples = samples.size();
+  OBS_COUNTER_ADD("pipeline.samples", samples.size());
 
   // ---- Step 3: DBN training ----------------------------------------------
   // Normalize inputs by physical ranges: solar slots by the trace peak,
@@ -120,8 +127,14 @@ TrainedController train_pipeline(const task::TaskGraph& graph,
 
   const std::size_t n_out = out.node.capacities_f.size() + 1 + graph.size();
   auto dbn = std::make_shared<ann::Dbn>(n_in, n_out, config.dbn);
-  const ann::DbnTrainReport report = dbn->train(samples);
+  ann::DbnTrainReport report;
+  {
+    OBS_SPAN("pipeline.dbn_train");
+    report = dbn->train(samples);
+  }
   out.train_mse = report.finetune_loss;
+  OBS_GAUGE_SET("pipeline.train_mse", out.train_mse);
+  OBS_COUNTER_ADD("pipeline.runs", 1);
 
   out.model.dbn = std::move(dbn);
   out.model.input_norm = std::move(norm);

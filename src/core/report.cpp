@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -45,6 +46,74 @@ std::string to_csv(const nvp::SimResult& result) {
         p.stored_j, p.cap_supplied_j, p.conversion_loss_j, p.leakage_loss_j,
         p.spilled_j});
   return csv.str();
+}
+
+std::string metrics_report(const obs::MetricsSnapshot& snapshot) {
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty())
+    return {};
+
+  std::ostringstream out;
+  out << "metrics\n";
+
+  util::TextTable counters;
+  counters.set_header({"counter", "total"});
+  for (const auto& [name, total] : snapshot.counters)
+    counters.add_row({name, std::to_string(total)});
+  if (!snapshot.counters.empty()) out << counters.str();
+
+  if (!snapshot.gauges.empty()) {
+    util::TextTable gauges;
+    gauges.set_header({"gauge", "value"});
+    for (const auto& [name, value] : snapshot.gauges)
+      gauges.add_row({name, util::fmt(value, 4)});
+    out << gauges.str();
+  }
+
+  for (const auto& h : snapshot.histograms) {
+    out << h.name << ": n=" << h.count << " sum=" << util::fmt(h.sum, 4);
+    if (h.count > 0)
+      out << " mean=" << util::fmt(h.sum / static_cast<double>(h.count), 4);
+    out << " buckets[";
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b) out << " ";
+      if (b < h.upper_bounds.size())
+        out << "<=" << util::fmt(h.upper_bounds[b], 4) << ":";
+      else
+        out << "inf:";
+      out << h.bucket_counts[b];
+    }
+    out << "]\n";
+  }
+
+  // Derived rates the tables bury: cache hit rate and mean span times.
+  const std::uint64_t hits = snapshot.counter_or("sched.option_cache.hits");
+  const std::uint64_t misses = snapshot.counter_or("sched.option_cache.misses");
+  if (hits + misses > 0)
+    out << "option cache hit rate: "
+        << util::fmt_pct(static_cast<double>(hits) /
+                         static_cast<double>(hits + misses))
+        << "\n";
+  for (const auto& [name, total] : snapshot.counters) {
+    constexpr std::string_view kPrefix = "span.";
+    constexpr std::string_view kSuffix = ".total_us";
+    if (name.rfind(kPrefix, 0) != 0 || name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0)
+      continue;
+    const std::string base =
+        name.substr(0, name.size() - kSuffix.size());
+    const std::uint64_t calls = snapshot.counter_or(base + ".calls");
+    out << base.substr(kPrefix.size()) << ": " << total << " us over " << calls
+        << " calls";
+    if (calls > 0)
+      out << " (" << util::fmt(static_cast<double>(total) /
+                                   static_cast<double>(calls),
+                               1)
+          << " us/call)";
+    out << "\n";
+  }
+  return out.str();
 }
 
 std::string comparison_table(const std::vector<ComparisonRow>& rows) {

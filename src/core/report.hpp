@@ -6,6 +6,7 @@
 
 #include "core/experiment.hpp"
 #include "nvp/sim_result.hpp"
+#include "obs/metrics.hpp"
 
 namespace solsched::core {
 
@@ -19,6 +20,11 @@ std::string to_csv(const nvp::SimResult& result);
 
 /// Side-by-side text table of comparison rows (Fig. 8-style).
 std::string comparison_table(const std::vector<ComparisonRow>& rows);
+
+/// Text rendering of a metrics snapshot: counters/gauges tables plus derived
+/// rates (cache hit rate, mean span times). Empty string for an empty
+/// snapshot, so callers can append it unconditionally.
+std::string metrics_report(const obs::MetricsSnapshot& snapshot);
 
 /// Writes `content` to `path`; returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);

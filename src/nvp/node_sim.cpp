@@ -3,8 +3,75 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace solsched::nvp {
 namespace {
+
+/// Appends the per-period event batch for `record` to `events`. Cheap fields
+/// only; called once per period so it never touches the per-slot hot path.
+void emit_period_events(obs::SimTrace& events, const PeriodRecord& record,
+                        const storage::CapacitorBank& bank,
+                        std::size_t prev_cap_index, bool cap_switched) {
+  const auto day = static_cast<std::uint32_t>(record.day);
+  const auto period = static_cast<std::uint32_t>(record.period);
+
+  obs::SimEvent energy;
+  energy.type = "period_energy";
+  energy.day = day;
+  energy.period = period;
+  energy.fields = {{"solar_in_j", record.solar_in_j},
+                   {"load_served_j", record.load_served_j},
+                   {"stored_j", record.stored_j},
+                   {"migrated_in_j", record.migrated_in_j},
+                   {"cap_supplied_j", record.cap_supplied_j},
+                   {"conversion_loss_j", record.conversion_loss_j},
+                   {"leakage_loss_j", record.leakage_loss_j},
+                   {"spilled_j", record.spilled_j}};
+  events.emit(std::move(energy));
+
+  obs::SimEvent volts;
+  volts.type = "cap_voltages";
+  volts.day = day;
+  volts.period = period;
+  volts.fields.emplace_back("selected",
+                            static_cast<double>(bank.selected_index()));
+  const std::vector<double> v = bank.voltages();
+  for (std::size_t i = 0; i < v.size(); ++i)
+    volts.fields.emplace_back("v" + std::to_string(i), v[i]);
+  events.emit(std::move(volts));
+
+  obs::SimEvent deadline;
+  deadline.type = "deadline";
+  deadline.day = day;
+  deadline.period = period;
+  deadline.fields = {
+      {"misses", static_cast<double>(record.misses)},
+      {"completions", static_cast<double>(record.completions)},
+      {"dmr", record.dmr},
+      {"brownout_slots", static_cast<double>(record.brownout_slots)}};
+  events.emit(std::move(deadline));
+
+  if (cap_switched) {
+    obs::SimEvent sw;
+    sw.type = "cap_switch";
+    sw.day = day;
+    sw.period = period;
+    sw.fields = {{"from", static_cast<double>(prev_cap_index)},
+                 {"to", static_cast<double>(bank.selected_index())}};
+    events.emit(std::move(sw));
+  }
+
+  if (record.migrated_in_j > 0.0 || record.cap_supplied_j > 0.0) {
+    obs::SimEvent mig;
+    mig.type = "migration";
+    mig.day = day;
+    mig.period = period;
+    mig.fields = {{"migrated_in_j", record.migrated_in_j},
+                  {"cap_supplied_j", record.cap_supplied_j}};
+    events.emit(std::move(mig));
+  }
+}
 
 /// Validates one slot decision against Eq. 7-9 and the period's te set.
 void validate_decision(const std::vector<std::size_t>& chosen,
@@ -36,8 +103,8 @@ void validate_decision(const std::vector<std::size_t>& chosen,
 
 SimResult simulate(const task::TaskGraph& graph,
                    const solar::SolarTrace& trace, Scheduler& policy,
-                   const NodeConfig& config,
-                   solar::SolarPredictor& predictor) {
+                   const NodeConfig& config, solar::SolarPredictor& predictor,
+                   obs::SimTrace* events) {
   const solar::TimeGrid& grid = trace.grid();
   storage::CapacitorBank bank = config.make_bank();
   const storage::Pmu pmu(config.pmu);
@@ -69,8 +136,10 @@ SimResult simulate(const task::TaskGraph& graph,
           periods_done ? dmr_sum / static_cast<double>(periods_done) : 0.0;
       pctx.last_period_solar_w = last_period_solar;
 
+      const std::size_t prev_cap_index = bank.selected_index();
       PeriodPlan plan = policy.begin_period(pctx);
       if (plan.select_cap) bank.select(*plan.select_cap);
+      const bool cap_switched = bank.selected_index() != prev_cap_index;
       if (!plan.tasks_enabled.empty() &&
           plan.tasks_enabled.size() != graph.size())
         throw std::logic_error("period plan te vector has wrong size");
@@ -131,6 +200,24 @@ SimResult simulate(const task::TaskGraph& graph,
       record.misses = state.miss_count();
       record.completions = state.completed_count();
 
+      if (events != nullptr)
+        emit_period_events(*events, record, bank, prev_cap_index, cap_switched);
+
+      // Workload metrics, once per period; the per-slot hot path stays
+      // untouched. These counters are deterministic (no wall clock), so they
+      // are part of the N-thread == 1-thread totals contract.
+      OBS_COUNTER_ADD("nvp.sim.periods", 1);
+      OBS_COUNTER_ADD("nvp.sim.slots", grid.n_slots);
+      OBS_COUNTER_ADD("nvp.sim.deadline_misses", record.misses);
+      OBS_COUNTER_ADD("nvp.sim.completions", record.completions);
+      OBS_COUNTER_ADD("nvp.sim.brownout_slots", record.brownout_slots);
+      // Integer-valued samples keep the histogram sum exact (and therefore
+      // order-independent across thread counts); per-period DMR lives in
+      // the event trace where full precision matters.
+      OBS_HISTOGRAM_OBSERVE("nvp.sim.period_misses",
+                            (std::vector<double>{0.0, 1.0, 2.0, 5.0, 10.0}),
+                            record.misses);
+
       dmr_sum += record.dmr;
       ++periods_done;
       last_period_solar = trace.period_powers(day, period);
@@ -143,9 +230,9 @@ SimResult simulate(const task::TaskGraph& graph,
 
 SimResult simulate(const task::TaskGraph& graph,
                    const solar::SolarTrace& trace, Scheduler& policy,
-                   const NodeConfig& config) {
+                   const NodeConfig& config, obs::SimTrace* events) {
   solar::WcmaPredictor predictor(trace.grid().slots_per_day());
-  return simulate(graph, trace, policy, config, predictor);
+  return simulate(graph, trace, policy, config, predictor, events);
 }
 
 }  // namespace solsched::nvp

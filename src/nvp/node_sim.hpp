@@ -10,19 +10,26 @@
 #include "nvp/node_config.hpp"
 #include "nvp/scheduler.hpp"
 #include "nvp/sim_result.hpp"
+#include "obs/sim_trace.hpp"
 
 namespace solsched::nvp {
 
 /// Runs `policy` on `graph` over `trace`. `predictor` supplies forecasts to
 /// the policy and is fed every measured slot. Throws std::logic_error if the
 /// policy violates a scheduling constraint.
+///
+/// If `events` is non-null, one batch of typed per-period events is appended
+/// per simulated period (period_energy, cap_voltages, deadline, plus
+/// cap_switch / migration when those occur). The trace is owned by the caller
+/// and is not thread-safe: give each concurrent simulation its own SimTrace.
 SimResult simulate(const task::TaskGraph& graph,
                    const solar::SolarTrace& trace, Scheduler& policy,
-                   const NodeConfig& config, solar::SolarPredictor& predictor);
+                   const NodeConfig& config, solar::SolarPredictor& predictor,
+                   obs::SimTrace* events = nullptr);
 
 /// Convenience overload: builds a WCMA predictor internally.
 SimResult simulate(const task::TaskGraph& graph,
                    const solar::SolarTrace& trace, Scheduler& policy,
-                   const NodeConfig& config);
+                   const NodeConfig& config, obs::SimTrace* events = nullptr);
 
 }  // namespace solsched::nvp

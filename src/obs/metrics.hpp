@@ -1,0 +1,201 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms behind a single-atomic on/off switch.
+//
+// Design constraints (DESIGN.md §10):
+//  * The disabled path costs one relaxed atomic load and a branch — no
+//    allocation, no clock read, no registry lookup — so instrumented code
+//    stays within noise of uninstrumented code when observability is off.
+//  * Values are sharded per thread (cacheline-sized slots, thread-local
+//    shard index) and merged serially in shard order, so recording from
+//    util::ThreadPool workers never contends on one cacheline and never
+//    perturbs the §9 determinism contract: workload counters reach totals
+//    that are identical at every thread count because the *set of adds* is
+//    identical; only their shard placement varies, and addition over
+//    integers (and exactly-representable integer-valued doubles) is
+//    order-independent.
+//  * Metric objects are never erased: references returned by the registry
+//    stay valid for the process lifetime, so call sites may cache them in
+//    function-local statics (see the OBS_* macros).
+//
+// Naming convention: dotted lowercase paths, subsystem first
+// ("sched.option_cache.hits", "nvp.sim.deadline_misses"). Wall-clock
+// metrics end in "_us"; span aggregates live under "span."; thread-pool
+// shape metrics under "util.thread_pool.". Those three families are the
+// *non-deterministic* set — MetricsSnapshot::without_timing() strips them,
+// and everything that remains must be bit-identical across thread counts
+// for a deterministic workload (enforced by tests/obs).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace solsched::obs {
+
+/// Global observability switch: one relaxed atomic load. Initialized from
+/// the SOLSCHED_OBS environment variable ("1", "true", "on" = enabled;
+/// default disabled).
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Shard count for per-thread value slots. Threads map onto shards by a
+/// thread-local id modulo this; 32 covers every pool the benches spawn.
+inline constexpr std::size_t kMetricShards = 32;
+
+/// Small id of the calling thread (assigned on first use, never reused).
+std::size_t thread_ordinal() noexcept;
+
+/// Monotonic counter. add() touches only the caller's shard; total() merges
+/// shards serially in shard order.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept;
+  std::uint64_t total() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-written double value. Gauges carry run-level facts (thread count,
+/// final losses) and should be set from serial sections only — last-write
+/// order across pool workers is not deterministic.
+class Gauge {
+ public:
+  void set(double value) noexcept;
+  double value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. A sample x lands in the first bucket whose upper
+/// bound satisfies x <= bound (boundary values belong to the bucket they
+/// bound); samples above the last bound land in the implicit overflow
+/// bucket. Bucket counts and the sample count are integers; the running sum
+/// is a double, exact (hence order-independent) for integer-valued samples.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept;
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+
+  struct Totals {
+    std::vector<std::uint64_t> bucket_counts;  ///< bounds.size() + 1 slots.
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  /// Serial in-shard-order merge.
+  Totals totals() const;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    explicit Shard(std::size_t n_buckets);
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};  ///< double, CAS-accumulated.
+  };
+
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Point-in-time copy of every registered metric, names sorted, suitable
+/// for serialization and diffing.
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with shortest
+  /// round-trip double formatting.
+  std::string to_json() const;
+
+  /// The snapshot minus the documented non-deterministic families: names
+  /// under "span." or "util.thread_pool.", and names ending in "_us".
+  /// What remains must be identical across thread counts for a
+  /// deterministic workload.
+  MetricsSnapshot without_timing() const;
+
+  std::uint64_t counter_or(const std::string& name,
+                           std::uint64_t fallback = 0) const;
+};
+
+/// Name -> metric map. Creation is mutex-guarded; the returned references
+/// are stable for the process lifetime. reset() zeroes values but keeps
+/// registrations (and therefore cached references) valid.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is consulted only on first creation of `name`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace solsched::obs
+
+// Instrumentation macros. All of them are a single enabled() branch when
+// observability is off; the registry lookup runs once per call site (cached
+// in a function-local static on first enabled execution).
+#define SOLSCHED_OBS_CONCAT_INNER(a, b) a##b
+#define SOLSCHED_OBS_CONCAT(a, b) SOLSCHED_OBS_CONCAT_INNER(a, b)
+
+#define OBS_COUNTER_ADD(name, delta)                                       \
+  do {                                                                     \
+    if (::solsched::obs::enabled()) {                                      \
+      static ::solsched::obs::Counter& obs_counter_ref =                   \
+          ::solsched::obs::MetricsRegistry::global().counter(name);        \
+      obs_counter_ref.add(static_cast<std::uint64_t>(delta));              \
+    }                                                                      \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, value)                                         \
+  do {                                                                     \
+    if (::solsched::obs::enabled()) {                                      \
+      static ::solsched::obs::Gauge& obs_gauge_ref =                       \
+          ::solsched::obs::MetricsRegistry::global().gauge(name);          \
+      obs_gauge_ref.set(static_cast<double>(value));                       \
+    }                                                                      \
+  } while (0)
+
+#define OBS_HISTOGRAM_OBSERVE(name, bounds, value)                         \
+  do {                                                                     \
+    if (::solsched::obs::enabled()) {                                      \
+      static ::solsched::obs::Histogram& obs_histogram_ref =               \
+          ::solsched::obs::MetricsRegistry::global().histogram(name,       \
+                                                              bounds);     \
+      obs_histogram_ref.observe(static_cast<double>(value));               \
+    }                                                                      \
+  } while (0)

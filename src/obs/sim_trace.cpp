@@ -1,0 +1,155 @@
+#include "obs/sim_trace.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace solsched::obs {
+namespace {
+
+std::string fmt_double(double x) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), x);
+  return ec == std::errc() ? std::string(buf, end) : std::string("0");
+}
+
+[[noreturn]] void malformed(const std::string& line, const char* what) {
+  throw std::runtime_error("SimTrace::parse_jsonl: " + std::string(what) +
+                           " in line: " + line);
+}
+
+/// Consumes `"key":` at position i (no whitespace inside our own output,
+/// but stray spaces are tolerated); returns the key.
+std::string parse_key(const std::string& line, std::size_t& i) {
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size() || line[i] != '"') malformed(line, "expected key");
+  const std::size_t end = line.find('"', i + 1);
+  if (end == std::string::npos) malformed(line, "unterminated key");
+  std::string key = line.substr(i + 1, end - i - 1);
+  i = end + 1;
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size() || line[i] != ':') malformed(line, "expected ':'");
+  ++i;
+  while (i < line.size() && line[i] == ' ') ++i;
+  return key;
+}
+
+}  // namespace
+
+double SimEvent::field_or(std::string_view name, double fallback) const {
+  for (const auto& [key, value] : fields)
+    if (key == name) return value;
+  return fallback;
+}
+
+std::size_t SimTrace::count(std::string_view type) const {
+  std::size_t n = 0;
+  for (const SimEvent& e : events_)
+    if (e.type == type) ++n;
+  return n;
+}
+
+double SimTrace::sum(std::string_view type, std::string_view field) const {
+  double total = 0.0;
+  for (const SimEvent& e : events_)
+    if (e.type == type) total += e.field_or(field);
+  return total;
+}
+
+double SimTrace::mean(std::string_view type, std::string_view field) const {
+  const std::size_t n = count(type);
+  return n == 0 ? 0.0 : sum(type, field) / static_cast<double>(n);
+}
+
+std::string SimTrace::to_jsonl() const {
+  std::string out;
+  for (const SimEvent& e : events_) {
+    out += "{\"type\":\"";
+    out += e.type;
+    out += "\",\"day\":";
+    out += std::to_string(e.day);
+    out += ",\"period\":";
+    out += std::to_string(e.period);
+    for (const auto& [key, value] : e.fields) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      out += fmt_double(value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string SimTrace::to_csv() const {
+  std::string out = "type,day,period,field,value\n";
+  for (const SimEvent& e : events_)
+    for (const auto& [key, value] : e.fields) {
+      out += e.type;
+      out += ",";
+      out += std::to_string(e.day);
+      out += ",";
+      out += std::to_string(e.period);
+      out += ",";
+      out += key;
+      out += ",";
+      out += fmt_double(value);
+      out += "\n";
+    }
+  return out;
+}
+
+std::vector<SimEvent> SimTrace::parse_jsonl(const std::string& text) {
+  std::vector<SimEvent> events;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    std::size_t i = 0;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (line[i] != '{') malformed(line, "expected '{'");
+    ++i;
+
+    SimEvent event;
+    bool first = true;
+    for (;;) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i < line.size() && line[i] == '}') break;
+      if (!first) {
+        if (i >= line.size() || line[i] != ',') malformed(line, "expected ','");
+        ++i;
+      }
+      first = false;
+      const std::string key = parse_key(line, i);
+      if (key == "type") {
+        if (i >= line.size() || line[i] != '"')
+          malformed(line, "expected string value");
+        const std::size_t end = line.find('"', i + 1);
+        if (end == std::string::npos) malformed(line, "unterminated string");
+        event.type = line.substr(i + 1, end - i - 1);
+        i = end + 1;
+        continue;
+      }
+      // Numeric value.
+      const char* begin = line.c_str() + i;
+      char* value_end = nullptr;
+      const double value = std::strtod(begin, &value_end);
+      if (value_end == begin) malformed(line, "expected number");
+      i += static_cast<std::size_t>(value_end - begin);
+      if (key == "day")
+        event.day = static_cast<std::uint32_t>(value);
+      else if (key == "period")
+        event.period = static_cast<std::uint32_t>(value);
+      else
+        event.fields.emplace_back(key, value);
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace solsched::obs

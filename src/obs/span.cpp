@@ -1,0 +1,165 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace solsched::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_origin() noexcept {
+  static const Clock::time_point origin = Clock::now();
+  return origin;
+}
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::size_t tid = 0;
+};
+
+/// Bounded buffer: ~100 ms of dense dp.pareto_options spans fit with room
+/// to spare; anything beyond is dropped (counted), never reallocated into
+/// an unbounded trace.
+constexpr std::size_t kMaxTraceEvents = 1 << 18;
+
+struct TraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t dropped = 0;
+};
+
+TraceBuffer& trace_buffer() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+std::atomic<bool> g_trace_events{false};
+
+void record_trace_event(const char* name, std::uint64_t start_us,
+                        std::uint64_t end_us) {
+  TraceBuffer& buffer = trace_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxTraceEvents) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(TraceEvent{std::string(name), start_us,
+                                     end_us - start_us, thread_ordinal()});
+}
+
+Counter& span_counter(const char* name, const char* suffix) {
+  return MetricsRegistry::global().counter(std::string("span.") + name +
+                                           suffix);
+}
+
+}  // namespace
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            process_origin())
+          .count());
+}
+
+Counter& SpanSite::calls() {
+  Counter* c = calls_.load(std::memory_order_acquire);
+  if (!c) {
+    // A concurrent first call resolves the same registry entry; storing
+    // twice is benign (same pointer).
+    c = &span_counter(name_, ".calls");
+    calls_.store(c, std::memory_order_release);
+  }
+  return *c;
+}
+
+Counter& SpanSite::total_us() {
+  Counter* c = total_us_.load(std::memory_order_acquire);
+  if (!c) {
+    c = &span_counter(name_, ".total_us");
+    total_us_.store(c, std::memory_order_release);
+  }
+  return *c;
+}
+
+ScopedSpan::ScopedSpan(SpanSite& site) {
+  if (!enabled()) return;
+  site_ = &site;
+  start_us_ = now_us();
+  active_ = true;
+}
+
+ScopedSpan::ScopedSpan(std::string name) {
+  if (!enabled()) return;
+  dynamic_name_ = std::move(name);
+  start_us_ = now_us();
+  active_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::uint64_t end = now_us();
+  const std::uint64_t dur = end - start_us_;
+  const char* name = site_ ? site_->name() : dynamic_name_.c_str();
+  if (site_) {
+    site_->calls().add(1);
+    site_->total_us().add(dur);
+  } else {
+    span_counter(name, ".calls").add(1);
+    span_counter(name, ".total_us").add(dur);
+  }
+  if (g_trace_events.load(std::memory_order_relaxed))
+    record_trace_event(name, start_us_, end);
+}
+
+void set_trace_events_enabled(bool on) noexcept {
+  g_trace_events.store(on, std::memory_order_relaxed);
+}
+
+bool trace_events_enabled() noexcept {
+  return g_trace_events.load(std::memory_order_relaxed);
+}
+
+void clear_trace_events() {
+  TraceBuffer& buffer = trace_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.clear();
+  buffer.dropped = 0;
+}
+
+std::size_t trace_event_count() {
+  TraceBuffer& buffer = trace_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  return buffer.events.size();
+}
+
+std::size_t dropped_trace_event_count() {
+  TraceBuffer& buffer = trace_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  return buffer.dropped;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  TraceBuffer& buffer = trace_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\"traceEvents\":[");
+  for (std::size_t i = 0; i < buffer.events.size(); ++i) {
+    const TraceEvent& e = buffer.events[i];
+    std::fprintf(f,
+                 "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+                 "\"ts\":%llu,\"dur\":%llu}",
+                 i ? "," : "", e.name.c_str(), e.tid,
+                 static_cast<unsigned long long>(e.ts_us),
+                 static_cast<unsigned long long>(e.dur_us));
+  }
+  std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace solsched::obs

@@ -1,0 +1,87 @@
+// Scoped profiling spans.
+//
+// OBS_SPAN("dp.run") times the enclosing scope and aggregates into the
+// registry as two counters, "span.<name>.calls" and "span.<name>.total_us";
+// when the Chrome sink is armed it additionally records a trace_event
+// ("ph":"X") so the parallel offline pipeline can be inspected visually in
+// chrome://tracing or Perfetto.
+//
+// Span names follow the metric convention (dotted, subsystem first) and sit
+// in the non-deterministic metric family by construction: durations are
+// wall clock. The disabled path is one atomic load in the constructor —
+// no clock read, no allocation (tests/obs/disabled_path_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace solsched::obs {
+
+/// Per-call-site cache of a span's two registry counters. Function-local
+/// static in the OBS_SPAN macro; safe to construct before main.
+class SpanSite {
+ public:
+  explicit constexpr SpanSite(const char* name) noexcept : name_(name) {}
+
+  const char* name() const noexcept { return name_; }
+  Counter& calls();
+  Counter& total_us();
+
+ private:
+  const char* name_;
+  std::atomic<Counter*> calls_{nullptr};
+  std::atomic<Counter*> total_us_{nullptr};
+};
+
+/// RAII span. Inactive (and free beyond the enabled() check) when
+/// observability is off at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite& site);
+  /// Dynamic-name variant for per-row / per-item spans. The name is copied;
+  /// callers on hot paths should prefer OBS_SPAN's static site. This
+  /// constructor allocates — guard construction with obs::enabled() when
+  /// the name itself is built dynamically.
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanSite* site_ = nullptr;
+  std::string dynamic_name_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Microseconds since process start (steady clock).
+std::uint64_t now_us() noexcept;
+
+// ---- Chrome trace_event sink ---------------------------------------------
+// A bounded in-memory buffer of completed spans. Arm it around the region
+// of interest, then write_chrome_trace() produces a JSON object loadable by
+// chrome://tracing ({"traceEvents":[...]}). Events beyond the buffer cap
+// are dropped and counted.
+
+void set_trace_events_enabled(bool on) noexcept;
+bool trace_events_enabled() noexcept;
+void clear_trace_events();
+std::size_t trace_event_count();
+std::size_t dropped_trace_event_count();
+
+/// Writes the buffered events as Chrome trace JSON; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace solsched::obs
+
+/// Times the enclosing scope under `name` (a string literal).
+#define OBS_SPAN(name)                                                   \
+  static ::solsched::obs::SpanSite SOLSCHED_OBS_CONCAT(obs_span_site_,   \
+                                                       __LINE__){name};  \
+  ::solsched::obs::ScopedSpan SOLSCHED_OBS_CONCAT(obs_span_, __LINE__) { \
+    SOLSCHED_OBS_CONCAT(obs_span_site_, __LINE__)                        \
+  }

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sched/sched_util.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +48,7 @@ void OptimalScheduler::begin_trace(const task::TaskGraph& graph,
 void OptimalScheduler::run_dp(const task::TaskGraph& graph,
                               const nvp::NodeConfig& config,
                               const solar::SolarTrace& trace) {
+  OBS_SPAN("dp.run");
   const solar::TimeGrid& grid = trace.grid();
   const std::size_t n_periods = grid.total_periods();
   const std::size_t n_caps = config.capacities_f.size();
@@ -69,10 +72,13 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
                                double capacity_f, double v0) {
     const double vq = PeriodOptionCache::quantize_v0(
         v0, config.v_low, config.v_high, config_.v0_quant_steps);
-    if (!cache_)
+    if (!cache_) {
+      OBS_SPAN("dp.pareto_options");
       return std::make_shared<const std::vector<PeriodOption>>(
           optimizer.pareto_options(solar_w, capacity_f, vq));
+    }
     return cache_->lookup_or_compute(solar_w, capacity_f, vq, [&] {
+      OBS_SPAN("dp.pareto_options");
       return optimizer.pareto_options(solar_w, capacity_f, vq);
     });
   };
@@ -292,6 +298,12 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
     state_h = best_h;
     state_usable = best_usable;
   }
+
+  OBS_COUNTER_ADD("sched.dp.runs", 1);
+  OBS_COUNTER_ADD("sched.dp.periods_planned", n_periods);
+  OBS_COUNTER_ADD("sched.dp.evaluations", dp_evaluations_);
+  OBS_COUNTER_ADD("sched.dp.planned_misses", planned_misses_);
+  OBS_COUNTER_ADD("sched.dp.lut_entries", lut_.size());
 }
 
 nvp::PeriodPlan OptimalScheduler::begin_period(const nvp::PeriodContext& ctx) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "sched/sched_util.hpp"
 #include "storage/cap_bank.hpp"
 #include "task/period_state.hpp"
@@ -143,6 +144,8 @@ PeriodEval PeriodOptimizer::evaluate_with(const std::vector<bool>& te,
 
 std::vector<PeriodOption> PeriodOptimizer::pareto_options(
     const std::vector<double>& solar_w, double capacity_f, double v0) const {
+  OBS_COUNTER_ADD("sched.pareto.calls", 1);
+  OBS_COUNTER_ADD("sched.pareto.subset_evals", closed_.size());
   // best option per miss count; prefer smaller E^c, tie-break on higher
   // final energy.
   std::vector<PeriodOption> best(graph_->size() + 1);

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace solsched::sched {
 namespace {
 
@@ -59,9 +61,11 @@ PeriodOptionCache::lookup_or_compute(
     const auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
+      OBS_COUNTER_ADD("sched.option_cache.hits", 1);
       return it->second;
     }
     ++stats_.misses;
+    OBS_COUNTER_ADD("sched.option_cache.misses", 1);
   }
 
   // Computed outside the lock: evaluations dominate and may themselves use
@@ -77,6 +81,7 @@ PeriodOptionCache::lookup_or_compute(
       map_.erase(insertion_order_.front());
       insertion_order_.pop_front();
       ++stats_.evictions;
+      OBS_COUNTER_ADD("sched.option_cache.evictions", 1);
     }
   }
   stats_.entries = map_.size();

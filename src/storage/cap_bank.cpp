@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace solsched::storage {
 
 CapacitorBank::CapacitorBank(const std::vector<double>& capacities_f,
@@ -19,6 +21,7 @@ CapacitorBank::CapacitorBank(const std::vector<double>& capacities_f,
 void CapacitorBank::select(std::size_t index) {
   if (index >= caps_.size())
     throw std::out_of_range("CapacitorBank::select: index out of range");
+  if (index != selected_) OBS_COUNTER_ADD("storage.cap_bank.switches", 1);
   selected_ = index;
 }
 

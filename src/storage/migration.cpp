@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "storage/supercap.hpp"
 
 namespace solsched::storage {
@@ -51,6 +52,13 @@ MigrationResult migrate_coarse(double capacity_f, const RegulatorModel& reg,
   result.residual_j = cap.usable_energy_j();
   result.efficiency =
       pattern.quantity_j > 0.0 ? result.delivered_j / pattern.quantity_j : 0.0;
+  OBS_COUNTER_ADD("storage.migration.runs", 1);
+  // Percent samples are integer-valued, so the histogram sum stays exact
+  // (order-independent) at any thread count.
+  OBS_HISTOGRAM_OBSERVE("storage.migration.efficiency_pct",
+                        (std::vector<double>{20.0, 40.0, 60.0, 80.0, 90.0,
+                                             100.0}),
+                        std::round(100.0 * result.efficiency));
   return result;
 }
 
@@ -70,6 +78,13 @@ MigrationResult migrate_fine(double capacity_f, const RegulatorModel& reg,
   result.residual_j = std::max(0.0, fine.final_energy_j - floor_j);
   result.efficiency =
       pattern.quantity_j > 0.0 ? result.delivered_j / pattern.quantity_j : 0.0;
+  OBS_COUNTER_ADD("storage.migration.runs", 1);
+  // Percent samples are integer-valued, so the histogram sum stays exact
+  // (order-independent) at any thread count.
+  OBS_HISTOGRAM_OBSERVE("storage.migration.efficiency_pct",
+                        (std::vector<double>{20.0, 40.0, 60.0, 80.0, 90.0,
+                                             100.0}),
+                        std::round(100.0 * result.efficiency));
   return result;
 }
 

@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace solsched::util {
 namespace {
 
@@ -73,9 +76,16 @@ struct ThreadPool::Impl {
     for (;;) {
       Job* my_job = nullptr;
       {
+        // The pool has no task queue (one job at a time, indices claimed by
+        // fetch_add), so "idle" is the whole wait between jobs.
+        const std::uint64_t wait_start =
+            obs::enabled() ? obs::now_us() : 0;
         std::unique_lock<std::mutex> lock(mutex);
         work_cv.wait(lock,
                      [&] { return shutdown || generation != seen; });
+        if (wait_start != 0)
+          OBS_COUNTER_ADD("util.thread_pool.idle_us",
+                          obs::now_us() - wait_start);
         if (shutdown) return;
         seen = generation;
         my_job = job;
@@ -96,6 +106,7 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool(std::size_t n_threads) : impl_(new Impl) {
   impl_->n_threads = n_threads == 0 ? 1 : n_threads;
+  OBS_GAUGE_SET("util.thread_pool.threads", impl_->n_threads);
   impl_->workers.reserve(impl_->n_threads - 1);
   for (std::size_t t = 0; t + 1 < impl_->n_threads; ++t)
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
@@ -117,6 +128,11 @@ bool ThreadPool::in_worker() noexcept { return t_in_worker; }
 void ThreadPool::run(std::size_t n,
                      const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // jobs/indices count every run() call identically at any thread count;
+  // parallel_jobs (and idle_us above) describe the execution shape and are
+  // excluded from determinism comparisons (MetricsSnapshot::without_timing).
+  OBS_COUNTER_ADD("util.thread_pool.jobs", 1);
+  OBS_COUNTER_ADD("util.thread_pool.indices", n);
   if (n == 1 || impl_->workers.empty() || t_in_worker) {
     // Serial path: exceptions propagate directly; remaining indices are
     // skipped exactly as in the parallel path.
@@ -124,6 +140,7 @@ void ThreadPool::run(std::size_t n,
     return;
   }
 
+  OBS_COUNTER_ADD("util.thread_pool.parallel_jobs", 1);
   std::lock_guard<std::mutex> top(impl_->run_mutex);
   Impl::Job job;
   job.fn = &fn;

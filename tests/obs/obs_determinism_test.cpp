@@ -1,0 +1,82 @@
+// Observability must not perturb — and must itself obey — the determinism
+// contract: with obs enabled, an N-thread run produces the same workload
+// metric totals and byte-identical per-row event traces as the 1-thread run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace solsched::core {
+namespace {
+
+struct ObsRun {
+  obs::MetricsSnapshot workload;  ///< snapshot().without_timing()
+  std::vector<std::string> row_names;
+  std::vector<std::string> row_jsonl;
+  std::vector<double> row_dmr;
+};
+
+ObsRun run_at(std::size_t threads) {
+  util::ThreadPool::set_global_threads(threads);
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  const auto grid = test::tiny_grid();
+  const auto trace =
+      test::scaled_generator(grid, 11).generate_days(1, grid);
+  const auto graph = test::indep3();
+  const auto node = test::small_node(grid);
+
+  ComparisonConfig config;
+  config.run_proposed = false;  // No trained controller in this test.
+  config.run_optimal = false;   // Keep the tiny run fast.
+  config.run_edf = true;
+  config.run_asap = true;
+  config.record_events = true;
+  const auto rows = run_comparison(graph, trace, node, nullptr, config);
+
+  ObsRun out;
+  out.workload = obs::MetricsRegistry::global().snapshot().without_timing();
+  for (const auto& row : rows) {
+    out.row_names.push_back(row.algo);
+    out.row_dmr.push_back(row.dmr);
+    if (row.events) out.row_jsonl.push_back(row.events->to_jsonl());
+  }
+  obs::set_enabled(false);
+  return out;
+}
+
+TEST(ObsDeterminism, NThreadMatchesOneThread) {
+  const ObsRun one = run_at(1);
+  const ObsRun four = run_at(4);
+  util::ThreadPool::set_global_threads(0);  // Restore default.
+
+  // Same rows, same outcomes.
+  ASSERT_EQ(one.row_names, four.row_names);
+  EXPECT_EQ(one.row_dmr, four.row_dmr);
+
+  // Byte-identical per-row event traces: each row owns a private SimTrace,
+  // so row parallelism cannot interleave events.
+  ASSERT_EQ(one.row_jsonl.size(), four.row_jsonl.size());
+  ASSERT_EQ(one.row_jsonl.size(), one.row_names.size());
+  for (std::size_t i = 0; i < one.row_jsonl.size(); ++i) {
+    EXPECT_FALSE(one.row_jsonl[i].empty());
+    EXPECT_EQ(one.row_jsonl[i], four.row_jsonl[i]) << one.row_names[i];
+  }
+
+  // Identical workload metric totals: the timing families are stripped by
+  // without_timing(); everything left must match counter for counter.
+  EXPECT_EQ(one.workload.to_json(), four.workload.to_json());
+
+  // Sanity: the filtered snapshot still covers the simulator counters.
+  EXPECT_GT(one.workload.counter_or("nvp.sim.periods"), 0u);
+  EXPECT_GT(one.workload.counter_or("experiment.rows"), 0u);
+}
+
+}  // namespace
+}  // namespace solsched::core

@@ -1,0 +1,122 @@
+// Scoped spans: registry aggregation, on/off behaviour, Chrome trace sink.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace solsched::obs {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    set_trace_events_enabled(false);
+    clear_trace_events();
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    set_trace_events_enabled(false);
+    clear_trace_events();
+    set_enabled(false);
+  }
+};
+
+TEST_F(SpanTest, RecordsCallsAndDuration) {
+  for (int i = 0; i < 3; ++i) {
+    OBS_SPAN("test.span.basic");
+  }
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counter_or("span.test.span.basic.calls"), 3u);
+  // total_us exists (possibly 0 on a fast machine).
+  EXPECT_EQ(snap.counter_or("span.test.span.basic.total_us", 999999u) ==
+                999999u,
+            false);
+}
+
+TEST_F(SpanTest, DisabledSpanRecordsNothing) {
+  set_enabled(false);
+  {
+    OBS_SPAN("test.span.disabled");
+  }
+  set_enabled(true);
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counter_or("span.test.span.disabled.calls"), 0u);
+}
+
+TEST_F(SpanTest, EnabledStateLatchedAtConstruction) {
+  // Disabling mid-span must not crash or half-record: activity is decided
+  // in the constructor.
+  {
+    OBS_SPAN("test.span.latched");
+    set_enabled(false);
+  }
+  set_enabled(true);
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counter_or("span.test.span.latched.calls"), 1u);
+}
+
+TEST_F(SpanTest, DynamicNameSpan) {
+  const std::string row = "row.optimal";
+  {
+    ScopedSpan span("test.span." + row);
+  }
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counter_or("span.test.span.row.optimal.calls"), 1u);
+}
+
+TEST_F(SpanTest, TraceSinkCapturesSpans) {
+  set_trace_events_enabled(true);
+  EXPECT_EQ(trace_event_count(), 0u);
+  {
+    OBS_SPAN("test.span.traced");
+  }
+  {
+    ScopedSpan span(std::string("test.span.traced_dynamic"));
+  }
+  EXPECT_EQ(trace_event_count(), 2u);
+  EXPECT_EQ(dropped_trace_event_count(), 0u);
+  clear_trace_events();
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(SpanTest, SinkDisarmedByDefault) {
+  {
+    OBS_SPAN("test.span.untraced");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(SpanTest, WriteChromeTraceJson) {
+  set_trace_events_enabled(true);
+  {
+    OBS_SPAN("test.span.chrome");
+  }
+  const std::string path =
+      ::testing::TempDir() + "span_test.trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.span.chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(SpanTest, NowUsMonotonic) {
+  const std::uint64_t a = now_us();
+  const std::uint64_t b = now_us();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace solsched::obs
