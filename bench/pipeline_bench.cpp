@@ -24,9 +24,12 @@
 
 #include "bench_common.hpp"
 #include "core/report.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sim_trace.hpp"
 #include "obs/span.hpp"
+#include "sched/lsa_inter.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace solsched;
@@ -161,6 +164,51 @@ std::vector<std::string> covered_sites(const obs::MetricsSnapshot& snapshot) {
   return present;
 }
 
+/// Fault-hook overhead probe: the same simulation three ways — no injector,
+/// an attached-but-inactive plan (the contractual ~zero-overhead case), and
+/// an active blackout+sensor plan. Obs-disabled, best of kReps each.
+struct FaultBench {
+  double none_ms = 0.0;
+  double inactive_ms = 0.0;
+  double active_ms = 0.0;
+  std::size_t pf_slots = 0;  ///< Power-failure slots of the active run.
+};
+
+FaultBench fault_overhead_bench() {
+  util::ThreadPool::set_global_threads(1);
+  const auto grid = bench::paper_grid();
+  const auto gen = bench::paper_generator(kSeed);
+  const auto trace =
+      gen.generate_days(kTrainDays, grid, solar::DayKind::kPartlyCloudy);
+  const auto graph = task::wam_benchmark();
+  const nvp::NodeConfig node = bench::paper_node();
+
+  // The injector must be expanded over the multi-day grid of the trace,
+  // not the one-day template grid.
+  const fault::FaultInjector inactive(fault::FaultPlan{}, trace.grid());
+  const fault::FaultInjector active(
+      fault::FaultPlan::parse("blackout=2,dropout=0.02,glitch=0.01"),
+      trace.grid());
+
+  FaultBench result;
+  const auto time_one = [&](const fault::FaultInjector* fx, double& best_ms,
+                            std::size_t* pf_slots) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      sched::LsaInterScheduler policy;
+      const auto t0 = Clock::now();
+      const nvp::SimResult sim =
+          nvp::simulate(graph, trace, policy, node, nullptr, fx);
+      const double ms = ms_between(t0, Clock::now());
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      if (pf_slots) *pf_slots = sim.total_power_failure_slots();
+    }
+  };
+  time_one(nullptr, result.none_ms, nullptr);
+  time_one(&inactive, result.inactive_ms, nullptr);
+  time_one(&active, result.active_ms, &result.pf_slots);
+  return result;
+}
+
 void print_json_entry(std::FILE* f, const std::string& name,
                       const RunResult& r, std::size_t threads, bool last) {
   std::fprintf(f,
@@ -289,6 +337,25 @@ int main() {
     first = false;
   }
   std::fprintf(f, "\n    }\n  },\n");
+
+  // Fault-hook overhead: the inactive-plan run must sit within noise of the
+  // no-injector run (the hooks are pointer tests on the hot path).
+  const FaultBench fb = fault_overhead_bench();
+  std::printf("fault hooks: none %.1f ms, inactive plan %.1f ms (%+.1f%%), "
+              "active plan %.1f ms (%zu pf slots)\n",
+              fb.none_ms, fb.inactive_ms,
+              fb.none_ms > 0.0
+                  ? 100.0 * (fb.inactive_ms - fb.none_ms) / fb.none_ms
+                  : 0.0,
+              fb.active_ms, fb.pf_slots);
+  std::fprintf(f,
+               "  \"fault\": {\n"
+               "    \"none_ms\": %.3f,\n"
+               "    \"inactive_plan_ms\": %.3f,\n"
+               "    \"active_plan_ms\": %.3f,\n"
+               "    \"active_pf_slots\": %zu\n"
+               "  },\n",
+               fb.none_ms, fb.inactive_ms, fb.active_ms, fb.pf_slots);
 
   const double best_fast =
       std::min_element(fast.begin(), fast.end(),

@@ -7,18 +7,45 @@
 // compares the proposed scheduler against the baselines at each size.
 //
 // Build & run:  ./build/examples/ecg_wearable
+//   --fault-plan SPEC    also run a resilience sweep at the 1.0x panel,
+//                        e.g. "blackout=3,dropout=0.05,corrupt=0.1"
 #include <cstdio>
+#include <optional>
 
 #include "core/experiment.hpp"
+#include "core/report.hpp"
 #include "solar/predictor.hpp"
 #include "solar/trace_generator.hpp"
 #include "task/benchmarks.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 using namespace solsched;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("fault-plan", "",
+               "resilience sweep spec, e.g. blackout=3,corrupt=0.1");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
+                 cli.usage("ecg_wearable").c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage("ecg_wearable").c_str());
+    return 0;
+  }
+  std::optional<fault::FaultPlan> fault_plan;
+  if (!cli.get("fault-plan").empty()) {
+    try {
+      fault_plan = fault::FaultPlan::parse(cli.get("fault-plan"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+      return 1;
+    }
+  }
+
   const solar::TimeGrid grid = solar::default_grid();
   const task::TaskGraph graph = task::ecg_benchmark();
   std::printf("ECG patch: %zu tasks, %.1f J per 10-minute period, %.0f J "
@@ -58,6 +85,7 @@ int main() {
   util::TextTable table;
   table.set_header({"panel scale", "harvest (J/day)", "Inter-task",
                     "Proposed", "Optimal"});
+  std::optional<core::TrainedController> nominal;  // 1.0x, for the sweep.
   for (double scale : {0.5, 1.0, 1.5, 2.0}) {
     const auto training = base_training.scaled(scale);
     const auto test = base_test.scaled(scale);
@@ -66,6 +94,7 @@ int main() {
     node.grid = grid;
     const core::TrainedController controller =
         core::train_pipeline(graph, training, node, core::PipelineConfig{});
+    if (scale == 1.0) nominal = controller;
     core::ComparisonConfig config;
     config.run_intra = false;
     const auto rows =
@@ -80,5 +109,18 @@ int main() {
   std::printf("\nreading: the scheduler buys a chunk of the DMR a bigger "
               "panel would — compare the Proposed column against the "
               "Inter-task one a row lower\n");
+
+  // --- Optional resilience sweep at the nominal panel (DESIGN.md §11) ----
+  if (fault_plan && nominal) {
+    std::printf("\nresilience sweep at 1.0x panel (%s):\n",
+                fault_plan->describe().c_str());
+    core::ResilienceConfig config;
+    config.plan = *fault_plan;
+    const auto points = core::run_resilience_sweep(
+        graph, base_test, nominal->node, &*nominal, config);
+    std::printf("%s", core::resilience_table(points).c_str());
+    std::printf("\nreading: the volatile row shows what the NVP's "
+                "backup/restore buys once outages start wiping progress\n");
+  }
   return 0;
 }

@@ -16,11 +16,17 @@
 //   --metrics-out m.json   dump the metrics registry snapshot
 //   --trace-out t.json     dump Chrome trace_event JSON (chrome://tracing)
 //   --events-out e.jsonl   dump the week run's simulation events (JSONL)
+//   --fault-plan SPEC      inject faults into the week run, e.g.
+//                          "blackout=2,dropout=0.05,corrupt=0.1" (see
+//                          fault::FaultPlan::parse for the key list)
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/controller_io.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "core/report.hpp"
 #include "nvp/exec_trace.hpp"
 #include "nvp/node_sim.hpp"
@@ -40,6 +46,8 @@ int main(int argc, char** argv) {
                "write Chrome trace_event JSON for chrome://tracing");
   cli.add_flag("events-out", "",
                "write the week run's simulation events (JSONL)");
+  cli.add_flag("fault-plan", "",
+               "fault spec for the week run, e.g. blackout=2,dropout=0.05");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
                  cli.usage("wam_monitoring").c_str());
@@ -99,13 +107,34 @@ int main(int argc, char** argv) {
   const auto week = solar::TraceGenerator(test_config)
                         .generate_days(n_days, grid, solar::DayKind::kClear);
 
+  // Optional fault injection over the whole week (DESIGN.md §11).
+  std::unique_ptr<fault::FaultInjector> faults;
+  if (!cli.get("fault-plan").empty()) {
+    fault::FaultPlan plan;
+    try {
+      plan = fault::FaultPlan::parse(cli.get("fault-plan"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+      return 1;
+    }
+    faults = std::make_unique<fault::FaultInjector>(plan, week.grid());
+    std::printf("\nfault plan: %s\n", plan.describe().c_str());
+  }
+
   auto policy = core::make_proposed(controller);
+  policy->attach_faults(faults.get());
   nvp::RecordingScheduler recorder(*policy);
   obs::SimTrace events;
-  const nvp::SimResult result =
-      nvp::simulate(graph, week, recorder, controller.node, &events);
+  const nvp::SimResult result = nvp::simulate(
+      graph, week, recorder, controller.node, &events, faults.get());
 
   std::printf("\n%s", core::summarize(result, "one-week run", 1).c_str());
+  if (faults)
+    std::printf("  faults: %zu outages over %zu dark slots, %zu backups, "
+                "%zu restores, %zu degraded periods\n",
+                result.total_power_failures(),
+                result.total_power_failure_slots(), result.total_backups(),
+                result.total_restores(), result.total_fallbacks());
 
   // Per-day deadline figures, grouped from the event trace.
   std::vector<double> day_dmr(n_days, 0.0);

@@ -1,16 +1,20 @@
 #!/usr/bin/env sh
 # Tier-1 gate: the full test suite on a normal build, plus the concurrency
-# and observability suites rerun under ThreadSanitizer.
+# and observability suites rerun under ThreadSanitizer, plus the fault
+# suite rerun under UndefinedBehaviorSanitizer.
 #
-#   scripts/tier1.sh [build-dir] [tsan-build-dir]
+#   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
 #
 # The first phase is exactly the ROADMAP tier-1 command (configure, build,
 # full ctest); the TSan phase rebuilds only to run `ctest -L "concurrency|obs"`
-# — the two label families with real cross-thread traffic.
+# — the two label families with real cross-thread traffic; the UBSan phase
+# runs `ctest -L fault` — the injection paths push NaN and out-of-range
+# values through the decoders, exactly where UB would hide.
 set -eu
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
+UBSAN_DIR="${3:-build-ubsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 echo "== tier 1: full suite ($BUILD_DIR) =="
@@ -22,5 +26,10 @@ echo "== tier 1: TSan rerun of concurrency + obs ($TSAN_DIR) =="
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS"
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L "concurrency|obs"
+
+echo "== tier 1: UBSan rerun of fault suite ($UBSAN_DIR) =="
+cmake -B "$UBSAN_DIR" -S . -DSOLSCHED_SANITIZE=undefined
+cmake --build "$UBSAN_DIR" -j "$JOBS"
+ctest --test-dir "$UBSAN_DIR" --output-on-failure -j "$JOBS" -L fault
 
 echo "tier 1 passed"

@@ -112,6 +112,10 @@ TrainedController deserialize_controller(const std::string& text) {
       ann::Dbn::from_network(ann::Mlp::deserialize(rest)));
 
   out.model.capacities_f = out.node.capacities_f;
+  // A structurally well-formed file can still carry unusable parameters
+  // (zero-slot grid, negative capacity, NaN voltage bounds...). Reject it
+  // here, with every finding listed, rather than deep inside a simulation.
+  out.node.validate();
   return out;
 }
 

@@ -23,7 +23,8 @@ namespace {
 ComparisonRow run_one(const task::TaskGraph& graph,
                       const solar::SolarTrace& trace,
                       const nvp::NodeConfig& node, nvp::Scheduler& policy,
-                      std::string name, bool record_events) {
+                      std::string name, bool record_events,
+                      const fault::FaultInjector* faults = nullptr) {
   ComparisonRow row;
   row.algo = std::move(name);
   // Span names are dynamic (one per policy row), so the ScopedSpan is built
@@ -31,7 +32,7 @@ ComparisonRow run_one(const task::TaskGraph& graph,
   std::optional<obs::ScopedSpan> span;
   if (obs::enabled()) span.emplace("experiment.row." + row.algo);
   if (record_events) row.events = std::make_shared<obs::SimTrace>();
-  row.sim = nvp::simulate(graph, trace, policy, node, row.events.get());
+  row.sim = nvp::simulate(graph, trace, policy, node, row.events.get(), faults);
   row.dmr = row.sim.overall_dmr();
   row.energy_utilization = row.sim.energy_utilization();
   row.migration_efficiency = row.sim.migration_efficiency();
@@ -40,22 +41,12 @@ ComparisonRow run_one(const task::TaskGraph& graph,
   return row;
 }
 
-}  // namespace
-
-std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
-                                          const solar::SolarTrace& trace,
-                                          const nvp::NodeConfig& node,
-                                          const TrainedController* trained,
-                                          const ComparisonConfig& config) {
-  // All policies run on the same storage hardware: the sized bank when a
-  // trained controller is supplied.
-  const nvp::NodeConfig& effective = trained ? trained->node : node;
-
-  // The single-storage baselines ([3], [9], ASAP, EDF) never re-select
-  // capacitors: they assume one super capacitor fixed at design time. They
-  // get the best *single* choice our sizing flow would make — the mean of
-  // the per-day optima (the H = 1 cluster) — on the same physical bank.
-  // Without sizing data they fall back to the largest capacitor.
+/// The best *single* capacitor for the storage-oblivious baselines: the one
+/// closest to the mean of the per-day sizing optima, or the largest when no
+/// sizing data exists. Shared by run_comparison and run_resilience_sweep so
+/// both put the baselines on identical hardware.
+nvp::NodeConfig single_cap_baseline(const nvp::NodeConfig& effective,
+                                    const TrainedController* trained) {
   nvp::NodeConfig baseline_node = effective;
   std::size_t single = 0;
   if (trained && !trained->sizing.daily_optimal_f.empty()) {
@@ -77,6 +68,26 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
         single = i;
   }
   baseline_node.initial_cap = single;
+  return baseline_node;
+}
+
+}  // namespace
+
+std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
+                                          const solar::SolarTrace& trace,
+                                          const nvp::NodeConfig& node,
+                                          const TrainedController* trained,
+                                          const ComparisonConfig& config) {
+  // All policies run on the same storage hardware: the sized bank when a
+  // trained controller is supplied.
+  const nvp::NodeConfig& effective = trained ? trained->node : node;
+
+  // The single-storage baselines ([3], [9], ASAP, EDF) never re-select
+  // capacitors: they assume one super capacitor fixed at design time. They
+  // get the best *single* choice our sizing flow would make — the mean of
+  // the per-day optima (the H = 1 cluster) — on the same physical bank.
+  // Without sizing data they fall back to the largest capacitor.
+  const nvp::NodeConfig baseline_node = single_cap_baseline(effective, trained);
 
   // Policy rows are independent simulations: collect one factory per
   // enabled row, run them on the thread pool into pre-sized slots, and
@@ -86,37 +97,38 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
     row_jobs.push_back([&] {
       sched::AsapScheduler policy;
       return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events);
+                     config.record_events, config.faults);
     });
   if (config.run_edf)
     row_jobs.push_back([&] {
       sched::EdfScheduler policy;
       return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events);
+                     config.record_events, config.faults);
     });
   if (config.run_duty)
     row_jobs.push_back([&] {
       sched::DutyCycleScheduler policy;
       return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events);
+                     config.record_events, config.faults);
     });
   if (config.run_inter)
     row_jobs.push_back([&] {
       sched::LsaInterScheduler policy;
       return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events);
+                     config.record_events, config.faults);
     });
   if (config.run_intra)
     row_jobs.push_back([&] {
       sched::IntraTaskScheduler policy;
       return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events);
+                     config.record_events, config.faults);
     });
   if (config.run_proposed && trained)
     row_jobs.push_back([&] {
       auto policy = make_proposed(*trained);
+      policy->attach_faults(config.faults);
       return run_one(graph, trace, effective, *policy, policy->name(),
-                     config.record_events);
+                     config.record_events, config.faults);
     });
   if (config.run_optimal)
     row_jobs.push_back([&] {
@@ -126,7 +138,7 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
       if (!dp.shared_cache && trained) dp.shared_cache = trained->option_cache;
       sched::OptimalScheduler policy(std::move(dp));
       return run_one(graph, trace, effective, policy, policy.name(),
-                     config.record_events);
+                     config.record_events, config.faults);
     });
 
   std::vector<ComparisonRow> rows(row_jobs.size());
@@ -140,6 +152,74 @@ const ComparisonRow& row_of(const std::vector<ComparisonRow>& rows,
   for (const auto& row : rows)
     if (row.algo == algo) return row;
   throw std::out_of_range("row_of: no such algorithm: " + algo);
+}
+
+std::vector<ResiliencePoint> run_resilience_sweep(
+    const task::TaskGraph& graph, const solar::SolarTrace& trace,
+    const nvp::NodeConfig& node, const TrainedController* trained,
+    const ResilienceConfig& config) {
+  const nvp::NodeConfig& effective = trained ? trained->node : node;
+  const nvp::NodeConfig baseline_node = single_cap_baseline(effective, trained);
+  nvp::NodeConfig volatile_node = effective;
+  volatile_node.volatile_baseline = true;
+
+  // One injector per intensity, built serially up front: construction
+  // consumes all the plan's randomness, so the tables are fixed before any
+  // row runs and can be shared read-only across the pool.
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  injectors.reserve(config.intensities.size());
+  for (double intensity : config.intensities)
+    injectors.push_back(std::make_unique<fault::FaultInjector>(
+        config.plan.scaled(intensity), trace.grid()));
+
+  // Flatten (intensity x policy) into one job list so the pool sees every
+  // simulation at once (nested parallel regions would serialize).
+  struct Job {
+    std::size_t point;
+    std::function<ComparisonRow()> run;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < config.intensities.size(); ++i) {
+    const fault::FaultInjector* fx = injectors[i].get();
+    if (config.run_inter)
+      jobs.push_back({i, [&, fx] {
+                        sched::LsaInterScheduler policy;
+                        return run_one(graph, trace, baseline_node, policy,
+                                       policy.name(), false, fx);
+                      }});
+    if (config.run_intra)
+      jobs.push_back({i, [&, fx] {
+                        sched::IntraTaskScheduler policy;
+                        return run_one(graph, trace, baseline_node, policy,
+                                       policy.name(), false, fx);
+                      }});
+    if (config.run_proposed && trained) {
+      jobs.push_back({i, [&, fx] {
+                        auto policy = make_proposed(*trained);
+                        policy->attach_faults(fx);
+                        return run_one(graph, trace, effective, *policy,
+                                       policy->name(), false, fx);
+                      }});
+      if (config.volatile_ablation)
+        jobs.push_back({i, [&, fx] {
+                          auto policy = make_proposed(*trained);
+                          policy->attach_faults(fx);
+                          return run_one(graph, trace, volatile_node, *policy,
+                                         "Proposed (volatile)", false, fx);
+                        }});
+    }
+  }
+
+  std::vector<ComparisonRow> flat(jobs.size());
+  util::parallel_for(jobs.size(),
+                     [&](std::size_t i) { flat[i] = jobs[i].run(); });
+
+  std::vector<ResiliencePoint> points(config.intensities.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    points[i].intensity = config.intensities[i];
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    points[jobs[i].point].rows.push_back(std::move(flat[i]));
+  return points;
 }
 
 }  // namespace solsched::core

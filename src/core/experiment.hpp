@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "nvp/node_sim.hpp"
 #include "obs/sim_trace.hpp"
 
@@ -23,6 +25,11 @@ struct ComparisonConfig {
   bool run_asap = false;    ///< Extra greedy reference.
   bool run_duty = false;    ///< Extra duty-cycling reference.
   bool record_events = false;  ///< Attach a SimTrace to every row's sim.
+  /// Optional shared fault injector (DESIGN.md §11): every row simulates
+  /// under the same precomputed fault tables, and the proposed scheduler
+  /// additionally receives the controller-corruption stream. Read-only, so
+  /// sharing across the parallel rows is safe; must outlive the call.
+  const fault::FaultInjector* faults = nullptr;
   sched::OptimalConfig dp{};
 };
 
@@ -53,5 +60,33 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
 /// Finds a row by algorithm name; throws std::out_of_range if absent.
 const ComparisonRow& row_of(const std::vector<ComparisonRow>& rows,
                             const std::string& algo);
+
+/// Resilience sweep configuration (DESIGN.md §11): one base fault plan,
+/// scaled to a range of intensities; intensity 0 is the fault-free control.
+struct ResilienceConfig {
+  fault::FaultPlan plan;  ///< Base plan; plan.scaled(intensity) per point.
+  std::vector<double> intensities = {0.0, 0.5, 1.0, 2.0};
+  bool run_inter = true;
+  bool run_intra = true;
+  bool run_proposed = true;  ///< Requires a trained controller.
+  /// Also run the proposed policy on a volatile-processor node (progress
+  /// wiped at power failures) — the NVP-vs-volatile ablation row, named
+  /// "Proposed (volatile)".
+  bool volatile_ablation = true;
+};
+
+/// One intensity point of the sweep.
+struct ResiliencePoint {
+  double intensity = 0.0;
+  std::vector<ComparisonRow> rows;
+};
+
+/// Runs every enabled policy at every intensity of `config`, one shared
+/// deterministic injector per intensity. Rows execute on the thread pool;
+/// results are identical at any SOLSCHED_THREADS setting.
+std::vector<ResiliencePoint> run_resilience_sweep(
+    const task::TaskGraph& graph, const solar::SolarTrace& trace,
+    const nvp::NodeConfig& node, const TrainedController* trained,
+    const ResilienceConfig& config);
 
 }  // namespace solsched::core

@@ -128,6 +128,22 @@ std::string comparison_table(const std::vector<ComparisonRow>& rows) {
   return table.str();
 }
 
+std::string resilience_table(const std::vector<ResiliencePoint>& points) {
+  util::TextTable table;
+  table.set_header({"intensity", "algorithm", "DMR", "pf slots", "backups",
+                    "restores", "fallbacks", "lost s"});
+  for (const auto& point : points)
+    for (const auto& row : point.rows)
+      table.add_row({util::fmt(point.intensity, 2), row.algo,
+                     util::fmt_pct(row.dmr),
+                     std::to_string(row.sim.total_power_failure_slots()),
+                     std::to_string(row.sim.total_backups()),
+                     std::to_string(row.sim.total_restores()),
+                     std::to_string(row.sim.total_fallbacks()),
+                     util::fmt(row.sim.total_lost_progress_s(), 1)});
+  return table.str();
+}
+
 bool write_text_file(const std::string& path, const std::string& content) {
   std::ofstream file(path);
   if (!file) return false;

@@ -21,6 +21,11 @@ std::string to_csv(const nvp::SimResult& result);
 /// Side-by-side text table of comparison rows (Fig. 8-style).
 std::string comparison_table(const std::vector<ComparisonRow>& rows);
 
+/// Text table of a resilience sweep: one line per (intensity, policy) with
+/// DMR and the fault ledger (power failures, backups/restores, fallbacks,
+/// volatile-baseline lost progress).
+std::string resilience_table(const std::vector<ResiliencePoint>& points);
+
 /// Text rendering of a metrics snapshot: counters/gauges tables plus derived
 /// rates (cache hit rate, mean span times). Empty string for an empty
 /// snapshot, so callers can append it unconditionally.

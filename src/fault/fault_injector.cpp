@@ -1,0 +1,97 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace solsched::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             const solar::TimeGrid& grid)
+    : plan_(plan), grid_(grid) {
+  // One independent child stream per process, split in a fixed order so
+  // enabling one process never reshuffles another's schedule.
+  util::Rng base(plan_.seed);
+  util::Rng blackout_rng = base.split();
+  util::Rng sensor_rng = base.split();
+  util::Rng controller_rng = base.split();
+  util::Rng aging_rng = base.split();
+
+  const std::size_t total_slots = grid_.total_slots();
+  const std::size_t total_periods = grid_.total_periods();
+
+  if (plan_.blackout.rate_per_day > 0.0 && total_slots > 0) {
+    blackout_.assign(total_slots, 0);
+    const double p_start = std::min(
+        1.0, plan_.blackout.rate_per_day /
+                 static_cast<double>(grid_.slots_per_day()));
+    const double extra_mean = std::max(0.0, plan_.blackout.mean_slots - 1.0);
+    std::size_t remaining = 0;
+    for (std::size_t flat = 0; flat < total_slots; ++flat) {
+      if (remaining == 0 && blackout_rng.bernoulli(p_start)) {
+        // Geometric-ish duration: 1 slot plus an exponential tail with the
+        // configured mean, sampled once at event start.
+        const double u = blackout_rng.uniform();
+        remaining = 1 + static_cast<std::size_t>(
+                            std::floor(-extra_mean * std::log(1.0 - u)));
+      }
+      if (remaining > 0) {
+        blackout_[flat] = 1;
+        ++blackout_slots_;
+        --remaining;
+      }
+    }
+    // Count distinct dark runs in the finished table rather than sampled
+    // starts: two draws landing back to back are one physical outage, and
+    // this is the event count the simulator observes.
+    for (std::size_t flat = 0; flat < total_slots; ++flat)
+      if (blackout_[flat] && (flat == 0 || !blackout_[flat - 1]))
+        ++blackout_events_;
+  }
+
+  if ((plan_.sensor.dropout_prob > 0.0 || plan_.sensor.glitch_prob > 0.0) &&
+      total_slots > 0) {
+    gain_.assign(total_slots, 1.0);
+    const double p_drop = plan_.sensor.dropout_prob;
+    const double p_glitch = plan_.sensor.glitch_prob;
+    for (std::size_t flat = 0; flat < total_slots; ++flat) {
+      const double u = sensor_rng.uniform();
+      if (u < p_drop)
+        gain_[flat] = 0.0;
+      else if (u < p_drop + p_glitch)
+        gain_[flat] = plan_.sensor.glitch_gain;
+    }
+  }
+
+  if (plan_.controller.corrupt_prob > 0.0 && total_periods > 0) {
+    controller_.assign(total_periods, 0);
+    for (std::size_t p = 0; p < total_periods; ++p) {
+      if (!controller_rng.bernoulli(plan_.controller.corrupt_prob)) continue;
+      controller_[p] = static_cast<std::uint8_t>(
+          controller_rng.uniform_int(1, 4));  // The four ControllerFaults.
+      ++corrupted_periods_;
+    }
+  }
+
+  if (plan_.aging.dead_cap_prob > 0.0 && total_periods > 0 &&
+      aging_rng.bernoulli(plan_.aging.dead_cap_prob)) {
+    dead_period_ = static_cast<std::size_t>(aging_rng.uniform_int(
+        0, static_cast<int>(total_periods > 1 ? total_periods - 1 : 0)));
+    dead_ordinal_ = static_cast<std::size_t>(aging_rng.next_u64() >> 1);
+  }
+}
+
+double FaultInjector::capacity_factor(std::size_t day) const noexcept {
+  const double fade = plan_.aging.capacity_fade_per_day;
+  if (fade <= 0.0) return 1.0;
+  return std::pow(1.0 - std::min(fade, 0.99), static_cast<double>(day));
+}
+
+double FaultInjector::leakage_factor(std::size_t day) const noexcept {
+  const double growth = plan_.aging.leakage_growth_per_day;
+  if (growth <= 0.0) return 1.0;
+  return std::pow(1.0 + growth, static_cast<double>(day));
+}
+
+}  // namespace solsched::fault

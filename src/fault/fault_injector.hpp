@@ -1,0 +1,94 @@
+// Deterministic realization of a FaultPlan over one time grid.
+//
+// All randomness is consumed at construction: the injector expands the
+// plan's processes into per-slot / per-period schedules with independent
+// seeded streams (one util::Rng::split per process, in a fixed order), then
+// answers queries from immutable tables. Two consequences the test suite
+// pins down:
+//   * the same (plan, grid) pair always yields the same schedules, on any
+//     platform and at any thread count;
+//   * a const injector is safely shared across concurrently simulated
+//     policy rows (reads only), which is how core::run_comparison and the
+//     resilience sweep use it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "solar/time_grid.hpp"
+
+namespace solsched::fault {
+
+/// Read-only fault schedule queried by nvp::simulate and the schedulers.
+class FaultInjector {
+ public:
+  /// Expands `plan` over `grid`. The grid must match the simulated trace's
+  /// grid exactly (nvp::simulate enforces this).
+  FaultInjector(const FaultPlan& plan, const solar::TimeGrid& grid);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const solar::TimeGrid& grid() const noexcept { return grid_; }
+
+  /// True when any process is active; an inactive injector behaves exactly
+  /// like a null one.
+  bool active() const noexcept { return plan_.any(); }
+
+  /// True while a supply interruption covers the flattened slot.
+  bool blackout(std::size_t flat_slot) const noexcept {
+    return flat_slot < blackout_.size() && blackout_[flat_slot] != 0;
+  }
+
+  /// The solar power the *sensor* reports for this slot (the PMU keeps
+  /// harvesting `physical_w`): 0 on dropout, gain * physical on glitch.
+  double measured_solar_w(std::size_t flat_slot,
+                          double physical_w) const noexcept {
+    if (flat_slot >= gain_.size()) return physical_w;
+    return gain_[flat_slot] * physical_w;
+  }
+
+  /// Corruption applied to the decoded controller output of this period.
+  ControllerFault controller_fault(std::size_t flat_period) const noexcept {
+    if (flat_period >= controller_.size()) return ControllerFault::kNone;
+    return static_cast<ControllerFault>(controller_[flat_period]);
+  }
+
+  bool has_aging() const noexcept {
+    return plan_.aging.capacity_fade_per_day > 0.0 ||
+           plan_.aging.leakage_growth_per_day > 0.0;
+  }
+
+  /// Remaining capacitance fraction at the start of `day` (compounded).
+  double capacity_factor(std::size_t day) const noexcept;
+
+  /// Leakage multiplier at the start of `day` (compounded, >= 1).
+  double leakage_factor(std::size_t day) const noexcept;
+
+  /// If the stuck-dead event fires at this flattened period, the ordinal of
+  /// the victim capacitor (the caller maps it modulo its bank size).
+  std::optional<std::size_t> cap_killed_at(
+      std::size_t flat_period) const noexcept {
+    if (dead_period_ && *dead_period_ == flat_period) return dead_ordinal_;
+    return std::nullopt;
+  }
+
+  // -- schedule statistics (for reports and tests) --------------------------
+  std::size_t blackout_slots() const noexcept { return blackout_slots_; }
+  std::size_t blackout_events() const noexcept { return blackout_events_; }
+  std::size_t corrupted_periods() const noexcept { return corrupted_periods_; }
+
+ private:
+  FaultPlan plan_;
+  solar::TimeGrid grid_;
+  std::vector<std::uint8_t> blackout_;    ///< Per flat slot; empty when off.
+  std::vector<double> gain_;              ///< Measured gain; empty when off.
+  std::vector<std::uint8_t> controller_;  ///< Per flat period; empty when off.
+  std::optional<std::size_t> dead_period_;
+  std::size_t dead_ordinal_ = 0;
+  std::size_t blackout_slots_ = 0;
+  std::size_t blackout_events_ = 0;
+  std::size_t corrupted_periods_ = 0;
+};
+
+}  // namespace solsched::fault

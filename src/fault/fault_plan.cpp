@@ -1,0 +1,109 @@
+#include "fault/fault_plan.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace solsched::fault {
+namespace {
+
+double clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+double parse_value(const std::string& key, const std::string& text) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan::parse: bad value for " + key);
+  }
+  if (used != text.size() || !std::isfinite(value))
+    throw std::invalid_argument("FaultPlan::parse: bad value for " + key);
+  return value;
+}
+
+}  // namespace
+
+bool FaultPlan::any() const noexcept {
+  return blackout.rate_per_day > 0.0 || sensor.dropout_prob > 0.0 ||
+         sensor.glitch_prob > 0.0 || aging.capacity_fade_per_day > 0.0 ||
+         aging.leakage_growth_per_day > 0.0 || aging.dead_cap_prob > 0.0 ||
+         controller.corrupt_prob > 0.0;
+}
+
+FaultPlan FaultPlan::scaled(double intensity) const {
+  if (!(intensity >= 0.0))
+    throw std::invalid_argument("FaultPlan::scaled: intensity must be >= 0");
+  FaultPlan out = *this;
+  out.blackout.rate_per_day *= intensity;
+  out.sensor.dropout_prob = clamp01(sensor.dropout_prob * intensity);
+  out.sensor.glitch_prob = clamp01(sensor.glitch_prob * intensity);
+  out.aging.capacity_fade_per_day =
+      clamp01(aging.capacity_fade_per_day * intensity);
+  out.aging.leakage_growth_per_day = aging.leakage_growth_per_day * intensity;
+  out.aging.dead_cap_prob = clamp01(aging.dead_cap_prob * intensity);
+  out.controller.corrupt_prob = clamp01(controller.corrupt_prob * intensity);
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("FaultPlan::parse: expected key=value, got " +
+                                  item);
+    const std::string key = item.substr(0, eq);
+    const std::string text = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_value(key, text));
+    } else if (key == "blackout") {
+      plan.blackout.rate_per_day = parse_value(key, text);
+    } else if (key == "blackout-slots") {
+      plan.blackout.mean_slots = parse_value(key, text);
+    } else if (key == "dropout") {
+      plan.sensor.dropout_prob = clamp01(parse_value(key, text));
+    } else if (key == "glitch") {
+      plan.sensor.glitch_prob = clamp01(parse_value(key, text));
+    } else if (key == "glitch-gain") {
+      plan.sensor.glitch_gain = parse_value(key, text);
+    } else if (key == "cap-fade") {
+      plan.aging.capacity_fade_per_day = clamp01(parse_value(key, text));
+    } else if (key == "leak-growth") {
+      plan.aging.leakage_growth_per_day = parse_value(key, text);
+    } else if (key == "dead-cap") {
+      plan.aging.dead_cap_prob = clamp01(parse_value(key, text));
+    } else if (key == "corrupt") {
+      plan.controller.corrupt_prob = clamp01(parse_value(key, text));
+    } else {
+      throw std::invalid_argument("FaultPlan::parse: unknown key " + key);
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "seed " << seed;
+  if (blackout.rate_per_day > 0.0)
+    out << ", blackout " << blackout.rate_per_day << "/day x "
+        << blackout.mean_slots << " slots";
+  if (sensor.dropout_prob > 0.0) out << ", dropout " << sensor.dropout_prob;
+  if (sensor.glitch_prob > 0.0)
+    out << ", glitch " << sensor.glitch_prob << " (gain "
+        << sensor.glitch_gain << ")";
+  if (aging.capacity_fade_per_day > 0.0)
+    out << ", cap fade " << aging.capacity_fade_per_day << "/day";
+  if (aging.leakage_growth_per_day > 0.0)
+    out << ", leak growth " << aging.leakage_growth_per_day << "/day";
+  if (aging.dead_cap_prob > 0.0) out << ", dead cap p " << aging.dead_cap_prob;
+  if (controller.corrupt_prob > 0.0)
+    out << ", controller corrupt " << controller.corrupt_prob;
+  if (!any()) out << ", inactive";
+  return out.str();
+}
+
+}  // namespace solsched::fault

@@ -1,0 +1,94 @@
+// Declarative description of the fault processes injected into a run.
+//
+// A FaultPlan is pure configuration: seeded rates and magnitudes for the
+// faults a deployed solar node actually sees. It is cheap to copy, scalable
+// by a single intensity knob (the resilience sweep's x axis), and parseable
+// from a compact `key=value,...` spec so examples can take a --fault-plan
+// flag. Turning a plan into concrete per-slot/per-period schedules is the
+// FaultInjector's job; everything here stays independent of the time grid.
+//
+// Processes (DESIGN.md §11):
+//   * blackout    — supply interruptions (power failures): the node loses
+//                   both harvest and storage access for a run of slots;
+//   * sensor      — corruption of the *measured* solar trace (dropouts read
+//                   zero, glitches read a scaled value) while the physical
+//                   harvest is unaffected;
+//   * aging       — capacitor degradation: capacitance fade and leakage
+//                   growth per day, plus a possible stuck-dead capacitor;
+//   * controller  — corruption of the decoded DBN output (NaN, out-of-range
+//                   alpha, empty te, out-of-range capacitor index).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace solsched::fault {
+
+/// Supply-interruption process: blackout events start at a seeded
+/// per-slot rate and last a geometric number of slots.
+struct BlackoutConfig {
+  double rate_per_day = 0.0;  ///< Expected blackout events per day.
+  double mean_slots = 3.0;    ///< Mean event duration (>= 1 slot).
+};
+
+/// Measurement faults on the solar sensor. Probabilities are per slot and
+/// mutually exclusive (dropout wins); the physical harvest is untouched.
+struct SensorFaultConfig {
+  double dropout_prob = 0.0;  ///< Sensor reads 0 W.
+  double glitch_prob = 0.0;   ///< Sensor reads glitch_gain * true power.
+  double glitch_gain = 4.0;   ///< Multiplier applied on glitch slots.
+};
+
+/// Capacitor degradation. Fade/growth compound per simulated day; the
+/// stuck-dead event (at most one per run) permanently disables one
+/// capacitor at a seeded period.
+struct CapacitorAgingConfig {
+  double capacity_fade_per_day = 0.0;   ///< Fractional C lost per day.
+  double leakage_growth_per_day = 0.0;  ///< Fractional leakage gain per day.
+  double dead_cap_prob = 0.0;           ///< P(one capacitor dies this run).
+};
+
+/// Controller-output corruption: with `corrupt_prob` per period the decoded
+/// DBN output is replaced by one of the ControllerFault kinds.
+struct ControllerFaultConfig {
+  double corrupt_prob = 0.0;
+};
+
+/// The corruption applied to one period's decoded controller output.
+enum class ControllerFault : std::uint8_t {
+  kNone = 0,
+  kNonFinite = 1,   ///< alpha becomes NaN.
+  kAlphaRange = 2,  ///< alpha far outside [0, alpha_cap].
+  kEmptyTe = 3,     ///< te clears to the empty task set.
+  kCapRange = 4,    ///< Capacitor index beyond the bank.
+};
+
+/// Complete seeded fault scenario.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  BlackoutConfig blackout{};
+  SensorFaultConfig sensor{};
+  CapacitorAgingConfig aging{};
+  ControllerFaultConfig controller{};
+
+  /// True when at least one process has a non-zero rate — an injector built
+  /// from an inactive plan must leave simulation results bit-identical to
+  /// running with no injector at all.
+  bool any() const noexcept;
+
+  /// Scales every stochastic rate by `intensity` (probabilities clamped to
+  /// 1); seed and magnitudes (glitch gain, mean duration) are kept, so a
+  /// sweep varies *how often* faults strike, not what they look like.
+  FaultPlan scaled(double intensity) const;
+
+  /// Parses a `key=value[,key=value...]` spec. Keys: seed, blackout
+  /// (events/day), blackout-slots, dropout, glitch, glitch-gain, cap-fade,
+  /// leak-growth, dead-cap, corrupt. Empty spec = inactive plan. Throws
+  /// std::invalid_argument on unknown keys or malformed values.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Compact human-readable summary of the active processes.
+  std::string describe() const;
+};
+
+}  // namespace solsched::fault

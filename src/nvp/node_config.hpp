@@ -1,6 +1,7 @@
 // Static configuration of the simulated sensor node.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "solar/time_grid.hpp"
@@ -25,8 +26,33 @@ struct NodeConfig {
   /// Index of the capacitor selected at simulation start.
   std::size_t initial_cap = 0;
 
+  // -- NVP backup/restore model (DESIGN.md §11) -----------------------------
+  // A *brownout* (load infeasible for a slot) stays free: the NVPs idle with
+  // their nonvolatile state intact. A *power failure* (injected blackout:
+  // supply and storage both cut) is different — the node checkpoints its
+  // volatile peripherals into FRAM on the way down and replays them on
+  // recovery, at a fixed energy cost drawn from the selected capacitor.
+  /// Checkpoint cost charged once at power-failure entry (J).
+  double backup_energy_j = 0.05;
+  /// Replay/reboot cost charged at the first powered slot after an outage
+  /// (J). Paid by the volatile baseline too (a cold reboot is not free).
+  double restore_energy_j = 0.02;
+  /// Ablation: model a volatile processor instead of an NVP — a power
+  /// failure wipes all in-period task progress instead of checkpointing it
+  /// (completed results persist; they were committed before the failure).
+  bool volatile_baseline = false;
+
   /// Builds the bank described by this config.
   storage::CapacitorBank make_bank() const;
+
+  /// All invalid-parameter findings, one human-readable line each; empty
+  /// means the config is usable. Aggregated so a misconfigured node fails
+  /// with every problem listed at once instead of piecemeal deep in the sim.
+  std::vector<std::string> findings() const;
+
+  /// Throws std::invalid_argument with every finding joined into one
+  /// message. Called at nvp::simulate entry and by deserialize_controller.
+  void validate() const;
 };
 
 }  // namespace solsched::nvp

@@ -104,8 +104,17 @@ void validate_decision(const std::vector<std::size_t>& chosen,
 SimResult simulate(const task::TaskGraph& graph,
                    const solar::SolarTrace& trace, Scheduler& policy,
                    const NodeConfig& config, solar::SolarPredictor& predictor,
-                   obs::SimTrace* events) {
+                   obs::SimTrace* events, const fault::FaultInjector* faults) {
+  config.validate();
   const solar::TimeGrid& grid = trace.grid();
+  // An attached-but-inactive plan must behave exactly like no plan at all,
+  // so normalise it away up front: every fault branch below tests `fx`.
+  const fault::FaultInjector* fx =
+      (faults != nullptr && faults->active()) ? faults : nullptr;
+  if (fx != nullptr && !(fx->grid() == grid))
+    throw std::invalid_argument(
+        "simulate: fault injector was built for a different time grid");
+
   storage::CapacitorBank bank = config.make_bank();
   const storage::Pmu pmu(config.pmu);
   task::PeriodState state(graph);
@@ -120,10 +129,24 @@ SimResult simulate(const task::TaskGraph& graph,
   double dmr_sum = 0.0;
   std::size_t periods_done = 0;
   std::vector<double> last_period_solar;
+  // A blackout can span period and day boundaries; entry/exit bookkeeping
+  // (backup / restore) must fire once per outage, not once per period.
+  bool in_blackout = false;
 
   for (std::size_t day = 0; day < grid.n_days; ++day) {
+    if (fx != nullptr && fx->has_aging()) {
+      const double cap_factor = fx->capacity_factor(day);
+      const double leak_factor = fx->leakage_factor(day);
+      for (std::size_t h = 0; h < bank.size(); ++h)
+        bank.at(h).degrade(cap_factor, leak_factor);
+    }
     for (std::size_t period = 0; period < grid.n_periods; ++period) {
       state.reset();
+
+      if (fx != nullptr) {
+        const auto killed = fx->cap_killed_at(grid.flat_period(day, period));
+        if (killed) bank.at(*killed % bank.size()).kill();
+      }
 
       PeriodContext pctx;
       pctx.day = day;
@@ -149,18 +172,98 @@ SimResult simulate(const task::TaskGraph& graph,
       record.period = period;
       record.cap_index = bank.selected_index();
 
+      if (plan.used_fallback) {
+        record.fallbacks = 1;
+        if (events != nullptr) {
+          obs::SimEvent fb;
+          fb.type = "fallback";
+          fb.day = static_cast<std::uint32_t>(day);
+          fb.period = static_cast<std::uint32_t>(period);
+          fb.fields = {{"code", static_cast<double>(plan.fallback_code)}};
+          events->emit(std::move(fb));
+        }
+      }
+
       for (std::size_t slot = 0; slot < grid.n_slots; ++slot) {
         const double now_s = static_cast<double>(slot) * grid.dt_s;
         state.mark_deadlines(now_s);
 
+        if (fx != nullptr && fx->blackout(grid.flat_slot(day, period, slot))) {
+          // Power failure: supply and storage access are both cut. No
+          // harvest, no scheduling; deadlines keep running and the bank
+          // keeps leaking. On the way down the NVP checkpoints (backup
+          // cost); the volatile baseline instead loses in-period progress.
+          if (!in_blackout) {
+            in_blackout = true;
+            ++record.power_failures;
+            if (events != nullptr) {
+              obs::SimEvent pf;
+              pf.type = "power_failure";
+              pf.day = static_cast<std::uint32_t>(day);
+              pf.period = static_cast<std::uint32_t>(period);
+              pf.fields = {{"slot", static_cast<double>(slot)}};
+              events->emit(std::move(pf));
+            }
+            if (config.volatile_baseline) {
+              record.lost_progress_s += state.lose_progress();
+            } else {
+              const storage::DischargeResult d =
+                  bank.selected().discharge(config.backup_energy_j);
+              record.backup_energy_j += d.drawn_j;
+              ++record.backups;
+              if (events != nullptr) {
+                obs::SimEvent bk;
+                bk.type = "backup";
+                bk.day = static_cast<std::uint32_t>(day);
+                bk.period = static_cast<std::uint32_t>(period);
+                bk.fields = {{"slot", static_cast<double>(slot)},
+                             {"cost_j", d.drawn_j}};
+                events->emit(std::move(bk));
+              }
+            }
+          }
+          ++record.power_failure_slots;
+          record.leakage_loss_j += bank.apply_leakage_all(grid.dt_s);
+          // Keep the predictor's slot alignment: the sensor reads nothing
+          // while the node is dark.
+          predictor.observe(0.0);
+          continue;
+        }
+
+        if (in_blackout) {
+          // First powered slot after an outage: the NVP replays its
+          // checkpoint, the volatile baseline cold-reboots. Both pay.
+          in_blackout = false;
+          const storage::DischargeResult d =
+              bank.selected().discharge(config.restore_energy_j);
+          record.restore_energy_j += d.drawn_j;
+          ++record.restores;
+          if (events != nullptr) {
+            obs::SimEvent rs;
+            rs.type = "restore";
+            rs.day = static_cast<std::uint32_t>(day);
+            rs.period = static_cast<std::uint32_t>(period);
+            rs.fields = {{"slot", static_cast<double>(slot)},
+                         {"cost_j", d.drawn_j}};
+            events->emit(std::move(rs));
+          }
+        }
+
         const double solar_w = trace.at(day, period, slot);
+        // Sensor faults corrupt what the node *measures* (what the policy
+        // and predictor see); the PMU harvests the physical power.
+        const double measured_w =
+            fx != nullptr
+                ? fx->measured_solar_w(grid.flat_slot(day, period, slot),
+                                       solar_w)
+                : solar_w;
 
         SlotContext sctx;
         sctx.day = day;
         sctx.period = period;
         sctx.slot = slot;
         sctx.now_in_period_s = now_s;
-        sctx.solar_w = solar_w;
+        sctx.solar_w = measured_w;
         sctx.grid = &grid;
         sctx.graph = &graph;
         sctx.state = &state;
@@ -190,7 +293,7 @@ SimResult simulate(const task::TaskGraph& graph,
         record.leakage_loss_j += flow.leakage_loss_j;
         record.spilled_j += flow.spilled_j;
 
-        predictor.observe(solar_w);
+        predictor.observe(measured_w);
       }
 
       // Final deadline evaluation at the period boundary (deadlines equal to
@@ -217,6 +320,18 @@ SimResult simulate(const task::TaskGraph& graph,
       OBS_HISTOGRAM_OBSERVE("nvp.sim.period_misses",
                             (std::vector<double>{0.0, 1.0, 2.0, 5.0, 10.0}),
                             record.misses);
+      // Fault counters are guarded so fault-free runs leave the metrics
+      // snapshot untouched (part of the bit-identical no-plan contract).
+      if (record.power_failures > 0)
+        OBS_COUNTER_ADD("nvp.sim.power_failures", record.power_failures);
+      if (record.power_failure_slots > 0)
+        OBS_COUNTER_ADD("nvp.sim.power_failure_slots",
+                        record.power_failure_slots);
+      if (record.backups > 0) OBS_COUNTER_ADD("nvp.sim.backups", record.backups);
+      if (record.restores > 0)
+        OBS_COUNTER_ADD("nvp.sim.restores", record.restores);
+      if (record.fallbacks > 0)
+        OBS_COUNTER_ADD("nvp.sim.fallbacks", record.fallbacks);
 
       dmr_sum += record.dmr;
       ++periods_done;
@@ -230,9 +345,10 @@ SimResult simulate(const task::TaskGraph& graph,
 
 SimResult simulate(const task::TaskGraph& graph,
                    const solar::SolarTrace& trace, Scheduler& policy,
-                   const NodeConfig& config, obs::SimTrace* events) {
+                   const NodeConfig& config, obs::SimTrace* events,
+                   const fault::FaultInjector* faults) {
   solar::WcmaPredictor predictor(trace.grid().slots_per_day());
-  return simulate(graph, trace, policy, config, predictor, events);
+  return simulate(graph, trace, policy, config, predictor, events, faults);
 }
 
 }  // namespace solsched::nvp

@@ -42,6 +42,13 @@ struct PeriodPlan {
   /// te vector: tasks the policy intends to attempt this period. Empty means
   /// "all tasks". The simulator refuses slot decisions outside this set.
   std::vector<bool> tasks_enabled;
+  /// Set by policies with a degraded mode (DESIGN.md §11): the primary
+  /// decision procedure produced unusable output and a safe baseline plan was
+  /// substituted. The simulator records it and emits a `fallback` event.
+  bool used_fallback = false;
+  /// Policy-specific reason code for the fallback (0 = none). The proposed
+  /// scheduler uses sched::FallbackReason values.
+  int fallback_code = 0;
 };
 
 /// Read-only view handed to a policy before each slot.

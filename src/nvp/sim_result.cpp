@@ -59,4 +59,40 @@ std::size_t SimResult::total_brownouts() const {
   return acc;
 }
 
+std::size_t SimResult::total_power_failures() const {
+  std::size_t acc = 0;
+  for (const auto& p : periods) acc += p.power_failures;
+  return acc;
+}
+
+std::size_t SimResult::total_power_failure_slots() const {
+  std::size_t acc = 0;
+  for (const auto& p : periods) acc += p.power_failure_slots;
+  return acc;
+}
+
+std::size_t SimResult::total_backups() const {
+  std::size_t acc = 0;
+  for (const auto& p : periods) acc += p.backups;
+  return acc;
+}
+
+std::size_t SimResult::total_restores() const {
+  std::size_t acc = 0;
+  for (const auto& p : periods) acc += p.restores;
+  return acc;
+}
+
+std::size_t SimResult::total_fallbacks() const {
+  std::size_t acc = 0;
+  for (const auto& p : periods) acc += p.fallbacks;
+  return acc;
+}
+
+double SimResult::total_lost_progress_s() const {
+  double acc = 0.0;
+  for (const auto& p : periods) acc += p.lost_progress_s;
+  return acc;
+}
+
 }  // namespace solsched::nvp

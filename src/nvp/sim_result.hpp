@@ -23,6 +23,16 @@ struct PeriodRecord {
   double conversion_loss_j = 0.0;
   double leakage_loss_j = 0.0;
   double spilled_j = 0.0;
+
+  // -- fault-injection ledger (DESIGN.md §11). All zero without a plan. -----
+  std::size_t power_failures = 0;       ///< Blackout entries this period.
+  std::size_t power_failure_slots = 0;  ///< Slots spent fully dark.
+  std::size_t backups = 0;              ///< NVP checkpoints written.
+  std::size_t restores = 0;             ///< Recoveries (NVP replay or reboot).
+  std::size_t fallbacks = 0;            ///< Policy degraded-mode periods.
+  double backup_energy_j = 0.0;         ///< Energy drawn for checkpoints.
+  double restore_energy_j = 0.0;        ///< Energy drawn for recoveries.
+  double lost_progress_s = 0.0;         ///< Volatile baseline: wiped work.
 };
 
 /// Full result of simulating one (benchmark, trace, policy) triple.
@@ -49,6 +59,14 @@ struct SimResult {
   double total_served_j() const;
   double total_loss_j() const;
   std::size_t total_brownouts() const;
+
+  // Fault-ledger aggregates; all zero when no fault plan was attached.
+  std::size_t total_power_failures() const;
+  std::size_t total_power_failure_slots() const;
+  std::size_t total_backups() const;
+  std::size_t total_restores() const;
+  std::size_t total_fallbacks() const;
+  double total_lost_progress_s() const;
 };
 
 }  // namespace solsched::nvp

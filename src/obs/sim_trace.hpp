@@ -20,6 +20,11 @@
 //   deadline       misses, completions, dmr, brownout_slots
 //   cap_switch     from, to            (only when the selection changes)
 //   migration      migrated_in_j, cap_supplied_j   (only when energy moved)
+// Fault-injection events (only with an active fault plan; DESIGN.md §11):
+//   power_failure  slot                (blackout entry)
+//   backup         slot, cost_j        (NVP checkpoint at blackout entry)
+//   restore        slot, cost_j        (recovery at the first powered slot)
+//   fallback       code                (policy degraded-mode period)
 #pragma once
 
 #include <cstdint>

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "sched/intra_task.hpp"
 #include "sched/lsa_inter.hpp"
 #include "sched/sched_util.hpp"
@@ -33,6 +35,39 @@ ann::Vector ProposedScheduler::build_input(const nvp::PeriodContext& ctx,
   return x;
 }
 
+nvp::PeriodPlan ProposedScheduler::fallback_plan(const nvp::PeriodContext& ctx,
+                                                 FallbackReason reason) {
+  ++fallback_count_;
+  last_fallback_ = reason;
+  // Empty te = all tasks; inter mode = the plain LSA baseline. With the
+  // default margin this period is scheduled exactly as LsaInterScheduler
+  // would (no scavenging pass runs, since nothing is off-te).
+  active_te_.clear();
+  intra_mode_ = false;
+
+  nvp::PeriodPlan plan;
+  plan.used_fallback = true;
+  plan.fallback_code = static_cast<int>(reason);
+  // Keep the current capacitor unless it is stuck dead — then move to the
+  // fullest live one so the baseline has storage to work with.
+  const std::size_t current = ctx.bank->selected_index();
+  if (ctx.bank->at(current).dead()) {
+    std::size_t best = current;
+    double best_e = -1.0;
+    for (std::size_t h = 0; h < ctx.bank->size(); ++h) {
+      if (ctx.bank->at(h).dead()) continue;
+      const double e = ctx.bank->at(h).usable_energy_j();
+      if (e > best_e) {
+        best_e = e;
+        best = h;
+      }
+    }
+    if (best != current) plan.select_cap = best;
+  }
+  OBS_COUNTER_ADD("sched.proposed.fallbacks", 1);
+  return plan;
+}
+
 nvp::PeriodPlan ProposedScheduler::begin_period(const nvp::PeriodContext& ctx) {
   const std::size_t n_caps = model_.capacities_f.size();
   if (ctx.bank->size() != n_caps)
@@ -48,14 +83,57 @@ nvp::PeriodPlan ProposedScheduler::begin_period(const nvp::PeriodContext& ctx) {
   std::size_t cap = 0;
   for (std::size_t h = 1; h < n_caps; ++h)
     if (y[h] > y[cap]) cap = h;
-  const double alpha =
-      util::clamp(y[n_caps], 0.0, 1.0) * model_.alpha_cap;
+  double alpha = util::clamp(y[n_caps], 0.0, 1.0) * model_.alpha_cap;
   std::vector<bool> te(model_.n_tasks);
   for (std::size_t n = 0; n < model_.n_tasks; ++n)
     te[n] = config_.ignore_te || y[n_caps + 1 + n] > 0.5;
 
+  // Injected controller corruption, applied *before* validation so the
+  // degradation path sees exactly what a glitched controller would hand it.
+  if (faults_ != nullptr && faults_->active()) {
+    const std::size_t flat = ctx.grid->flat_period(ctx.day, ctx.period);
+    switch (faults_->controller_fault(flat)) {
+      case fault::ControllerFault::kNone: break;
+      case fault::ControllerFault::kNonFinite:
+        alpha = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case fault::ControllerFault::kAlphaRange:
+        alpha = -4.0 * model_.alpha_cap - 1.0;
+        break;
+      case fault::ControllerFault::kEmptyTe:
+        te.assign(model_.n_tasks, false);
+        break;
+      case fault::ControllerFault::kCapRange:
+        cap = n_caps + 7;
+        break;
+    }
+  }
+
   last_ = Decoded{cap, alpha, te};
   active_te_ = te;
+
+  // --- Validation and graceful degradation (DESIGN.md §11) -----------
+  // A plan that fails any check is abandoned for this period in favour of
+  // the LSA inter-task baseline over all tasks: predictable, model-free,
+  // and strictly better than acting on a corrupt plan. Guarded by an
+  // active injector: natural decodes are structurally in range already
+  // (alpha clamped, cap argmax-bounded, a degenerate te still scavenges),
+  // so fault-free runs stay bit-identical to the scheduler without these
+  // hooks, as the simulator's no-plan contract promises.
+  if (faults_ != nullptr && faults_->active()) {
+    FallbackReason reason = FallbackReason::kNone;
+    if (!std::isfinite(alpha)) {
+      reason = FallbackReason::kNonFinite;
+    } else if (alpha < 0.0 || alpha > model_.alpha_cap) {
+      reason = FallbackReason::kAlphaRange;
+    } else if (cap >= n_caps || ctx.bank->at(cap).dead()) {
+      reason = FallbackReason::kDeadCap;
+    } else if (model_.n_tasks > 0 &&
+               std::none_of(te.begin(), te.end(), [](bool b) { return b; })) {
+      reason = FallbackReason::kDegenerateTe;
+    }
+    if (reason != FallbackReason::kNone) return fallback_plan(ctx, reason);
+  }
 
   // --- Capacitor selection -------------------------------------------
   // Eq. 22 gate: switching away from a charged capacitor wastes it, so a

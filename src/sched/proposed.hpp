@@ -9,13 +9,25 @@
 // policy (Sec. 5.2).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "ann/dbn.hpp"
 #include "ann/normalizer.hpp"
+#include "fault/fault_injector.hpp"
 #include "nvp/scheduler.hpp"
 
 namespace solsched::sched {
+
+/// Why the proposed scheduler abandoned the DBN's plan for a period
+/// (DESIGN.md §11). Stored in PeriodPlan::fallback_code.
+enum class FallbackReason : int {
+  kNone = 0,
+  kNonFinite = 1,     ///< Decoded α (or the raw output) is NaN/inf.
+  kAlphaRange = 2,    ///< α outside [0, alpha_cap].
+  kDegenerateTe = 3,  ///< te enables no task at all.
+  kDeadCap = 4,       ///< Decoded capacitor out of range or stuck-dead.
+};
 
 /// Trained artifacts the online policy needs (produced by core::Pipeline).
 struct ProposedModel {
@@ -70,16 +82,35 @@ class ProposedScheduler final : public nvp::Scheduler {
   const Decoded& last_decision() const noexcept { return last_; }
   bool intra_mode() const noexcept { return intra_mode_; }
 
+  /// Attaches a fault injector whose controller-fault table corrupts the
+  /// decoded DBN output (testing the degradation path); null detaches. The
+  /// injector is read-only and must outlive the scheduler's use of it.
+  void attach_faults(const fault::FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
+  /// Periods in which the DBN plan was rejected and the LSA inter-task
+  /// baseline was substituted, and the most recent reason.
+  std::size_t fallback_count() const noexcept { return fallback_count_; }
+  FallbackReason last_fallback() const noexcept { return last_fallback_; }
+
   /// Builds the raw (unnormalized) DBN input vector from period context.
   static ann::Vector build_input(const nvp::PeriodContext& ctx,
                                  std::size_t n_slots);
 
  private:
+  /// Degraded-mode plan: LSA inter-task over all tasks for this period.
+  nvp::PeriodPlan fallback_plan(const nvp::PeriodContext& ctx,
+                                FallbackReason reason);
+
   ProposedModel model_;
   ProposedConfig config_;
   Decoded last_;
   std::vector<bool> active_te_;
   bool intra_mode_ = false;
+  const fault::FaultInjector* faults_ = nullptr;
+  std::size_t fallback_count_ = 0;
+  FallbackReason last_fallback_ = FallbackReason::kNone;
 };
 
 }  // namespace solsched::sched

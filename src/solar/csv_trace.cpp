@@ -1,5 +1,6 @@
 #include "solar/csv_trace.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -31,6 +32,9 @@ std::vector<double> parse_csv_column(const std::string& csv_text,
     char* end = nullptr;
     const double value = std::strtod(field.c_str(), &end);
     if (end == field.c_str()) continue;  // Header or non-numeric row.
+    // strtod happily parses "nan" and "inf" — a corrupt logger cell must be
+    // skipped like any other non-numeric row, not fed into the energy model.
+    if (!std::isfinite(value)) continue;
     values.push_back(value < 0.0 ? 0.0 : value);
   }
   if (values.empty())

@@ -28,23 +28,22 @@ SuperCapacitor::SuperCapacitor(CapParams params, RegulatorModel regulators,
 }
 
 double SuperCapacitor::energy_j() const noexcept {
-  return 0.5 * params_.capacity_f * voltage_ * voltage_;
+  return 0.5 * capacity_f() * voltage_ * voltage_;
 }
 
 double SuperCapacitor::usable_energy_j() const noexcept {
-  const double floor_j =
-      0.5 * params_.capacity_f * params_.v_low * params_.v_low;
+  const double floor_j = 0.5 * capacity_f() * params_.v_low * params_.v_low;
   return std::max(0.0, energy_j() - floor_j);
 }
 
 double SuperCapacitor::headroom_j() const noexcept {
-  const double ceil_j =
-      0.5 * params_.capacity_f * params_.v_high * params_.v_high;
+  if (dead_) return 0.0;
+  const double ceil_j = 0.5 * capacity_f() * params_.v_high * params_.v_high;
   return std::max(0.0, ceil_j - energy_j());
 }
 
 double SuperCapacitor::max_usable_energy_j() const noexcept {
-  return 0.5 * params_.capacity_f *
+  return 0.5 * capacity_f() *
          (params_.v_high * params_.v_high - params_.v_low * params_.v_low);
 }
 
@@ -59,30 +58,32 @@ void SuperCapacitor::set_voltage(double voltage_v) noexcept {
 }
 
 void SuperCapacitor::set_usable_energy_j(double energy_j) noexcept {
-  const double floor_j =
-      0.5 * params_.capacity_f * params_.v_low * params_.v_low;
+  const double floor_j = 0.5 * capacity_f() * params_.v_low * params_.v_low;
   const double target = floor_j + std::max(0.0, energy_j);
   set_energy(target);
 }
 
 void SuperCapacitor::set_energy(double energy_j) noexcept {
   const double e = std::max(0.0, energy_j);
-  voltage_ = util::clamp(std::sqrt(2.0 * e / params_.capacity_f), 0.0,
-                         params_.v_high);
+  voltage_ =
+      util::clamp(std::sqrt(2.0 * e / capacity_f()), 0.0, params_.v_high);
 }
 
 double SuperCapacitor::charge_eta() const noexcept {
-  return regulators_.input.eta(voltage_) * cycle_efficiency(params_.capacity_f);
+  return regulators_.input.eta(voltage_) * cycle_efficiency(capacity_f());
 }
 
 double SuperCapacitor::discharge_eta() const noexcept {
-  return regulators_.output.eta(voltage_) *
-         cycle_efficiency(params_.capacity_f);
+  return regulators_.output.eta(voltage_) * cycle_efficiency(capacity_f());
 }
 
 ChargeResult SuperCapacitor::charge(double offer_j) noexcept {
   ChargeResult result;
   if (offer_j <= 0.0) return result;
+  if (dead_) {
+    result.spilled_j = offer_j;
+    return result;
+  }
   const double eta = charge_eta();  // Evaluated at the start voltage (Eq. 3).
   const double room = headroom_j();
   if (room <= 0.0 || eta <= 0.0) {
@@ -127,10 +128,22 @@ double SuperCapacitor::deliverable_j() const noexcept {
 }
 
 double SuperCapacitor::apply_leakage(double dt_s) noexcept {
-  const double p = leakage_.power_w(voltage_, params_.capacity_f);
+  if (dead_) return 0.0;
+  const double p = leakage_scale_ * leakage_.power_w(voltage_, capacity_f());
   const double leaked = std::min(p * dt_s, energy_j());
   set_energy(energy_j() - leaked);
   return leaked;
+}
+
+void SuperCapacitor::degrade(double capacity_factor,
+                             double leakage_scale) noexcept {
+  capacity_factor_ = util::clamp(capacity_factor, 0.01, 1.0);
+  leakage_scale_ = std::max(1.0, leakage_scale);
+}
+
+void SuperCapacitor::kill() noexcept {
+  dead_ = true;
+  voltage_ = 0.0;
 }
 
 }  // namespace solsched::storage

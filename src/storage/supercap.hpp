@@ -48,7 +48,10 @@ class SuperCapacitor {
                  LeakageModel leakage);
 
   const CapParams& params() const noexcept { return params_; }
-  double capacity_f() const noexcept { return params_.capacity_f; }
+  /// Effective capacity: nominal C_h scaled by the aging factor.
+  double capacity_f() const noexcept {
+    return params_.capacity_f * capacity_factor_;
+  }
   double voltage_v() const noexcept { return voltage_; }
 
   /// Total stored energy 1/2 C V^2 (J).
@@ -84,6 +87,19 @@ class SuperCapacitor {
   /// Leakage can pull the voltage below V_L (parasitic), but not below 0.
   double apply_leakage(double dt_s) noexcept;
 
+  // -- fault-injection hooks (src/fault, DESIGN.md §11) ---------------------
+
+  /// Ages the capacitor: effective capacity = nominal * capacity_factor
+  /// (voltage is preserved, so stored energy shrinks with C) and leakage
+  /// power is multiplied by leakage_scale. Factors are absolute w.r.t. the
+  /// nominal part, so repeated calls with the same values are idempotent.
+  void degrade(double capacity_factor, double leakage_scale) noexcept;
+
+  /// Permanently disables the capacitor (stuck-dead cell): charge is
+  /// refused, nothing is deliverable, stored energy is gone.
+  void kill() noexcept;
+  bool dead() const noexcept { return dead_; }
+
   /// η_chr(V)·η_cycle at the current voltage.
   double charge_eta() const noexcept;
   /// η_dis(V)·η_cycle at the current voltage.
@@ -99,6 +115,9 @@ class SuperCapacitor {
   RegulatorModel regulators_;
   LeakageModel leakage_;
   double voltage_ = 0.0;
+  double capacity_factor_ = 1.0;  ///< Aging: effective C / nominal C.
+  double leakage_scale_ = 1.0;    ///< Aging: leakage power multiplier.
+  bool dead_ = false;             ///< Stuck-dead cell.
 };
 
 }  // namespace solsched::storage

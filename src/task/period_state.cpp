@@ -24,6 +24,17 @@ void PeriodState::execute(std::size_t id, double dt_s) {
   remaining_.at(id) = std::max(0.0, remaining_.at(id) - dt_s);
 }
 
+double PeriodState::lose_progress() {
+  double lost_s = 0.0;
+  for (std::size_t i = 0; i < remaining_.size(); ++i) {
+    if (completed(i)) continue;
+    const double full = graph_->task(i).exec_s;
+    lost_s += full - remaining_[i];
+    remaining_[i] = full;
+  }
+  return lost_s;
+}
+
 void PeriodState::mark_deadlines(double now_s) {
   for (std::size_t i = 0; i < remaining_.size(); ++i)
     if (!missed_[i] && !completed(i) && graph_->task(i).deadline_s <= now_s)

@@ -39,6 +39,12 @@ class PeriodState {
   /// Advances task `id` by dt seconds of execution (not below zero).
   void execute(std::size_t id, double dt_s);
 
+  /// Volatile-baseline power failure (DESIGN.md §11): every *incomplete*
+  /// task loses its accumulated progress (S' back to S_n). Completed
+  /// results persist — they were committed before the failure. Returns the
+  /// progress-seconds wiped.
+  double lose_progress();
+
   /// Marks misses: every incomplete task whose deadline D_n <= now_s becomes
   /// missed. Call at each slot boundary; the paper evaluates θ at the first
   /// slot boundary at or after D_n.

@@ -112,6 +112,23 @@ TEST(ControllerIo, FileRoundTrip) {
   EXPECT_THROW(load_controller("/no_such_file_xyz"), std::invalid_argument);
 }
 
+TEST(ControllerIo, RejectsSemanticallyInvalidNode) {
+  // A blob that parses cleanly but decodes to an impossible node (v_high
+  // below v_low) must be rejected by NodeConfig::validate, not loaded.
+  std::string blob = serialize_controller(controller());
+  const std::size_t start = blob.find("\nnode ");
+  ASSERT_NE(start, std::string::npos);
+  const std::size_t end = blob.find('\n', start + 1);
+  ASSERT_NE(end, std::string::npos);
+  blob.replace(start, end - start, "\nnode 1.8 0.9 0 0");
+  try {
+    deserialize_controller(blob);
+    FAIL() << "deserialize_controller must reject v_high <= v_low";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("v_high"), std::string::npos);
+  }
+}
+
 TEST(ControllerIo, RejectsCorruptInput) {
   EXPECT_THROW(deserialize_controller("garbage"), std::invalid_argument);
   std::string truncated = serialize_controller(controller());

@@ -1,0 +1,133 @@
+// FaultInjector schedule expansion: determinism, statistics, aging.
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace solsched::fault {
+namespace {
+
+FaultPlan busy_plan(std::uint64_t seed = 11) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.blackout.rate_per_day = 6.0;
+  plan.blackout.mean_slots = 3.0;
+  plan.sensor.dropout_prob = 0.1;
+  plan.sensor.glitch_prob = 0.05;
+  plan.sensor.glitch_gain = 4.0;
+  plan.aging.capacity_fade_per_day = 0.02;
+  plan.aging.leakage_growth_per_day = 0.05;
+  plan.controller.corrupt_prob = 0.2;
+  return plan;
+}
+
+TEST(FaultInjector, InactivePlanHasNoSchedules) {
+  const auto grid = test::tiny_grid(2);
+  const FaultInjector fx(FaultPlan{}, grid);
+  EXPECT_FALSE(fx.active());
+  EXPECT_EQ(fx.blackout_slots(), 0u);
+  for (std::size_t s = 0; s < grid.total_slots(); ++s) {
+    EXPECT_FALSE(fx.blackout(s));
+    EXPECT_DOUBLE_EQ(fx.measured_solar_w(s, 0.125), 0.125);
+  }
+  for (std::size_t p = 0; p < grid.total_periods(); ++p) {
+    EXPECT_EQ(fx.controller_fault(p), ControllerFault::kNone);
+    EXPECT_FALSE(fx.cap_killed_at(p).has_value());
+  }
+  EXPECT_DOUBLE_EQ(fx.capacity_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(fx.leakage_factor(1), 1.0);
+}
+
+TEST(FaultInjector, SamePlanSameGridSameSchedule) {
+  const auto grid = test::tiny_grid(3);
+  const FaultInjector a(busy_plan(), grid);
+  const FaultInjector b(busy_plan(), grid);
+  for (std::size_t s = 0; s < grid.total_slots(); ++s) {
+    EXPECT_EQ(a.blackout(s), b.blackout(s)) << "slot " << s;
+    EXPECT_DOUBLE_EQ(a.measured_solar_w(s, 1.0), b.measured_solar_w(s, 1.0));
+  }
+  for (std::size_t p = 0; p < grid.total_periods(); ++p)
+    EXPECT_EQ(a.controller_fault(p), b.controller_fault(p)) << "period " << p;
+  EXPECT_EQ(a.blackout_slots(), b.blackout_slots());
+  EXPECT_EQ(a.blackout_events(), b.blackout_events());
+  EXPECT_EQ(a.corrupted_periods(), b.corrupted_periods());
+}
+
+TEST(FaultInjector, SeedChangesSchedule) {
+  const auto grid = test::tiny_grid(3);
+  const FaultInjector a(busy_plan(1), grid);
+  const FaultInjector b(busy_plan(2), grid);
+  bool differs = false;
+  for (std::size_t s = 0; s < grid.total_slots() && !differs; ++s)
+    differs = a.blackout(s) != b.blackout(s) ||
+              a.measured_solar_w(s, 1.0) != b.measured_solar_w(s, 1.0);
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, StatsMatchTables) {
+  const auto grid = test::tiny_grid(3);
+  const FaultInjector fx(busy_plan(), grid);
+  std::size_t dark = 0;
+  for (std::size_t s = 0; s < grid.total_slots(); ++s)
+    if (fx.blackout(s)) ++dark;
+  EXPECT_EQ(dark, fx.blackout_slots());
+  EXPECT_GT(fx.blackout_events(), 0u);
+  EXPECT_GE(fx.blackout_slots(), fx.blackout_events());
+
+  std::size_t corrupted = 0;
+  for (std::size_t p = 0; p < grid.total_periods(); ++p)
+    if (fx.controller_fault(p) != ControllerFault::kNone) ++corrupted;
+  EXPECT_EQ(corrupted, fx.corrupted_periods());
+}
+
+TEST(FaultInjector, SensorGainsAreDropoutGlitchOrUnity) {
+  const auto grid = test::tiny_grid(3);
+  const FaultPlan plan = busy_plan();
+  const FaultInjector fx(plan, grid);
+  bool saw_dropout = false, saw_glitch = false;
+  for (std::size_t s = 0; s < grid.total_slots(); ++s) {
+    const double measured = fx.measured_solar_w(s, 1.0);
+    if (measured == 0.0) {
+      saw_dropout = true;
+    } else if (measured == plan.sensor.glitch_gain) {
+      saw_glitch = true;
+    } else {
+      EXPECT_DOUBLE_EQ(measured, 1.0) << "slot " << s;
+    }
+  }
+  // 360 slots at 10% dropout / 5% glitch: both should appear.
+  EXPECT_TRUE(saw_dropout);
+  EXPECT_TRUE(saw_glitch);
+}
+
+TEST(FaultInjector, AgingFactorsCompoundDaily) {
+  const auto grid = test::tiny_grid(3);
+  const FaultInjector fx(busy_plan(), grid);
+  EXPECT_TRUE(fx.has_aging());
+  EXPECT_DOUBLE_EQ(fx.capacity_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(fx.leakage_factor(0), 1.0);
+  double prev_cap = 1.0, prev_leak = 1.0;
+  for (std::size_t day = 1; day <= 3; ++day) {
+    EXPECT_LT(fx.capacity_factor(day), prev_cap);
+    EXPECT_GT(fx.leakage_factor(day), prev_leak);
+    prev_cap = fx.capacity_factor(day);
+    prev_leak = fx.leakage_factor(day);
+  }
+  EXPECT_NEAR(fx.capacity_factor(2), 0.98 * 0.98, 1e-12);
+  EXPECT_NEAR(fx.leakage_factor(2), 1.05 * 1.05, 1e-12);
+}
+
+TEST(FaultInjector, DeadCapCertainWhenProbabilityOne) {
+  const auto grid = test::tiny_grid(2);
+  FaultPlan plan;
+  plan.aging.dead_cap_prob = 1.0;
+  const FaultInjector fx(plan, grid);
+  std::size_t kills = 0;
+  for (std::size_t p = 0; p < grid.total_periods(); ++p)
+    if (fx.cap_killed_at(p)) ++kills;
+  EXPECT_EQ(kills, 1u);
+}
+
+}  // namespace
+}  // namespace solsched::fault

@@ -1,0 +1,92 @@
+// FaultPlan parsing, scaling and activity checks.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace solsched::fault {
+namespace {
+
+TEST(FaultPlan, DefaultIsInactive) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+}
+
+TEST(FaultPlan, ParseEmptySpecIsInactive) {
+  EXPECT_FALSE(FaultPlan::parse("").any());
+}
+
+TEST(FaultPlan, ParseFullSpec) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=9,blackout=2,blackout-slots=5,dropout=0.1,glitch=0.05,"
+      "glitch-gain=3,cap-fade=0.01,leak-growth=0.02,dead-cap=0.5,"
+      "corrupt=0.25");
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_DOUBLE_EQ(plan.blackout.rate_per_day, 2.0);
+  EXPECT_DOUBLE_EQ(plan.blackout.mean_slots, 5.0);
+  EXPECT_DOUBLE_EQ(plan.sensor.dropout_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan.sensor.glitch_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan.sensor.glitch_gain, 3.0);
+  EXPECT_DOUBLE_EQ(plan.aging.capacity_fade_per_day, 0.01);
+  EXPECT_DOUBLE_EQ(plan.aging.leakage_growth_per_day, 0.02);
+  EXPECT_DOUBLE_EQ(plan.aging.dead_cap_prob, 0.5);
+  EXPECT_DOUBLE_EQ(plan.controller.corrupt_prob, 0.25);
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, ParseRejectsUnknownKey) {
+  EXPECT_THROW(FaultPlan::parse("nope=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("blackout=1,bogus=2"), std::invalid_argument);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedValues) {
+  EXPECT_THROW(FaultPlan::parse("blackout=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("blackout="), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("dropout=0.1x"), std::invalid_argument);
+  // strtod-parseable non-finite cells must be rejected, not stored.
+  EXPECT_THROW(FaultPlan::parse("dropout=nan"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("glitch=inf"), std::invalid_argument);
+}
+
+TEST(FaultPlan, ScaledMultipliesRatesAndClampsProbabilities) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.blackout.rate_per_day = 1.5;
+  plan.blackout.mean_slots = 4.0;
+  plan.sensor.dropout_prob = 0.6;
+  plan.sensor.glitch_gain = 2.5;
+  plan.controller.corrupt_prob = 0.1;
+
+  const FaultPlan twice = plan.scaled(2.0);
+  EXPECT_EQ(twice.seed, 7u);                              // Kept.
+  EXPECT_DOUBLE_EQ(twice.blackout.rate_per_day, 3.0);     // Scaled.
+  EXPECT_DOUBLE_EQ(twice.blackout.mean_slots, 4.0);       // Magnitude kept.
+  EXPECT_DOUBLE_EQ(twice.sensor.dropout_prob, 1.0);       // Clamped.
+  EXPECT_DOUBLE_EQ(twice.sensor.glitch_gain, 2.5);        // Magnitude kept.
+  EXPECT_DOUBLE_EQ(twice.controller.corrupt_prob, 0.2);
+}
+
+TEST(FaultPlan, ScaledToZeroIsInactive) {
+  FaultPlan plan;
+  plan.blackout.rate_per_day = 2.0;
+  plan.sensor.dropout_prob = 0.3;
+  EXPECT_TRUE(plan.any());
+  EXPECT_FALSE(plan.scaled(0.0).any());
+}
+
+TEST(FaultPlan, ScaledRejectsNegativeIntensity) {
+  EXPECT_THROW(FaultPlan{}.scaled(-0.5), std::invalid_argument);
+}
+
+TEST(FaultPlan, DescribeMentionsActiveProcesses) {
+  FaultPlan plan;
+  plan.blackout.rate_per_day = 1.0;
+  plan.controller.corrupt_prob = 0.5;
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("blackout"), std::string::npos);
+  EXPECT_NE(text.find("corrupt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solsched::fault

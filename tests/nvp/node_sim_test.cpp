@@ -19,6 +19,40 @@ solar::SolarTrace bright_trace(const solar::TimeGrid& grid, double power_w) {
   return t;
 }
 
+TEST(NodeConfigValidate, AggregatesEveryFinding) {
+  NodeConfig bad;
+  bad.grid = solar::TimeGrid{0, 12, 10, -1.0};  // Two grid findings.
+  bad.capacities_f = {5.0, -2.0};               // One capacitor finding.
+  bad.v_high = bad.v_low;                       // One voltage finding.
+  bad.backup_energy_j = -0.1;                   // One fault-model finding.
+  const auto findings = bad.findings();
+  EXPECT_GE(findings.size(), 5u);
+  try {
+    bad.validate();
+    FAIL() << "validate() must throw";
+  } catch (const std::invalid_argument& e) {
+    // The exception carries every finding, not just the first.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("findings"), std::string::npos);
+    for (const auto& f : findings)
+      EXPECT_NE(what.find(f), std::string::npos) << f;
+  }
+}
+
+TEST(NodeConfigValidate, DefaultTestNodeIsClean) {
+  EXPECT_TRUE(small_node(small_grid()).findings().empty());
+}
+
+TEST(NodeSim, RejectsInvalidConfigAtEntry) {
+  const auto grid = small_grid();
+  NodeConfig bad = small_node(grid);
+  bad.capacities_f.clear();
+  sched::AsapScheduler policy;
+  EXPECT_THROW(
+      simulate(test::indep3(), bright_trace(grid, 0.2), policy, bad),
+      std::invalid_argument);
+}
+
 TEST(NodeSim, AbundantEnergyZeroDmr) {
   const auto grid = small_grid();
   const auto graph = test::indep3();

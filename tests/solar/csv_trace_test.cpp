@@ -22,6 +22,14 @@ TEST(ParseCsvColumn, ClampsNegativesToZero) {
   EXPECT_EQ(values, (std::vector<double>{0.0, 7.0}));
 }
 
+TEST(ParseCsvColumn, RejectsNonFiniteCells) {
+  // strtod happily parses "nan"/"inf" spellings; those cells must be
+  // skipped like any other junk, never stored in the trace.
+  const auto values =
+      parse_csv_column("power\n1.0\nnan\ninf\n-inf\nNaN\n2.0\n", 0);
+  EXPECT_EQ(values, (std::vector<double>{1.0, 2.0}));
+}
+
 TEST(ParseCsvColumn, ThrowsOnNoData) {
   EXPECT_THROW(parse_csv_column("header only\n", 0), std::invalid_argument);
   EXPECT_THROW(parse_csv_column("a,b\nc,d\n", 1), std::invalid_argument);
