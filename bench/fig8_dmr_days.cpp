@@ -7,6 +7,7 @@
 // cuts DMR by up to 27.8% vs. [3] and lands within a few percent of
 // Optimal, with the gap growing as solar yield drops (Day1 -> Day4).
 #include "bench_common.hpp"
+#include "obs/analysis/attribution.hpp"
 
 using namespace solsched;
 
@@ -29,22 +30,27 @@ int main() {
         bench::train_for(graph, /*train_days=*/8);
 
     util::TextTable table;
-    table.set_header(
-        {"", "Inter-task", "Intra-task", "Proposed", "Optimal"});
+    table.set_header({"", "Inter-task", "Intra-task", "Proposed", "Optimal",
+                      "why (Proposed)"});
     for (int d = 0; d < 4; ++d) {
+      core::ComparisonConfig config;
+      config.record_events = true;  // Feeds the "why" column.
       const auto rows = core::run_comparison(graph, days[static_cast<std::size_t>(d)],
                                              bench::paper_node(), &controller,
-                                             {});
+                                             config);
+      const core::ComparisonRow& proposed = core::row_of(rows, "Proposed");
       const double inter = core::row_of(rows, "Inter-task").dmr;
       const double intra = core::row_of(rows, "Intra-task").dmr;
-      const double prop = core::row_of(rows, "Proposed").dmr;
+      const double prop = proposed.dmr;
       const double opt = core::row_of(rows, "Optimal").dmr;
       if (inter > 0.0)
         worst_red = std::max(worst_red, (inter - prop) / inter);
       sum_gap += prop - opt;
       ++gap_count;
       table.add_row({day_names[d], util::fmt_pct(inter), util::fmt_pct(intra),
-                     util::fmt_pct(prop), util::fmt_pct(opt)});
+                     util::fmt_pct(prop), util::fmt_pct(opt),
+                     obs::analysis::attribute_misses(proposed.events->events())
+                         .one_line()});
     }
     std::printf("%s", table.str().c_str());
   }

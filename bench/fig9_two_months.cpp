@@ -7,6 +7,7 @@
 // while winning on DMR: it migrates more energy (paying round-trip losses)
 // and refuses to burn energy on doomed tasks.
 #include "bench_common.hpp"
+#include "obs/analysis/attribution.hpp"
 
 using namespace solsched;
 
@@ -25,6 +26,7 @@ int main() {
   (void)gen;
 
   core::ComparisonConfig config;
+  config.record_events = true;  // Feeds the miss-attribution receipt below.
   const auto rows = core::run_comparison(graph, trace, bench::paper_node(),
                                          &controller, config);
 
@@ -73,6 +75,22 @@ int main() {
                     util::fmt_pct(row.migration_efficiency)});
   }
   std::printf("%s", totals.str().c_str());
+
+  // (c) Why the misses happened: per-policy attribution from the event
+  // traces. Every miss gets exactly one cause (DESIGN.md §12), so each
+  // row's cause counts sum to its simulated miss total — printed as a
+  // coverage receipt.
+  std::printf("\n(c) deadline-miss attribution\n");
+  for (const auto& row : rows) {
+    if (!row.events) continue;
+    const obs::analysis::DmrAttribution attr =
+        obs::analysis::attribute_misses(row.events->events());
+    std::size_t sim_misses = 0;
+    for (const auto& p : row.sim.periods) sim_misses += p.misses;
+    std::printf("  %-12s %s (%zu misses, coverage %s)\n", row.algo.c_str(),
+                attr.one_line().c_str(), attr.total_misses,
+                attr.total_misses == sim_misses ? "ok" : "BROKEN");
+  }
 
   const double dmr_prop = core::row_of(rows, "Proposed").dmr;
   const double dmr_opt = core::row_of(rows, "Optimal").dmr;

@@ -26,6 +26,7 @@
 #include "core/report.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/analysis/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sim_trace.hpp"
 #include "obs/span.hpp"
@@ -366,9 +367,26 @@ int main() {
   std::fprintf(f, "  \"speedup_best\": %.3f\n", baseline.total_ms / best_fast);
   std::fprintf(f, "}\n");
   std::fclose(f);
+
+  // Run manifest for this bench invocation, diffable across machines and
+  // commits with `solsched-inspect diff`.
+  {
+    const nvp::NodeConfig node = bench::paper_node();
+    obs::analysis::ManifestInfo info;
+    info.workload = "pipeline_bench";
+    info.seeds = {kSeed};
+    info.node = &node;
+    info.trace_path = "pipeline_bench.events.jsonl";
+    try {
+      obs::analysis::write_manifest("pipeline_bench.manifest.json", info);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+    }
+  }
+
   std::printf("wrote BENCH_pipeline.json (best speedup %.2fx), "
               "pipeline_bench.metrics.json, pipeline_bench.trace.json, "
-              "pipeline_bench.events.jsonl\n",
+              "pipeline_bench.events.jsonl, pipeline_bench.manifest.json\n",
               baseline.total_ms / best_fast);
   return 0;
 }

@@ -7,13 +7,22 @@
 // compares the proposed scheduler against the baselines at each size.
 //
 // Build & run:  ./build/examples/ecg_wearable
-//   --fault-plan SPEC    also run a resilience sweep at the 1.0x panel,
-//                        e.g. "blackout=3,dropout=0.05,corrupt=0.1"
+//   --events-out e.jsonl  dump the nominal (1.0x) Proposed run's simulation
+//                         events and print its energy-ledger audit and
+//                         deadline-miss attribution at exit
+//   --manifest-out m.json write the run manifest (config digest, seeds,
+//                         build provenance; inspect with solsched-inspect)
+//   --fault-plan SPEC     also run a resilience sweep at the 1.0x panel,
+//                         e.g. "blackout=3,dropout=0.05,corrupt=0.1"
 #include <cstdio>
+#include <memory>
 #include <optional>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "obs/analysis/attribution.hpp"
+#include "obs/analysis/ledger.hpp"
+#include "obs/analysis/manifest.hpp"
 #include "solar/predictor.hpp"
 #include "solar/trace_generator.hpp"
 #include "task/benchmarks.hpp"
@@ -25,6 +34,10 @@ using namespace solsched;
 
 int main(int argc, char** argv) {
   util::Cli cli;
+  cli.add_flag("events-out", "",
+               "write the 1.0x Proposed run's simulation events (JSONL)");
+  cli.add_flag("manifest-out", "",
+               "write the run manifest (JSON; see solsched-inspect diff)");
   cli.add_flag("fault-plan", "",
                "resilience sweep spec, e.g. blackout=3,corrupt=0.1");
   if (!cli.parse(argc, argv)) {
@@ -85,7 +98,9 @@ int main(int argc, char** argv) {
   util::TextTable table;
   table.set_header({"panel scale", "harvest (J/day)", "Inter-task",
                     "Proposed", "Optimal"});
+  const std::string events_out = cli.get("events-out");
   std::optional<core::TrainedController> nominal;  // 1.0x, for the sweep.
+  std::shared_ptr<obs::SimTrace> nominal_events;   // 1.0x Proposed trace.
   for (double scale : {0.5, 1.0, 1.5, 2.0}) {
     const auto training = base_training.scaled(scale);
     const auto test = base_test.scaled(scale);
@@ -97,8 +112,11 @@ int main(int argc, char** argv) {
     if (scale == 1.0) nominal = controller;
     core::ComparisonConfig config;
     config.run_intra = false;
+    config.record_events = !events_out.empty() && scale == 1.0;
     const auto rows =
         core::run_comparison(graph, test, node, &controller, config);
+    if (config.record_events)
+      nominal_events = core::row_of(rows, "Proposed").events;
     table.add_row({util::fmt(scale, 2) + "x",
                    util::fmt(test.total_energy_j() / 3.0, 0),
                    util::fmt_pct(core::row_of(rows, "Inter-task").dmr),
@@ -116,11 +134,36 @@ int main(int argc, char** argv) {
                 fault_plan->describe().c_str());
     core::ResilienceConfig config;
     config.plan = *fault_plan;
+    config.record_events = true;  // Feeds the miss-causes column.
     const auto points = core::run_resilience_sweep(
         graph, base_test, nominal->node, &*nominal, config);
     std::printf("%s", core::resilience_table(points).c_str());
     std::printf("\nreading: the volatile row shows what the NVP's "
                 "backup/restore buys once outages start wiping progress\n");
+  }
+
+  // --- Exit receipt: trace dump, ledger audit, manifest ------------------
+  if (nominal_events) {
+    if (core::write_text_file(events_out, nominal_events->to_jsonl()))
+      std::printf("\nnominal event trace written to %s\n", events_out.c_str());
+    const obs::analysis::EnergyLedger ledger =
+        obs::analysis::build_ledger(nominal_events->events());
+    std::printf("%s\n",
+                obs::analysis::audit_conservation(ledger).message.c_str());
+    std::printf("miss attribution: %s\n",
+                obs::analysis::attribute_misses(nominal_events->events())
+                    .one_line()
+                    .c_str());
+  }
+  const std::string manifest_out = cli.get("manifest-out");
+  if (!manifest_out.empty() && nominal) {
+    obs::analysis::ManifestInfo info;
+    info.workload = "ecg_wearable";
+    info.seeds = {gen_config.seed};
+    info.node = &nominal->node;
+    info.trace_path = events_out;
+    obs::analysis::write_manifest(manifest_out, info);
+    std::printf("run manifest written to %s\n", manifest_out.c_str());
   }
   return 0;
 }

@@ -16,6 +16,8 @@
 //   --metrics-out m.json   dump the metrics registry snapshot
 //   --trace-out t.json     dump Chrome trace_event JSON (chrome://tracing)
 //   --events-out e.jsonl   dump the week run's simulation events (JSONL)
+//   --manifest-out m.json  write the run manifest (config digest, seeds,
+//                          build provenance; inspect with solsched-inspect)
 //   --fault-plan SPEC      inject faults into the week run, e.g.
 //                          "blackout=2,dropout=0.05,corrupt=0.1" (see
 //                          fault::FaultPlan::parse for the key list)
@@ -30,6 +32,9 @@
 #include "core/report.hpp"
 #include "nvp/exec_trace.hpp"
 #include "nvp/node_sim.hpp"
+#include "obs/analysis/attribution.hpp"
+#include "obs/analysis/ledger.hpp"
+#include "obs/analysis/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sim_trace.hpp"
 #include "obs/span.hpp"
@@ -46,6 +51,8 @@ int main(int argc, char** argv) {
                "write Chrome trace_event JSON for chrome://tracing");
   cli.add_flag("events-out", "",
                "write the week run's simulation events (JSONL)");
+  cli.add_flag("manifest-out", "",
+               "write the run manifest (JSON; see solsched-inspect diff)");
   cli.add_flag("fault-plan", "",
                "fault spec for the week run, e.g. blackout=2,dropout=0.05");
   if (!cli.parse(argc, argv)) {
@@ -174,6 +181,32 @@ int main(int argc, char** argv) {
   if (!events_out.empty() &&
       core::write_text_file(events_out, events.to_jsonl()))
     std::printf("week event trace written to %s\n", events_out.c_str());
+
+  // Exit receipt when any trace output was requested: conservation audit +
+  // deadline-miss attribution, one line each (DESIGN.md §12).
+  if (!events_out.empty() || !cli.get("trace-out").empty()) {
+    const obs::analysis::EnergyLedger ledger =
+        obs::analysis::build_ledger(events.events());
+    std::printf("%s\n",
+                obs::analysis::audit_conservation(ledger).message.c_str());
+    std::printf("miss attribution: %s\n",
+                obs::analysis::attribute_misses(events.events())
+                    .one_line()
+                    .c_str());
+  }
+
+  const std::string manifest_out = cli.get("manifest-out");
+  if (!manifest_out.empty()) {
+    obs::analysis::ManifestInfo info;
+    info.workload = "wam_monitoring";
+    info.seeds = {gen_config.seed, test_config.seed};
+    info.node = &controller.node;
+    info.trace_path = events_out;
+    info.include_metrics = obs::enabled();
+    obs::analysis::write_manifest(manifest_out, info);
+    std::printf("run manifest written to %s\n", manifest_out.c_str());
+  }
+
   const std::string metrics_out = cli.get("metrics-out");
   if (!metrics_out.empty() &&
       core::write_text_file(

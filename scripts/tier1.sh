@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Tier-1 gate: the full test suite on a normal build, plus the concurrency
+# Tier-1 gate: the full test suite on a normal build, the trace-analytics
+# phase (golden-ledger suite + bench regression gate), plus the concurrency
 # and observability suites rerun under ThreadSanitizer, plus the fault
 # suite rerun under UndefinedBehaviorSanitizer.
 #
@@ -21,6 +22,16 @@ echo "== tier 1: full suite ($BUILD_DIR) =="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== tier 1: trace analytics ($BUILD_DIR) =="
+# The golden-ledger suite standalone (energy conservation, DMR attribution,
+# manifests, the inspect CLI), then the bench regression gate on the
+# committed baseline compared against itself — a deterministic exercise of
+# the exact command a refreshed BENCH_pipeline.json would be vetted with:
+#   tools/solsched-inspect check-bench BENCH_pipeline.json <fresh.json>
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L analysis
+"$BUILD_DIR/tools/solsched-inspect" check-bench \
+  BENCH_pipeline.json BENCH_pipeline.json --max-regress 15%
 
 echo "== tier 1: TSan rerun of concurrency + obs ($TSAN_DIR) =="
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread

@@ -185,27 +185,31 @@ std::vector<ResiliencePoint> run_resilience_sweep(
       jobs.push_back({i, [&, fx] {
                         sched::LsaInterScheduler policy;
                         return run_one(graph, trace, baseline_node, policy,
-                                       policy.name(), false, fx);
+                                       policy.name(),
+                                       config.record_events, fx);
                       }});
     if (config.run_intra)
       jobs.push_back({i, [&, fx] {
                         sched::IntraTaskScheduler policy;
                         return run_one(graph, trace, baseline_node, policy,
-                                       policy.name(), false, fx);
+                                       policy.name(),
+                                       config.record_events, fx);
                       }});
     if (config.run_proposed && trained) {
       jobs.push_back({i, [&, fx] {
                         auto policy = make_proposed(*trained);
                         policy->attach_faults(fx);
                         return run_one(graph, trace, effective, *policy,
-                                       policy->name(), false, fx);
+                                       policy->name(),
+                                       config.record_events, fx);
                       }});
       if (config.volatile_ablation)
         jobs.push_back({i, [&, fx] {
                           auto policy = make_proposed(*trained);
                           policy->attach_faults(fx);
                           return run_one(graph, trace, volatile_node, *policy,
-                                         "Proposed (volatile)", false, fx);
+                                         "Proposed (volatile)",
+                                         config.record_events, fx);
                         }});
     }
   }

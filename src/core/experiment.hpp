@@ -73,6 +73,9 @@ struct ResilienceConfig {
   /// wiped at power failures) — the NVP-vs-volatile ablation row, named
   /// "Proposed (volatile)".
   bool volatile_ablation = true;
+  /// Attach a SimTrace to every row's sim, as in ComparisonConfig. Enables
+  /// per-row deadline-miss attribution in core::resilience_table.
+  bool record_events = false;
 };
 
 /// One intensity point of the sweep.

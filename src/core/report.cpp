@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "obs/analysis/attribution.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -50,8 +51,11 @@ std::string to_csv(const nvp::SimResult& result) {
 
 std::string metrics_report(const obs::MetricsSnapshot& snapshot) {
   if (snapshot.counters.empty() && snapshot.gauges.empty() &&
-      snapshot.histograms.empty())
+      snapshot.histograms.empty()) {
+    if (!obs::enabled())
+      return "observability disabled (SOLSCHED_OBS unset)\n";
     return {};
+  }
 
   std::ostringstream out;
   out << "metrics\n";
@@ -131,16 +135,21 @@ std::string comparison_table(const std::vector<ComparisonRow>& rows) {
 std::string resilience_table(const std::vector<ResiliencePoint>& points) {
   util::TextTable table;
   table.set_header({"intensity", "algorithm", "DMR", "pf slots", "backups",
-                    "restores", "fallbacks", "lost s"});
+                    "restores", "fallbacks", "lost s", "miss causes"});
   for (const auto& point : points)
-    for (const auto& row : point.rows)
+    for (const auto& row : point.rows) {
+      std::string causes = "-";
+      if (row.events)
+        causes =
+            obs::analysis::attribute_misses(row.events->events()).one_line();
       table.add_row({util::fmt(point.intensity, 2), row.algo,
                      util::fmt_pct(row.dmr),
                      std::to_string(row.sim.total_power_failure_slots()),
                      std::to_string(row.sim.total_backups()),
                      std::to_string(row.sim.total_restores()),
                      std::to_string(row.sim.total_fallbacks()),
-                     util::fmt(row.sim.total_lost_progress_s(), 1)});
+                     util::fmt(row.sim.total_lost_progress_s(), 1), causes});
+    }
   return table.str();
 }
 

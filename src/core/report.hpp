@@ -23,12 +23,16 @@ std::string comparison_table(const std::vector<ComparisonRow>& rows);
 
 /// Text table of a resilience sweep: one line per (intensity, policy) with
 /// DMR and the fault ledger (power failures, backups/restores, fallbacks,
-/// volatile-baseline lost progress).
+/// volatile-baseline lost progress). Rows that carry an event trace
+/// (ResilienceConfig::record_events) gain a per-cause miss attribution
+/// column (DESIGN.md §12); traceless rows show "-".
 std::string resilience_table(const std::vector<ResiliencePoint>& points);
 
 /// Text rendering of a metrics snapshot: counters/gauges tables plus derived
 /// rates (cache hit rate, mean span times). Empty string for an empty
-/// snapshot, so callers can append it unconditionally.
+/// snapshot with observability on, so callers can append it unconditionally;
+/// a one-line "observability disabled" notice when SOLSCHED_OBS is off, so
+/// a run that asked for metrics never reports silence.
 std::string metrics_report(const obs::MetricsSnapshot& snapshot);
 
 /// Writes `content` to `path`; returns false on I/O failure.

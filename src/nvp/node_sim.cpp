@@ -12,7 +12,8 @@ namespace {
 /// only; called once per period so it never touches the per-slot hot path.
 void emit_period_events(obs::SimTrace& events, const PeriodRecord& record,
                         const storage::CapacitorBank& bank,
-                        std::size_t prev_cap_index, bool cap_switched) {
+                        std::size_t prev_cap_index, bool cap_switched,
+                        double bank_begin_j, double bank_end_j) {
   const auto day = static_cast<std::uint32_t>(record.day);
   const auto period = static_cast<std::uint32_t>(record.period);
 
@@ -29,6 +30,15 @@ void emit_period_events(obs::SimTrace& events, const PeriodRecord& record,
                    {"leakage_loss_j", record.leakage_loss_j},
                    {"spilled_j", record.spilled_j}};
   events.emit(std::move(energy));
+
+  // Bank totals at the period boundaries (taken after aging/kill, so the
+  // §12 conservation audit closes over exactly the in-period flows).
+  obs::SimEvent bank_e;
+  bank_e.type = "bank_energy";
+  bank_e.day = day;
+  bank_e.period = period;
+  bank_e.fields = {{"begin_j", bank_begin_j}, {"end_j", bank_end_j}};
+  events.emit(std::move(bank_e));
 
   obs::SimEvent volts;
   volts.type = "cap_voltages";
@@ -70,6 +80,29 @@ void emit_period_events(obs::SimTrace& events, const PeriodRecord& record,
     mig.fields = {{"migrated_in_j", record.migrated_in_j},
                   {"cap_supplied_j", record.cap_supplied_j}};
     events.emit(std::move(mig));
+  }
+
+  // Per-period fault totals. The inline power_failure/backup/restore events
+  // mark outage *entries* only, so a blackout spanning period boundaries
+  // would be invisible to a trace consumer in its later periods; this event
+  // gives the §12 DMR attribution per-period visibility. Guarded on fault
+  // activity so fault-free traces stay bit-identical to the pre-§12 format.
+  if (record.power_failures > 0 || record.power_failure_slots > 0 ||
+      record.backups > 0 || record.restores > 0 || record.fallbacks > 0 ||
+      record.lost_progress_s > 0.0) {
+    obs::SimEvent fl;
+    fl.type = "fault_ledger";
+    fl.day = day;
+    fl.period = period;
+    fl.fields = {{"pf_entries", static_cast<double>(record.power_failures)},
+                 {"pf_slots", static_cast<double>(record.power_failure_slots)},
+                 {"backups", static_cast<double>(record.backups)},
+                 {"restores", static_cast<double>(record.restores)},
+                 {"fallbacks", static_cast<double>(record.fallbacks)},
+                 {"backup_j", record.backup_energy_j},
+                 {"restore_j", record.restore_energy_j},
+                 {"lost_progress_s", record.lost_progress_s}};
+    events.emit(std::move(fl));
   }
 }
 
@@ -147,6 +180,11 @@ SimResult simulate(const task::TaskGraph& graph,
         const auto killed = fx->cap_killed_at(grid.flat_period(day, period));
         if (killed) bank.at(*killed % bank.size()).kill();
       }
+
+      // Ledger anchor: bank energy after the boundary effects (aging, cell
+      // death) but before any in-period flow, so E_begin + solar_in balances
+      // against E_end plus the recorded outflows (DESIGN.md §12).
+      const double bank_begin_j = bank.total_energy_j();
 
       PeriodContext pctx;
       pctx.day = day;
@@ -304,7 +342,8 @@ SimResult simulate(const task::TaskGraph& graph,
       record.completions = state.completed_count();
 
       if (events != nullptr)
-        emit_period_events(*events, record, bank, prev_cap_index, cap_switched);
+        emit_period_events(*events, record, bank, prev_cap_index, cap_switched,
+                           bank_begin_j, bank.total_energy_j());
 
       // Workload metrics, once per period; the per-slot hot path stays
       // untouched. These counters are deterministic (no wall clock), so they

@@ -1,0 +1,116 @@
+#include "obs/analysis/attribution.hpp"
+
+#include <cstdio>
+
+namespace solsched::obs::analysis {
+namespace {
+
+/// Everything attribution needs to know about one period.
+struct PeriodFacts {
+  std::uint32_t day = 0;
+  std::uint32_t period = 0;
+  std::size_t misses = 0;
+  std::size_t completions = 0;
+  std::size_t brownout_slots = 0;
+  std::size_t pf_slots = 0;
+  std::size_t fallbacks = 0;
+  bool saw_deadline = false;
+  bool cap_switched = false;
+};
+
+/// Finds (or appends) the facts for (day, period). Traces arrive in
+/// simulation order, so the common case is the last entry.
+PeriodFacts& facts_for(std::vector<PeriodFacts>& all, std::uint32_t day,
+                       std::uint32_t period) {
+  if (!all.empty()) {
+    PeriodFacts& back = all.back();
+    if (back.day == day && back.period == period) return back;
+  }
+  for (auto it = all.rbegin(); it != all.rend(); ++it)
+    if (it->day == day && it->period == period) return *it;
+  PeriodFacts f;
+  f.day = day;
+  f.period = period;
+  all.push_back(f);
+  return all.back();
+}
+
+MissCause classify(const PeriodFacts& f) {
+  if (f.pf_slots > 0) return MissCause::kBlackout;
+  if (f.fallbacks > 0) return MissCause::kFaultFallback;
+  if (f.brownout_slots > 0) return MissCause::kEnergyStarvation;
+  if (f.cap_switched) return MissCause::kCapSwitch;
+  return MissCause::kPatternChoice;
+}
+
+/// Short tag for the one-line rendering.
+const char* short_tag(MissCause cause) noexcept {
+  switch (cause) {
+    case MissCause::kBlackout: return "blackout";
+    case MissCause::kFaultFallback: return "fallback";
+    case MissCause::kEnergyStarvation: return "starvation";
+    case MissCause::kCapSwitch: return "cap_switch";
+    case MissCause::kPatternChoice: return "pattern";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(MissCause cause) noexcept {
+  switch (cause) {
+    case MissCause::kBlackout: return "blackout";
+    case MissCause::kFaultFallback: return "fault_fallback";
+    case MissCause::kEnergyStarvation: return "energy_starvation";
+    case MissCause::kCapSwitch: return "cap_switch";
+    case MissCause::kPatternChoice: return "pattern_choice";
+  }
+  return "?";
+}
+
+std::string DmrAttribution::one_line() const {
+  if (total_misses == 0) return "none";
+  std::string out;
+  for (std::size_t i = 0; i < kMissCauseCount; ++i) {
+    if (counts[i] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += short_tag(static_cast<MissCause>(i));
+    out += ':';
+    out += std::to_string(counts[i]);
+  }
+  return out;
+}
+
+DmrAttribution attribute_misses(const std::vector<SimEvent>& events) {
+  std::vector<PeriodFacts> facts;
+  for (const SimEvent& ev : events) {
+    if (ev.type == "deadline") {
+      PeriodFacts& f = facts_for(facts, ev.day, ev.period);
+      f.misses = static_cast<std::size_t>(ev.field_or("misses"));
+      f.completions = static_cast<std::size_t>(ev.field_or("completions"));
+      f.brownout_slots =
+          static_cast<std::size_t>(ev.field_or("brownout_slots"));
+      f.saw_deadline = true;
+    } else if (ev.type == "fault_ledger") {
+      PeriodFacts& f = facts_for(facts, ev.day, ev.period);
+      f.pf_slots = static_cast<std::size_t>(ev.field_or("pf_slots"));
+      f.fallbacks = static_cast<std::size_t>(ev.field_or("fallbacks"));
+    } else if (ev.type == "cap_switch") {
+      facts_for(facts, ev.day, ev.period).cap_switched = true;
+    }
+  }
+
+  DmrAttribution attr;
+  for (const PeriodFacts& f : facts) {
+    if (!f.saw_deadline) continue;
+    ++attr.periods;
+    attr.total_misses += f.misses;
+    attr.total_completions += f.completions;
+    if (f.misses == 0) continue;
+    ++attr.periods_with_misses;
+    attr.counts[static_cast<std::size_t>(classify(f))] += f.misses;
+  }
+  return attr;
+}
+
+}  // namespace solsched::obs::analysis

@@ -1,0 +1,71 @@
+// Deadline-miss attribution (DESIGN.md §12).
+//
+// Classifies every deadline miss in a SimTrace by cause, so the resilience
+// table, the fig8/fig9 benches and `solsched-inspect dmr` can report *why*
+// DMR moved rather than just that it did. Attribution is per period (every
+// miss in a period shares that period's dominant condition) and the causes
+// form a strict priority ladder, so each miss gets exactly one cause and
+// the per-cause counts always sum to the run's total misses
+// (nvp.sim.deadline_misses):
+//
+//   1. blackout          the period spent slots fully dark (injected power
+//                        failure: no harvest, no scheduling);
+//   2. fault_fallback    the policy ran its degraded LSA fallback this
+//                        period (corrupted controller output);
+//   3. energy_starvation the period browned out — the chosen load was
+//                        infeasible for at least one slot, i.e. energy ran
+//                        out under a schedule the policy did commit to;
+//   4. cap_switch        the capacitor selection changed this period — the
+//                        switch transient (and the E_th gate that timed it)
+//                        is the dominant disturbance when nothing above
+//                        fired;
+//   5. pattern_choice    none of the above: energy was available and the
+//                        node ran clean, so the α / scheduling-pattern
+//                        choice itself left deadlines unmet.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/sim_trace.hpp"
+
+namespace solsched::obs::analysis {
+
+/// Why a deadline miss happened; declaration order is the priority ladder.
+enum class MissCause : std::size_t {
+  kBlackout = 0,
+  kFaultFallback = 1,
+  kEnergyStarvation = 2,
+  kCapSwitch = 3,
+  kPatternChoice = 4,
+};
+
+inline constexpr std::size_t kMissCauseCount = 5;
+
+/// Stable lowercase tag ("blackout", "fault_fallback", ...).
+const char* to_string(MissCause cause) noexcept;
+
+/// Per-cause miss counts for one run.
+struct DmrAttribution {
+  std::array<std::size_t, kMissCauseCount> counts{};
+  std::size_t total_misses = 0;       ///< Sum of the deadline events' misses.
+  std::size_t total_completions = 0;
+  std::size_t periods = 0;            ///< Periods seen (deadline events).
+  std::size_t periods_with_misses = 0;
+
+  std::size_t count(MissCause cause) const noexcept {
+    return counts[static_cast<std::size_t>(cause)];
+  }
+
+  /// Compact one-line summary: only nonzero causes, e.g.
+  /// "starvation:12 pattern:3" — "none" when the run missed nothing.
+  std::string one_line() const;
+};
+
+/// Attributes every miss in the event stream. The invariant — the per-cause
+/// counts sum to total_misses — holds by construction for any trace.
+DmrAttribution attribute_misses(const std::vector<SimEvent>& events);
+
+}  // namespace solsched::obs::analysis

@@ -1,0 +1,90 @@
+#include "obs/analysis/bench_check.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/analysis/json_mini.hpp"
+
+namespace solsched::obs::analysis {
+namespace {
+
+const JsonValue& runs_of(const JsonValue& doc, const char* which) {
+  const JsonValue* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_object())
+    throw std::runtime_error(std::string(which) +
+                             " bench file has no \"runs\" object");
+  return *runs;
+}
+
+}  // namespace
+
+double parse_regress_fraction(const std::string& text) {
+  std::string body = text;
+  bool percent = false;
+  if (!body.empty() && body.back() == '%') {
+    percent = true;
+    body.pop_back();
+  }
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(body, &used);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad regression bound: \"" + text + "\"");
+  }
+  if (used != body.size() || value < 0.0)
+    throw std::runtime_error("bad regression bound: \"" + text + "\"");
+  return percent ? value / 100.0 : value;
+}
+
+BenchCheckResult check_bench(const std::string& old_json_text,
+                             const std::string& new_json_text,
+                             double max_regress) {
+  const JsonValue old_doc = parse_json(old_json_text);
+  const JsonValue new_doc = parse_json(new_json_text);
+  const JsonValue& old_runs = runs_of(old_doc, "baseline");
+  const JsonValue& new_runs = runs_of(new_doc, "candidate");
+
+  BenchCheckResult r;
+  r.max_regress = max_regress;
+
+  std::size_t regressions = 0;
+  for (const auto& [name, old_run] : old_runs.object) {
+    const JsonValue* new_run = new_runs.find(name);
+    if (new_run == nullptr) {
+      r.only_old.push_back(name);
+      continue;
+    }
+    BenchDelta d;
+    d.run = name;
+    d.old_ms = old_run.number_or("total_ms");
+    d.new_ms = new_run->number_or("total_ms");
+    if (d.old_ms <= 0.0)
+      throw std::runtime_error("baseline run \"" + name +
+                               "\" has no positive total_ms");
+    d.ratio = d.new_ms / d.old_ms;
+    d.regressed = d.ratio > 1.0 + max_regress;
+    if (d.regressed) ++regressions;
+    r.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, run] : new_runs.object) {
+    (void)run;
+    if (old_runs.find(name) == nullptr) r.only_new.push_back(name);
+  }
+
+  r.ok = regressions == 0 && !r.deltas.empty();
+  char buf[128];
+  if (r.deltas.empty()) {
+    r.message = "check-bench FAILED: no runs in common";
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "check-bench %s: %zu runs compared, %zu regressed beyond "
+                  "%.0f%%",
+                  r.ok ? "ok" : "FAILED", r.deltas.size(), regressions,
+                  max_regress * 100.0);
+    r.message = buf;
+  }
+  return r;
+}
+
+}  // namespace solsched::obs::analysis

@@ -1,0 +1,47 @@
+// Bench regression gate (DESIGN.md §12).
+//
+// Compares a fresh bench result (pipeline_bench's BENCH_pipeline.json
+// schema) against the committed baseline and fails when any run's total_ms
+// regressed beyond the allowed fraction. tier1.sh runs this through
+// `solsched-inspect check-bench`, turning silent performance drift into a
+// red CI phase. Comparison is per run name under the "runs" object; runs
+// present on only one side are reported but never fail the gate (bench
+// shape may legitimately evolve).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace solsched::obs::analysis {
+
+/// One compared run.
+struct BenchDelta {
+  std::string run;         ///< Key under "runs", e.g. "baseline_1t".
+  double old_ms = 0.0;
+  double new_ms = 0.0;
+  double ratio = 0.0;      ///< new/old; > 1 means slower.
+  bool regressed = false;  ///< ratio > 1 + max_regress.
+};
+
+/// Outcome of a baseline comparison.
+struct BenchCheckResult {
+  bool ok = false;
+  double max_regress = 0.0;              ///< The fraction actually applied.
+  std::vector<BenchDelta> deltas;        ///< One per run name on both sides.
+  std::vector<std::string> only_old;     ///< Runs missing from the new file.
+  std::vector<std::string> only_new;     ///< Runs missing from the baseline.
+  std::string message;                   ///< One-line verdict.
+};
+
+/// Parses "15%" or "0.15" into a fraction. Throws std::runtime_error on
+/// malformed or negative input.
+double parse_regress_fraction(const std::string& text);
+
+/// Compares two BENCH_pipeline.json documents. `max_regress` is a fraction
+/// (0.15 = allow 15% slower). Throws std::runtime_error when either
+/// document is malformed or lacks a "runs" object.
+BenchCheckResult check_bench(const std::string& old_json_text,
+                             const std::string& new_json_text,
+                             double max_regress);
+
+}  // namespace solsched::obs::analysis

@@ -1,0 +1,281 @@
+#include "obs/analysis/inspect.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/attribution.hpp"
+#include "obs/analysis/bench_check.hpp"
+#include "obs/analysis/json_mini.hpp"
+#include "obs/analysis/ledger.hpp"
+#include "obs/sim_trace.hpp"
+#include "util/table.hpp"
+
+namespace solsched::obs::analysis {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: solsched-inspect <command> [args]\n"
+    "\n"
+    "commands:\n"
+    "  summary <trace>                  event census, ledger totals, miss"
+    " causes\n"
+    "  ledger <trace> [--max-rows N]    per-period energy ledger +"
+    " conservation audit\n"
+    "  dmr <trace>                      deadline-miss attribution\n"
+    "  diff <runA.json> <runB.json>     compare two run manifests\n"
+    "  check-bench <old.json> <new.json> [--max-regress 15%]\n"
+    "                                   fail on total_ms regression\n"
+    "\n"
+    "traces are JSONL (--trace-out/--events-out output); a path ending in\n"
+    ".csv is read as long-format CSV. exit codes: 0 ok, 1 check failed,\n"
+    "2 usage or I/O error.\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::ostringstream body;
+  body << file.rdbuf();
+  return body.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<SimEvent> load_trace(const std::string& path) {
+  const std::string body = read_file(path);
+  return ends_with(path, ".csv") ? SimTrace::parse_csv(body)
+                                 : SimTrace::parse_jsonl(body);
+}
+
+std::string fmt_j(double joules) { return util::fmt(joules, 4); }
+
+int cmd_summary(const std::string& path) {
+  const std::vector<SimEvent> events = load_trace(path);
+
+  std::map<std::string, std::size_t> census;
+  for (const SimEvent& ev : events) ++census[ev.type];
+  util::TextTable types;
+  types.set_header({"event", "count"});
+  for (const auto& [type, count] : census)
+    types.add_row({type, std::to_string(count)});
+
+  const EnergyLedger ledger = build_ledger(events);
+  const AuditResult audit = audit_conservation(ledger);
+  const DmrAttribution attr = attribute_misses(events);
+
+  std::printf("%s: %zu events, %zu periods\n\n", path.c_str(), events.size(),
+              ledger.periods.size());
+  std::printf("%s\n", types.str().c_str());
+  std::printf(
+      "energy totals [J]: solar %s  served %s  conv_loss %s  leak %s  "
+      "spill %s  backup %s  restore %s\n",
+      fmt_j(ledger.total_solar_j).c_str(), fmt_j(ledger.total_served_j).c_str(),
+      fmt_j(ledger.total_conversion_loss_j).c_str(),
+      fmt_j(ledger.total_leakage_loss_j).c_str(),
+      fmt_j(ledger.total_spilled_j).c_str(),
+      fmt_j(ledger.total_backup_j).c_str(),
+      fmt_j(ledger.total_restore_j).c_str());
+  std::printf("%s\n", audit.message.c_str());
+  std::printf("misses: %zu of %zu jobs (causes: %s)\n", attr.total_misses,
+              attr.total_misses + attr.total_completions,
+              attr.one_line().c_str());
+  return 0;
+}
+
+int cmd_ledger(const std::string& path, std::size_t max_rows) {
+  const std::vector<SimEvent> events = load_trace(path);
+  const EnergyLedger ledger = build_ledger(events);
+  const AuditResult audit = audit_conservation(ledger);
+
+  util::TextTable table;
+  table.set_header({"day", "period", "begin_j", "solar_j", "served_j",
+                    "conv_j", "leak_j", "spill_j", "bkup_j", "rstr_j",
+                    "end_j", "residual_j"});
+  std::size_t shown = 0;
+  for (const LedgerEntry& e : ledger.periods) {
+    if (shown >= max_rows) break;
+    ++shown;
+    table.add_row({std::to_string(e.day), std::to_string(e.period),
+                   fmt_j(e.bank_begin_j), fmt_j(e.solar_in_j),
+                   fmt_j(e.load_served_j), fmt_j(e.conversion_loss_j),
+                   fmt_j(e.leakage_loss_j), fmt_j(e.spilled_j),
+                   fmt_j(e.backup_j), fmt_j(e.restore_j), fmt_j(e.bank_end_j),
+                   util::fmt(e.residual_j(), 12)});
+  }
+  std::printf("%s", table.str().c_str());
+  if (ledger.periods.size() > shown)
+    std::printf("... %zu of %zu periods shown (--max-rows)\n", shown,
+                ledger.periods.size());
+  std::printf("\n%s\n", audit.message.c_str());
+  return audit.ok ? 0 : 1;
+}
+
+int cmd_dmr(const std::string& path) {
+  const std::vector<SimEvent> events = load_trace(path);
+  const DmrAttribution attr = attribute_misses(events);
+
+  util::TextTable table;
+  table.set_header({"cause", "misses", "share"});
+  for (std::size_t i = 0; i < kMissCauseCount; ++i) {
+    const auto cause = static_cast<MissCause>(i);
+    const double share =
+        attr.total_misses > 0
+            ? static_cast<double>(attr.count(cause)) /
+                  static_cast<double>(attr.total_misses)
+            : 0.0;
+    table.add_row({to_string(cause), std::to_string(attr.count(cause)),
+                   util::fmt_pct(share)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\n%zu misses / %zu completions over %zu periods "
+      "(%zu periods with misses)\n",
+      attr.total_misses, attr.total_completions, attr.periods,
+      attr.periods_with_misses);
+  return 0;
+}
+
+/// Flattens a manifest into dotted key -> rendered value, skipping the
+/// "metrics" subtree (a diff of every counter would drown the signal;
+/// `summary` on the traces is the tool for that).
+void flatten(const JsonValue& value, const std::string& prefix,
+             std::map<std::string, std::string>& out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kObject:
+      for (const auto& [k, v] : value.object) {
+        if (prefix.empty() && k == "metrics") continue;
+        flatten(v, prefix.empty() ? k : prefix + "." + k, out);
+      }
+      break;
+    case JsonValue::Kind::kArray: {
+      std::string joined;
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) joined += ", ";
+        std::map<std::string, std::string> one;
+        flatten(value.array[i], "", one);
+        if (value.array[i].is_number()) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.17g", value.array[i].number);
+          joined += buf;
+        } else {
+          joined += value.array[i].string;
+        }
+      }
+      out[prefix] = "[" + joined + "]";
+      break;
+    }
+    case JsonValue::Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+      out[prefix] = buf;
+      break;
+    }
+    case JsonValue::Kind::kString: out[prefix] = value.string; break;
+    case JsonValue::Kind::kBool: out[prefix] = value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNull: out[prefix] = "null"; break;
+  }
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  std::map<std::string, std::string> a, b;
+  flatten(parse_json(read_file(path_a)), "", a);
+  flatten(parse_json(read_file(path_b)), "", b);
+
+  util::TextTable table;
+  table.set_header({"field", path_a, path_b});
+  for (const auto& [key, value_a] : a) {
+    const auto it = b.find(key);
+    if (it == b.end())
+      table.add_row({key, value_a, "(absent)"});
+    else if (it->second != value_a)
+      table.add_row({key, value_a, it->second});
+  }
+  for (const auto& [key, value_b] : b)
+    if (a.find(key) == a.end()) table.add_row({key, "(absent)", value_b});
+
+  if (table.row_count() == 0) {
+    std::printf("manifests agree on all %zu fields\n", a.size());
+    return 0;
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\n%zu field(s) differ\n", table.row_count());
+  return 1;
+}
+
+int cmd_check_bench(const std::string& old_path, const std::string& new_path,
+                    const std::string& bound_text) {
+  const BenchCheckResult r = check_bench(
+      read_file(old_path), read_file(new_path),
+      parse_regress_fraction(bound_text));
+
+  util::TextTable table;
+  table.set_header({"run", "old_ms", "new_ms", "ratio", "verdict"});
+  for (const BenchDelta& d : r.deltas)
+    table.add_row({d.run, util::fmt(d.old_ms, 2), util::fmt(d.new_ms, 2),
+                   util::fmt(d.ratio, 3), d.regressed ? "REGRESSED" : "ok"});
+  std::printf("%s", table.str().c_str());
+  for (const std::string& name : r.only_old)
+    std::printf("note: run \"%s\" only in baseline\n", name.c_str());
+  for (const std::string& name : r.only_new)
+    std::printf("note: run \"%s\" only in candidate\n", name.c_str());
+  std::printf("\n%s\n", r.message.c_str());
+  return r.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int run_inspect(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "help") {
+      std::fputs(kUsage, args.empty() ? stderr : stdout);
+      return args.empty() ? 2 : 0;
+    }
+    const std::string& cmd = args[0];
+
+    if (cmd == "summary" && args.size() == 2) return cmd_summary(args[1]);
+
+    if (cmd == "ledger" && (args.size() == 2 || args.size() == 4)) {
+      std::size_t max_rows = 20;
+      if (args.size() == 4) {
+        if (args[2] != "--max-rows") throw std::runtime_error(
+            "unknown flag: " + args[2]);
+        max_rows = static_cast<std::size_t>(std::stoull(args[3]));
+      }
+      return cmd_ledger(args[1], max_rows);
+    }
+
+    if (cmd == "dmr" && args.size() == 2) return cmd_dmr(args[1]);
+
+    if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
+
+    if (cmd == "check-bench" && (args.size() == 3 || args.size() == 5)) {
+      std::string bound = "15%";
+      if (args.size() == 5) {
+        if (args[3] != "--max-regress") throw std::runtime_error(
+            "unknown flag: " + args[3]);
+        bound = args[4];
+      }
+      return cmd_check_bench(args[1], args[2], bound);
+    }
+
+    std::fprintf(stderr, "solsched-inspect: bad command line\n\n%s", kUsage);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "solsched-inspect: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace solsched::obs::analysis

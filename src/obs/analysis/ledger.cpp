@@ -1,0 +1,169 @@
+#include "obs/analysis/ledger.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace solsched::obs::analysis {
+namespace {
+
+/// Finds (or appends) the ledger entry for (day, period). Events arrive in
+/// simulation order, so the common case is the last entry.
+LedgerEntry& entry_for(EnergyLedger& ledger, std::uint32_t day,
+                       std::uint32_t period) {
+  if (!ledger.periods.empty()) {
+    LedgerEntry& back = ledger.periods.back();
+    if (back.day == day && back.period == period) return back;
+  }
+  for (auto it = ledger.periods.rbegin(); it != ledger.periods.rend(); ++it)
+    if (it->day == day && it->period == period) return *it;
+  LedgerEntry e;
+  e.day = day;
+  e.period = period;
+  ledger.periods.push_back(e);
+  return ledger.periods.back();
+}
+
+std::string fmt_verdict(const char* what, const AuditResult& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s %s: %zu periods audited, max rel err %.3g (day %u period "
+                "%u)",
+                what, r.ok ? "ok" : "FAILED", r.audited, r.max_rel_error,
+                r.worst_day, r.worst_period);
+  return buf;
+}
+
+}  // namespace
+
+double LedgerEntry::residual_j() const noexcept {
+  return (bank_begin_j + solar_in_j) -
+         (bank_end_j + load_served_j + conversion_loss_j + leakage_loss_j +
+          spilled_j + backup_j + restore_j);
+}
+
+double LedgerEntry::rel_error() const noexcept {
+  const double scale = bank_begin_j + solar_in_j;
+  return std::fabs(residual_j()) / (scale > 1.0 ? scale : 1.0);
+}
+
+double EnergyLedger::max_rel_error() const noexcept {
+  const LedgerEntry* w = worst();
+  return w != nullptr ? w->rel_error() : 0.0;
+}
+
+const LedgerEntry* EnergyLedger::worst() const noexcept {
+  const LedgerEntry* best = nullptr;
+  for (const LedgerEntry& e : periods) {
+    if (!e.has_bank) continue;
+    if (best == nullptr || e.rel_error() > best->rel_error()) best = &e;
+  }
+  return best;
+}
+
+EnergyLedger build_ledger(const std::vector<SimEvent>& events) {
+  EnergyLedger ledger;
+  for (const SimEvent& ev : events) {
+    if (ev.type == "period_energy") {
+      LedgerEntry& e = entry_for(ledger, ev.day, ev.period);
+      e.solar_in_j = ev.field_or("solar_in_j");
+      e.load_served_j = ev.field_or("load_served_j");
+      e.stored_j = ev.field_or("stored_j");
+      e.migrated_in_j = ev.field_or("migrated_in_j");
+      e.cap_supplied_j = ev.field_or("cap_supplied_j");
+      e.conversion_loss_j = ev.field_or("conversion_loss_j");
+      e.leakage_loss_j = ev.field_or("leakage_loss_j");
+      e.spilled_j = ev.field_or("spilled_j");
+    } else if (ev.type == "bank_energy") {
+      LedgerEntry& e = entry_for(ledger, ev.day, ev.period);
+      e.bank_begin_j = ev.field_or("begin_j");
+      e.bank_end_j = ev.field_or("end_j");
+      e.has_bank = true;
+    } else if (ev.type == "backup") {
+      entry_for(ledger, ev.day, ev.period).backup_j += ev.field_or("cost_j");
+    } else if (ev.type == "restore") {
+      entry_for(ledger, ev.day, ev.period).restore_j += ev.field_or("cost_j");
+    }
+  }
+  for (const LedgerEntry& e : ledger.periods) {
+    ledger.total_solar_j += e.solar_in_j;
+    ledger.total_served_j += e.load_served_j;
+    ledger.total_conversion_loss_j += e.conversion_loss_j;
+    ledger.total_leakage_loss_j += e.leakage_loss_j;
+    ledger.total_spilled_j += e.spilled_j;
+    ledger.total_migrated_in_j += e.migrated_in_j;
+    ledger.total_backup_j += e.backup_j;
+    ledger.total_restore_j += e.restore_j;
+  }
+  return ledger;
+}
+
+AuditResult audit_conservation(const EnergyLedger& ledger, double tol) {
+  AuditResult r;
+  for (const LedgerEntry& e : ledger.periods) {
+    if (!e.has_bank) continue;
+    ++r.audited;
+    const double err = e.rel_error();
+    if (err >= r.max_rel_error) {
+      r.max_rel_error = err;
+      r.worst_day = e.day;
+      r.worst_period = e.period;
+    }
+  }
+  r.ok = r.audited > 0 && r.max_rel_error < tol;
+  if (r.audited == 0) {
+    r.message =
+        "conservation audit FAILED: no bank_energy events in the trace "
+        "(pre-§12 trace?)";
+  } else {
+    r.message = fmt_verdict("conservation audit", r);
+  }
+  return r;
+}
+
+AuditResult audit_against_result(const EnergyLedger& ledger,
+                                 const nvp::SimResult& result, double tol) {
+  AuditResult r;
+  if (ledger.periods.size() != result.periods.size()) {
+    r.message = "record cross-check FAILED: " +
+                std::to_string(ledger.periods.size()) +
+                " replayed periods vs " +
+                std::to_string(result.periods.size()) + " simulated";
+    return r;
+  }
+  for (std::size_t i = 0; i < ledger.periods.size(); ++i) {
+    const LedgerEntry& e = ledger.periods[i];
+    const nvp::PeriodRecord& p = result.periods[i];
+    const double diffs[] = {
+        e.solar_in_j - p.solar_in_j,
+        e.load_served_j - p.load_served_j,
+        e.stored_j - p.stored_j,
+        e.migrated_in_j - p.migrated_in_j,
+        e.cap_supplied_j - p.cap_supplied_j,
+        e.conversion_loss_j - p.conversion_loss_j,
+        e.leakage_loss_j - p.leakage_loss_j,
+        e.spilled_j - p.spilled_j,
+        e.backup_j - p.backup_energy_j,
+        e.restore_j - p.restore_energy_j,
+    };
+    ++r.audited;
+    for (double d : diffs) {
+      const double err = std::fabs(d);
+      if (err >= r.max_rel_error) {
+        r.max_rel_error = err;
+        r.worst_day = e.day;
+        r.worst_period = e.period;
+      }
+    }
+    if (e.day != p.day || e.period != p.period) {
+      r.message = "record cross-check FAILED: period coordinates diverge at "
+                  "index " +
+                  std::to_string(i);
+      return r;
+    }
+  }
+  r.ok = r.max_rel_error <= tol;
+  r.message = fmt_verdict("record cross-check", r);
+  return r;
+}
+
+}  // namespace solsched::obs::analysis

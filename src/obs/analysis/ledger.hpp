@@ -1,0 +1,108 @@
+// Energy-ledger replay and conservation audit (DESIGN.md §12).
+//
+// Replays a SimTrace event stream into a per-period energy ledger — harvest
+// in, load out (direct + capacitor), storage charge, leakage, spill,
+// backup/restore cost — closed by the bank_energy boundary totals the
+// simulator emits, and audits conservation:
+//
+//   E_begin + solar_in  ==  E_end + load_served + conversion_loss
+//                            + leakage_loss + spilled + backup_j + restore_j
+//
+// per period, to double-precision rounding (the stated gate is a relative
+// error below 1e-6; actual residuals sit many orders below that). The audit
+// is the repo's standing check that the PMU/supercap flow fields actually
+// account for every joule: any new energy path that bypasses the SlotFlow
+// ledger breaks it immediately.
+//
+// A second audit cross-checks the replayed ledger against the simulator's
+// own PeriodRecord totals, pinning the event emitter to the SimResult it
+// summarizes. Both audits are pure functions of their inputs — no
+// filesystem, no registry — so the `solsched-inspect` CLI, the examples and
+// the tests all share this code path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nvp/sim_result.hpp"
+#include "obs/sim_trace.hpp"
+
+namespace solsched::obs::analysis {
+
+/// One period of the replayed ledger. Flow fields mirror PeriodRecord; the
+/// bank boundary totals come from the bank_energy event and close the
+/// balance.
+struct LedgerEntry {
+  std::uint32_t day = 0;
+  std::uint32_t period = 0;
+  double solar_in_j = 0.0;
+  double load_served_j = 0.0;
+  double stored_j = 0.0;
+  double migrated_in_j = 0.0;
+  double cap_supplied_j = 0.0;
+  double conversion_loss_j = 0.0;
+  double leakage_loss_j = 0.0;
+  double spilled_j = 0.0;
+  double backup_j = 0.0;   ///< NVP checkpoint energy drawn this period.
+  double restore_j = 0.0;  ///< Recovery energy drawn this period.
+  double bank_begin_j = 0.0;
+  double bank_end_j = 0.0;
+  bool has_bank = false;  ///< bank_energy event present (new traces only).
+
+  /// Inflow minus accounted outflow; ~0 when every joule is ledgered.
+  double residual_j() const noexcept;
+  /// |residual| / max(1 J, period inflow). The 1 J floor keeps night
+  /// periods (microjoule flows) from amplifying rounding noise into
+  /// spurious relative error.
+  double rel_error() const noexcept;
+};
+
+/// Whole-run ledger: per-period entries plus run totals.
+struct EnergyLedger {
+  std::vector<LedgerEntry> periods;
+
+  double total_solar_j = 0.0;
+  double total_served_j = 0.0;
+  double total_conversion_loss_j = 0.0;
+  double total_leakage_loss_j = 0.0;
+  double total_spilled_j = 0.0;
+  double total_migrated_in_j = 0.0;
+  double total_backup_j = 0.0;
+  double total_restore_j = 0.0;
+
+  /// Largest per-period relative error; 0 for an empty ledger.
+  double max_rel_error() const noexcept;
+  /// Entry with the largest relative error; nullptr when empty.
+  const LedgerEntry* worst() const noexcept;
+};
+
+/// Replays an event stream into a ledger. Periods are keyed by the
+/// (day, period) coordinates of the period_energy events; bank_energy,
+/// backup and restore events merge into the matching entry.
+EnergyLedger build_ledger(const std::vector<SimEvent>& events);
+
+/// Outcome of a conservation or cross-check audit.
+struct AuditResult {
+  bool ok = false;
+  std::size_t audited = 0;  ///< Periods actually checked.
+  double max_rel_error = 0.0;
+  std::uint32_t worst_day = 0;
+  std::uint32_t worst_period = 0;
+  std::string message;  ///< One-line human-readable verdict.
+};
+
+/// Checks per-period energy conservation on every entry that carries bank
+/// boundary totals. Fails when any period's rel_error() exceeds `tol`, or
+/// when the trace has no bank_energy events at all (nothing to audit).
+AuditResult audit_conservation(const EnergyLedger& ledger, double tol = 1e-6);
+
+/// Cross-checks the replayed ledger against the simulator's own records:
+/// same period count and bit-for-bit equal energy flow fields (the event
+/// emitter copies PeriodRecord doubles verbatim, so exact equality is the
+/// contract, with `tol` as the documented slack for future re-derivations).
+AuditResult audit_against_result(const EnergyLedger& ledger,
+                                 const nvp::SimResult& result,
+                                 double tol = 1e-9);
+
+}  // namespace solsched::obs::analysis

@@ -18,6 +18,56 @@ std::string fmt_double(double x) {
                            " in line: " + line);
 }
 
+[[noreturn]] void malformed_csv(const std::string& line, const char* what) {
+  throw std::runtime_error("SimTrace::parse_csv: " + std::string(what) +
+                           " in line: " + line);
+}
+
+/// RFC-4180 cell: quoted (inner quotes doubled) only when the cell contains
+/// a separator, quote or line break, so ordinary cells keep the bare
+/// historical spelling.
+std::string csv_cell(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Consumes one CSV cell of `text` starting at `i`; leaves `i` on the
+/// separator / record terminator (or at the end of the text). Quoted cells
+/// may span physical lines (RFC-4180 embedded line breaks), which is why
+/// parsing scans the whole document rather than splitting on '\n' first.
+std::string parse_csv_cell(const std::string& text, std::size_t& i) {
+  std::string cell;
+  if (i < text.size() && text[i] == '"') {
+    ++i;
+    for (;;) {
+      if (i >= text.size())
+        malformed_csv(cell.substr(0, 40), "unterminated quoted cell");
+      if (text[i] == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          i += 2;
+          continue;
+        }
+        ++i;
+        break;
+      }
+      cell += text[i++];
+    }
+    if (i < text.size() && text[i] != ',' && text[i] != '\n')
+      malformed_csv(cell.substr(0, 40), "garbage after quoted cell");
+  } else {
+    while (i < text.size() && text[i] != ',' && text[i] != '\n')
+      cell += text[i++];
+  }
+  return cell;
+}
+
 /// Consumes `"key":` at position i (no whitespace inside our own output,
 /// but stray spaces are tolerated); returns the key.
 std::string parse_key(const std::string& line, std::size_t& i) {
@@ -85,13 +135,13 @@ std::string SimTrace::to_csv() const {
   std::string out = "type,day,period,field,value\n";
   for (const SimEvent& e : events_)
     for (const auto& [key, value] : e.fields) {
-      out += e.type;
+      out += csv_cell(e.type);
       out += ",";
       out += std::to_string(e.day);
       out += ",";
       out += std::to_string(e.period);
       out += ",";
-      out += key;
+      out += csv_cell(key);
       out += ",";
       out += fmt_double(value);
       out += "\n";
@@ -149,6 +199,70 @@ std::vector<SimEvent> SimTrace::parse_jsonl(const std::string& text) {
     }
     events.push_back(std::move(event));
   }
+  return events;
+}
+
+std::vector<SimEvent> SimTrace::parse_csv(const std::string& text) {
+  std::vector<SimEvent> events;
+  std::size_t pos = 0;
+  bool header_seen = false;
+  while (pos < text.size()) {
+    if (text[pos] == '\n') {  // Blank line between records.
+      ++pos;
+      continue;
+    }
+    if (!header_seen) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string line = text.substr(pos, eol - pos);
+      if (line != "type,day,period,field,value")
+        malformed_csv(line, "unexpected header");
+      header_seen = true;
+      pos = eol + 1;
+      continue;
+    }
+
+    std::string cells[5];
+    for (int c = 0; c < 5; ++c) {
+      cells[c] = parse_csv_cell(text, pos);
+      if (c < 4) {
+        if (pos >= text.size() || text[pos] != ',')
+          malformed_csv(cells[c].substr(0, 40), "expected 5 cells");
+        ++pos;
+      }
+    }
+    if (pos < text.size()) {
+      if (text[pos] != '\n')
+        malformed_csv(cells[4].substr(0, 40), "trailing cells");
+      ++pos;
+    }
+
+    const auto parse_u32 = [&](const std::string& cell) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(cell.c_str(), &end, 10);
+      if (end != cell.c_str() + cell.size() || cell.empty())
+        malformed_csv(cell, "expected integer coordinate");
+      return static_cast<std::uint32_t>(v);
+    };
+    const std::uint32_t day = parse_u32(cells[1]);
+    const std::uint32_t period = parse_u32(cells[2]);
+    char* value_end = nullptr;
+    const double value = std::strtod(cells[4].c_str(), &value_end);
+    if (value_end != cells[4].c_str() + cells[4].size() || cells[4].empty())
+      malformed_csv(cells[4], "expected numeric value");
+
+    if (events.empty() || events.back().type != cells[0] ||
+        events.back().day != day || events.back().period != period) {
+      SimEvent event;
+      event.type = cells[0];
+      event.day = day;
+      event.period = period;
+      events.push_back(std::move(event));
+    }
+    events.back().fields.emplace_back(cells[3], value);
+  }
+  if (!header_seen && !text.empty())
+    malformed_csv(text.substr(0, 40), "missing header");
   return events;
 }
 

@@ -16,6 +16,8 @@
 //   period_energy  solar_in_j, load_served_j, stored_j, migrated_in_j,
 //                  cap_supplied_j, conversion_loss_j, leakage_loss_j,
 //                  spilled_j
+//   bank_energy    begin_j, end_j      (bank total energy at the period
+//                  boundaries, after aging/kill; closes the §12 ledger)
 //   cap_voltages   selected, v0..v{H-1}
 //   deadline       misses, completions, dmr, brownout_slots
 //   cap_switch     from, to            (only when the selection changes)
@@ -25,6 +27,9 @@
 //   backup         slot, cost_j        (NVP checkpoint at blackout entry)
 //   restore        slot, cost_j        (recovery at the first powered slot)
 //   fallback       code                (policy degraded-mode period)
+//   fault_ledger   pf_entries, pf_slots, backups, restores, fallbacks,
+//                  backup_j, restore_j, lost_progress_s   (per-period fault
+//                  totals; only when the period saw any fault activity)
 #pragma once
 
 #include <cstdint>
@@ -64,11 +69,21 @@ class SimTrace {
 
   // -- serialization -------------------------------------------------------
   std::string to_jsonl() const;
+  /// Long-format CSV. Cells that contain a comma, quote, CR or LF are
+  /// RFC-4180 quoted (wrapped, inner quotes doubled); plain cells are
+  /// written bare, so traces with ordinary names serialize byte-identically
+  /// to the historical format. Events with no fields emit no rows.
   std::string to_csv() const;
 
   /// Parses to_jsonl() output (throws std::runtime_error on malformed
   /// input). Round trip: serializing the result reproduces `text`.
   static std::vector<SimEvent> parse_jsonl(const std::string& text);
+
+  /// Parses to_csv() output (throws std::runtime_error on malformed input).
+  /// Consecutive rows sharing (type, day, period) group back into one
+  /// event, so to_csv(parse_csv(text)) == text for any to_csv() output —
+  /// the same fixed-point contract the JSONL sink has.
+  static std::vector<SimEvent> parse_csv(const std::string& text);
 
  private:
   std::vector<SimEvent> events_;

@@ -57,6 +57,32 @@ Counter& span_counter(const char* name, const char* suffix) {
                                            suffix);
 }
 
+/// JSON string escaping for span labels: quotes, backslashes and control
+/// characters would otherwise break the emitted trace_event file.
+std::string json_escape_name(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t now_us() noexcept {
@@ -154,7 +180,7 @@ bool write_chrome_trace(const std::string& path) {
     std::fprintf(f,
                  "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
                  "\"ts\":%llu,\"dur\":%llu}",
-                 i ? "," : "", e.name.c_str(), e.tid,
+                 i ? "," : "", json_escape_name(e.name).c_str(), e.tid,
                  static_cast<unsigned long long>(e.ts_us),
                  static_cast<unsigned long long>(e.dur_us));
   }

@@ -5,6 +5,7 @@
 #include "core/controller_io.hpp"
 #include "core/report.hpp"
 #include "nvp/node_sim.hpp"
+#include "obs/metrics.hpp"
 #include "sched/edf.hpp"
 
 namespace solsched::core {
@@ -43,6 +44,27 @@ TEST(Report, ComparisonTableListsAlgorithms) {
   const std::string table = comparison_table({row});
   EXPECT_NE(table.find("TestAlgo"), std::string::npos);
   EXPECT_NE(table.find("25.0%"), std::string::npos);
+}
+
+// An empty snapshot with observability off yields the one-line notice — a
+// run that asked for metrics never reports silence. With obs on, the empty
+// snapshot stays an empty string so callers can append unconditionally.
+TEST(Report, MetricsReportExplainsDisabledObservability) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(false);
+  EXPECT_EQ(metrics_report(obs::MetricsSnapshot{}),
+            "observability disabled (SOLSCHED_OBS unset)\n");
+  obs::set_enabled(true);
+  EXPECT_EQ(metrics_report(obs::MetricsSnapshot{}), "");
+  obs::set_enabled(was_enabled);
+}
+
+TEST(Report, MetricsReportRendersNonEmptySnapshot) {
+  obs::MetricsSnapshot snap;
+  snap.counters.emplace_back("sim.periods", 12);
+  const std::string text = metrics_report(snap);
+  EXPECT_NE(text.find("sim.periods"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
 }
 
 TEST(Report, WriteTextFileRoundTrip) {

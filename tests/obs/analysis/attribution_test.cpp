@@ -1,0 +1,146 @@
+// DMR attribution: the priority ladder, the every-miss-gets-one-cause
+// completeness invariant, and attribution on real (faulted) simulations.
+#include "obs/analysis/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../../test_helpers.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "nvp/node_sim.hpp"
+#include "sched/asap.hpp"
+
+namespace solsched::obs::analysis {
+namespace {
+
+SimEvent deadline(std::uint32_t period, double misses, double brownouts) {
+  SimEvent e;
+  e.type = "deadline";
+  e.period = period;
+  e.fields = {{"misses", misses},
+              {"completions", 5.0},
+              {"dmr", misses / 5.0},
+              {"brownout_slots", brownouts}};
+  return e;
+}
+
+SimEvent fault_ledger(std::uint32_t period, double pf_slots,
+                      double fallbacks) {
+  SimEvent e;
+  e.type = "fault_ledger";
+  e.period = period;
+  e.fields = {{"pf_slots", pf_slots}, {"fallbacks", fallbacks}};
+  return e;
+}
+
+SimEvent cap_switch(std::uint32_t period) {
+  SimEvent e;
+  e.type = "cap_switch";
+  e.period = period;
+  e.fields = {{"from", 0.0}, {"to", 1.0}};
+  return e;
+}
+
+TEST(DmrAttribution, PriorityLadderClassifiesEachPeriod) {
+  std::vector<SimEvent> events;
+  // Period 0: blackout beats everything, even with brownouts and a switch.
+  events.push_back(deadline(0, 2.0, 3.0));
+  events.push_back(fault_ledger(0, 4.0, 1.0));
+  events.push_back(cap_switch(0));
+  // Period 1: fallback beats starvation.
+  events.push_back(deadline(1, 1.0, 2.0));
+  events.push_back(fault_ledger(1, 0.0, 1.0));
+  // Period 2: starvation beats cap switch.
+  events.push_back(deadline(2, 3.0, 1.0));
+  events.push_back(cap_switch(2));
+  // Period 3: cap switch beats pattern choice.
+  events.push_back(deadline(3, 1.0, 0.0));
+  events.push_back(cap_switch(3));
+  // Period 4: nothing fired — the schedule itself missed.
+  events.push_back(deadline(4, 2.0, 0.0));
+  // Period 5: no misses — contributes to no cause.
+  events.push_back(deadline(5, 0.0, 2.0));
+  events.push_back(cap_switch(5));
+
+  const DmrAttribution attr = attribute_misses(events);
+  EXPECT_EQ(attr.count(MissCause::kBlackout), 2u);
+  EXPECT_EQ(attr.count(MissCause::kFaultFallback), 1u);
+  EXPECT_EQ(attr.count(MissCause::kEnergyStarvation), 3u);
+  EXPECT_EQ(attr.count(MissCause::kCapSwitch), 1u);
+  EXPECT_EQ(attr.count(MissCause::kPatternChoice), 2u);
+  EXPECT_EQ(attr.total_misses, 9u);
+  EXPECT_EQ(attr.periods, 6u);
+  EXPECT_EQ(attr.periods_with_misses, 5u);
+}
+
+// The completeness invariant on synthetic input: per-cause counts always
+// sum to the total, so no miss is dropped or double-counted.
+TEST(DmrAttribution, CountsSumToTotal) {
+  std::vector<SimEvent> events;
+  events.push_back(deadline(0, 2.0, 1.0));
+  events.push_back(deadline(1, 4.0, 0.0));
+  events.push_back(fault_ledger(1, 1.0, 0.0));
+  const DmrAttribution attr = attribute_misses(events);
+  const std::size_t sum =
+      std::accumulate(attr.counts.begin(), attr.counts.end(),
+                      static_cast<std::size_t>(0));
+  EXPECT_EQ(sum, attr.total_misses);
+  EXPECT_EQ(attr.total_misses, 6u);
+}
+
+TEST(DmrAttribution, OneLineShowsOnlyNonzeroCauses) {
+  std::vector<SimEvent> events;
+  events.push_back(deadline(0, 2.0, 1.0));  // starvation
+  events.push_back(deadline(1, 1.0, 0.0));  // pattern
+  const DmrAttribution attr = attribute_misses(events);
+  EXPECT_EQ(attr.one_line(), "starvation:2 pattern:1");
+  EXPECT_EQ(attribute_misses({}).one_line(), "none");
+  EXPECT_EQ(to_string(MissCause::kFaultFallback),
+            std::string("fault_fallback"));
+}
+
+// On a real faulted simulation every miss gets exactly one cause and the
+// attribution total equals the simulator's own miss count — the acceptance
+// invariant behind the fig9 coverage receipt.
+TEST(DmrAttribution, CoversEveryMissOfAFaultedRun) {
+  const std::size_t n_days = 3;
+  const auto grid = test::tiny_grid(n_days);
+  const auto trace = test::scaled_generator(grid, 13).generate_days(
+      n_days, grid, solar::DayKind::kRainy);
+  auto node = test::small_node(grid);
+  node.initial_usable_j = 1.0;
+
+  fault::FaultPlan plan;
+  plan.seed = 29;
+  plan.blackout.rate_per_day = 12.0;
+  plan.blackout.mean_slots = 4.0;
+  const fault::FaultInjector fx(plan, grid);
+
+  sched::AsapScheduler policy;
+  obs::SimTrace events;
+  const nvp::SimResult result = nvp::simulate(test::indep3(), trace, policy,
+                                              node, &events, &fx);
+
+  std::size_t sim_misses = 0, sim_completions = 0;
+  for (const auto& p : result.periods) {
+    sim_misses += p.misses;
+    sim_completions += p.completions;
+  }
+  ASSERT_GT(sim_misses, 0u) << "fixture no longer produces misses";
+
+  const DmrAttribution attr = attribute_misses(events.events());
+  EXPECT_EQ(attr.total_misses, sim_misses);
+  EXPECT_EQ(attr.total_completions, sim_completions);
+  EXPECT_EQ(attr.periods, result.periods.size());
+  const std::size_t sum =
+      std::accumulate(attr.counts.begin(), attr.counts.end(),
+                      static_cast<std::size_t>(0));
+  EXPECT_EQ(sum, attr.total_misses);
+  // Blackouts did strike, so some misses must be attributed to them.
+  EXPECT_GT(result.total_power_failure_slots(), 0u);
+}
+
+}  // namespace
+}  // namespace solsched::obs::analysis

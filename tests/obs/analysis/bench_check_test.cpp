@@ -1,0 +1,174 @@
+// Bench regression gate and the solsched-inspect CLI driver: bound parsing,
+// pass/fail verdicts, and end-to-end exit codes through run_inspect.
+#include "obs/analysis/bench_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/inspect.hpp"
+#include "obs/sim_trace.hpp"
+
+namespace solsched::obs::analysis {
+namespace {
+
+std::string bench_json(double base_ms, double other_ms) {
+  return "{\"runs\": {\"baseline_1t\": {\"total_ms\": " +
+         std::to_string(base_ms) +
+         "}, \"pipeline_4t\": {\"total_ms\": " + std::to_string(other_ms) +
+         "}}}";
+}
+
+TEST(BenchCheck, ParsesRegressFractions) {
+  EXPECT_DOUBLE_EQ(parse_regress_fraction("15%"), 0.15);
+  EXPECT_DOUBLE_EQ(parse_regress_fraction("0.15"), 0.15);
+  EXPECT_DOUBLE_EQ(parse_regress_fraction("0"), 0.0);
+  EXPECT_THROW(parse_regress_fraction(""), std::runtime_error);
+  EXPECT_THROW(parse_regress_fraction("abc"), std::runtime_error);
+  EXPECT_THROW(parse_regress_fraction("-5%"), std::runtime_error);
+  EXPECT_THROW(parse_regress_fraction("15%x"), std::runtime_error);
+}
+
+TEST(BenchCheck, IdenticalDocumentsPass) {
+  const std::string doc = bench_json(100.0, 40.0);
+  const BenchCheckResult r = check_bench(doc, doc, 0.15);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.deltas.size(), 2u);
+  for (const BenchDelta& d : r.deltas) {
+    EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+    EXPECT_FALSE(d.regressed);
+  }
+}
+
+// The synthetic 2x regression from the acceptance criteria: one run doubles
+// its total_ms, the gate must go red.
+TEST(BenchCheck, DoubledRuntimeFails) {
+  const BenchCheckResult r =
+      check_bench(bench_json(100.0, 40.0), bench_json(200.0, 40.0), 0.15);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.deltas.size(), 2u);
+  const auto& slow = r.deltas[0].run == "baseline_1t" ? r.deltas[0]
+                                                      : r.deltas[1];
+  EXPECT_TRUE(slow.regressed);
+  EXPECT_DOUBLE_EQ(slow.ratio, 2.0);
+}
+
+TEST(BenchCheck, SmallDriftWithinBoundPasses) {
+  const BenchCheckResult r =
+      check_bench(bench_json(100.0, 40.0), bench_json(110.0, 42.0), 0.15);
+  EXPECT_TRUE(r.ok);
+}
+
+// Runs present on only one side are noted, never failed: the bench shape
+// may legitimately evolve between commits.
+TEST(BenchCheck, OneSidedRunsAreNotesNotFailures) {
+  const std::string old_doc =
+      "{\"runs\": {\"a\": {\"total_ms\": 10}, \"gone\": {\"total_ms\": 5}}}";
+  const std::string new_doc =
+      "{\"runs\": {\"a\": {\"total_ms\": 10}, \"fresh\": {\"total_ms\": 7}}}";
+  const BenchCheckResult r = check_bench(old_doc, new_doc, 0.15);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.only_old.size(), 1u);
+  EXPECT_EQ(r.only_old[0], "gone");
+  ASSERT_EQ(r.only_new.size(), 1u);
+  EXPECT_EQ(r.only_new[0], "fresh");
+}
+
+TEST(BenchCheck, RejectsMalformedDocuments) {
+  EXPECT_THROW(check_bench("{}", bench_json(1, 1), 0.15), std::runtime_error);
+  EXPECT_THROW(check_bench("not json", bench_json(1, 1), 0.15),
+               std::runtime_error);
+  EXPECT_THROW(
+      check_bench("{\"runs\": {\"a\": {\"total_ms\": 0}}}",
+                  "{\"runs\": {\"a\": {\"total_ms\": 1}}}", 0.15),
+      std::runtime_error);
+}
+
+// -- run_inspect end to end ------------------------------------------------
+
+class InspectCli : public ::testing::Test {
+ protected:
+  std::string write_temp(const std::string& name, const std::string& body) {
+    const std::string path = ::testing::TempDir() + "inspect_" + name;
+    std::ofstream(path) << body;
+    paths_.push_back(path);
+    return path;
+  }
+
+  int run(std::vector<std::string> args) {
+    std::vector<const char*> argv = {"solsched-inspect"};
+    for (const std::string& a : args) argv.push_back(a.c_str());
+    return run_inspect(static_cast<int>(argv.size()), argv.data());
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+// A minimal trace whose single period balances exactly: 1.0 in, 0.4 served,
+// 0.1 conversion loss, bank 2.0 -> 2.5.
+const char kBalancedTrace[] =
+    "{\"type\":\"bank_energy\",\"day\":0,\"period\":0,"
+    "\"begin_j\":2,\"end_j\":2.5}\n"
+    "{\"type\":\"period_energy\",\"day\":0,\"period\":0,"
+    "\"solar_in_j\":1,\"load_served_j\":0.4,\"conversion_loss_j\":0.1,"
+    "\"leakage_loss_j\":0,\"spilled_j\":0}\n"
+    "{\"type\":\"deadline\",\"day\":0,\"period\":0,"
+    "\"misses\":1,\"completions\":4,\"dmr\":0.2,\"brownout_slots\":2}\n";
+
+TEST_F(InspectCli, SummaryLedgerAndDmrSucceedOnBalancedTrace) {
+  const std::string trace = write_temp("ok.jsonl", kBalancedTrace);
+  EXPECT_EQ(run({"summary", trace}), 0);
+  EXPECT_EQ(run({"ledger", trace}), 0);
+  EXPECT_EQ(run({"ledger", trace, "--max-rows", "1"}), 0);
+  EXPECT_EQ(run({"dmr", trace}), 0);
+}
+
+TEST_F(InspectCli, LedgerFailsOnUnbalancedTrace) {
+  // Same trace with half a joule of unledgered inflow.
+  std::string bad = kBalancedTrace;
+  const std::string needle = "\"solar_in_j\":1";
+  bad.replace(bad.find(needle), needle.size(), "\"solar_in_j\":1.5");
+  const std::string trace = write_temp("bad.jsonl", bad);
+  EXPECT_EQ(run({"ledger", trace}), 1);
+}
+
+TEST_F(InspectCli, DiffReportsAgreementAndDivergence) {
+  const std::string a = write_temp(
+      "a.json", "{\"workload\": \"x\", \"seeds\": [1, 2]}");
+  const std::string same = write_temp(
+      "same.json", "{\"workload\": \"x\", \"seeds\": [1, 2]}");
+  const std::string b = write_temp(
+      "b.json", "{\"workload\": \"y\", \"seeds\": [1, 2]}");
+  EXPECT_EQ(run({"diff", a, same}), 0);
+  EXPECT_EQ(run({"diff", a, b}), 1);
+}
+
+TEST_F(InspectCli, CheckBenchExitCodes) {
+  const std::string base = write_temp("base.json", bench_json(100.0, 40.0));
+  const std::string twice = write_temp("2x.json", bench_json(200.0, 40.0));
+  EXPECT_EQ(run({"check-bench", base, base}), 0);
+  EXPECT_EQ(run({"check-bench", base, base, "--max-regress", "0"}), 0);
+  EXPECT_EQ(run({"check-bench", base, twice}), 1);
+  EXPECT_EQ(run({"check-bench", base, twice, "--max-regress", "120%"}), 0);
+}
+
+TEST_F(InspectCli, UsageAndErrorExitCodes) {
+  EXPECT_EQ(run({}), 2);
+  EXPECT_EQ(run({"--help"}), 0);
+  EXPECT_EQ(run({"no-such-command"}), 2);
+  EXPECT_EQ(run({"summary"}), 2);                    // Missing argument.
+  EXPECT_EQ(run({"summary", "/no/such/file"}), 2);   // I/O error.
+  const std::string garbage = write_temp("garbage.json", "not json");
+  EXPECT_EQ(run({"check-bench", garbage, garbage}), 2);
+}
+
+}  // namespace
+}  // namespace solsched::obs::analysis

@@ -80,6 +80,83 @@ TEST(SimTraceTest, ParseRoundTrip) {
   EXPECT_EQ(again.to_jsonl(), jsonl);
 }
 
+// Cells containing the CSV metacharacters are RFC-4180 quoted; everything
+// else keeps the historical bare encoding (GoldenCsv above is byte-exact).
+TEST(SimTraceTest, CsvEscapesCommasAndQuotes) {
+  SimTrace trace;
+  trace.emit(make_event("weird,type", 0, 1, {{"field\"quoted\"", 1.5}}));
+  trace.emit(make_event("line\nbreak", 0, 2, {{"plain", 2.0}}));
+  EXPECT_EQ(trace.to_csv(),
+            "type,day,period,field,value\n"
+            "\"weird,type\",0,1,\"field\"\"quoted\"\"\",1.5\n"
+            "\"line\nbreak\",0,2,plain,2\n");
+}
+
+// CSV round trip mirrors the JSONL fixed-point contract: parse_csv then
+// to_csv reproduces the bytes exactly, including quoted cells.
+TEST(SimTraceTest, CsvParseRoundTripExact) {
+  SimTrace trace;
+  trace.emit(make_event("period_energy", 0, 0,
+                        {{"solar_in_j", 12.75}, {"spilled_j", 0.0}}));
+  trace.emit(make_event("evil,\"type\"", 3, 7,
+                        {{"a,b", 1.0}, {"c\"d", -2.25}, {"plain", 0.5}}));
+  trace.emit(make_event("period_energy", 3, 8, {{"solar_in_j", 1e-9}}));
+  const std::string csv = trace.to_csv();
+
+  const std::vector<SimEvent> parsed = SimTrace::parse_csv(csv);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[1].type, "evil,\"type\"");
+  EXPECT_EQ(parsed[1].fields[0].first, "a,b");
+  EXPECT_EQ(parsed[1].fields[1].first, "c\"d");
+  EXPECT_DOUBLE_EQ(parsed[1].field_or("c\"d"), -2.25);
+
+  SimTrace again;
+  for (const SimEvent& e : parsed) again.emit(e);
+  EXPECT_EQ(again.to_csv(), csv);
+}
+
+// The CSV and JSONL sinks describe the same events: parsing either side of
+// a serialized trace yields identical event streams (fieldless events are
+// unrepresentable in long-format CSV and are excluded by construction).
+TEST(SimTraceTest, CsvMatchesJsonlEventForEvent) {
+  const auto grid = test::tiny_grid();
+  const auto trace =
+      test::scaled_generator(grid).generate_days(1, grid,
+                                                 solar::DayKind::kClear);
+  SimTrace events;
+  sched::AsapScheduler policy;
+  nvp::simulate(test::chain2(), trace, policy, test::small_node(grid),
+                &events);
+
+  const std::vector<SimEvent> from_jsonl =
+      SimTrace::parse_jsonl(events.to_jsonl());
+  const std::vector<SimEvent> from_csv = SimTrace::parse_csv(events.to_csv());
+  ASSERT_EQ(from_jsonl.size(), from_csv.size());
+  for (std::size_t i = 0; i < from_jsonl.size(); ++i) {
+    EXPECT_EQ(from_jsonl[i].type, from_csv[i].type);
+    EXPECT_EQ(from_jsonl[i].day, from_csv[i].day);
+    EXPECT_EQ(from_jsonl[i].period, from_csv[i].period);
+    ASSERT_EQ(from_jsonl[i].fields.size(), from_csv[i].fields.size());
+    for (std::size_t k = 0; k < from_jsonl[i].fields.size(); ++k) {
+      EXPECT_EQ(from_jsonl[i].fields[k].first, from_csv[i].fields[k].first);
+      EXPECT_EQ(from_jsonl[i].fields[k].second, from_csv[i].fields[k].second);
+    }
+  }
+}
+
+TEST(SimTraceTest, CsvParseRejectsMalformed) {
+  EXPECT_THROW(SimTrace::parse_csv("no header\n"), std::runtime_error);
+  EXPECT_THROW(
+      SimTrace::parse_csv("type,day,period,field,value\nx,1,2,f\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      SimTrace::parse_csv("type,day,period,field,value\nx,nope,2,f,1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      SimTrace::parse_csv("type,day,period,field,value\n\"x,1,2,f,1\n"),
+      std::runtime_error);
+}
+
 TEST(SimTraceTest, ParseRejectsMalformed) {
   EXPECT_THROW(SimTrace::parse_jsonl("not json\n"), std::runtime_error);
   EXPECT_THROW(SimTrace::parse_jsonl("{\"type\":\"x\",\"day\":}\n"),

@@ -8,10 +8,18 @@
 #include <sstream>
 #include <string>
 
+#include "obs/analysis/json_mini.hpp"
 #include "obs/metrics.hpp"
 
 namespace solsched::obs {
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
 
 class SpanTest : public ::testing::Test {
  protected:
@@ -110,6 +118,53 @@ TEST_F(SpanTest, WriteChromeTraceJson) {
   EXPECT_NE(json.find("\"name\":\"test.span.chrome\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+// The emitted file is one valid JSON document with the trace_event shape —
+// checked with the analysis parser, not substring probes.
+TEST_F(SpanTest, ChromeTraceIsValidJson) {
+  set_trace_events_enabled(true);
+  {
+    OBS_SPAN("test.span.valid_json");
+  }
+  const std::string path =
+      ::testing::TempDir() + "span_test.valid.trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  const analysis::JsonValue doc = analysis::parse_json(slurp(path));
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.string_or("displayTimeUnit"), "ms");
+  const analysis::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 1u);
+  const analysis::JsonValue& ev = events->array[0];
+  EXPECT_EQ(ev.string_or("name"), "test.span.valid_json");
+  EXPECT_EQ(ev.string_or("ph"), "X");
+  EXPECT_DOUBLE_EQ(ev.number_or("pid"), 1.0);
+  EXPECT_NE(ev.find("ts"), nullptr);
+  EXPECT_NE(ev.find("dur"), nullptr);
+}
+
+// Span labels containing JSON metacharacters must not corrupt the file:
+// the writer escapes them and a strict parser decodes the original name.
+TEST_F(SpanTest, ChromeTraceEscapesSpanNames) {
+  set_trace_events_enabled(true);
+  const std::string nasty = "row \"quoted\" back\\slash\nnewline";
+  {
+    ScopedSpan span(nasty);
+  }
+  const std::string path =
+      ::testing::TempDir() + "span_test.escape.trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  const analysis::JsonValue doc = analysis::parse_json(slurp(path));
+  std::remove(path.c_str());
+
+  const analysis::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].string_or("name"), nasty);
 }
 
 TEST_F(SpanTest, NowUsMonotonic) {
