@@ -19,10 +19,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "campaign/runner.hpp"
 #include "core/report.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -210,6 +212,47 @@ FaultBench fault_overhead_bench() {
   return result;
 }
 
+/// Campaign engine probe: one 16-shard sweep cold (fresh artifact cache,
+/// trains once) and again warm (new campaign directory, shared cache, zero
+/// trainings) — the wall-clock value of content-addressed dedup.
+struct CampaignBench {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  std::size_t shards = 0;
+  std::size_t cold_trainings = 0;
+  std::size_t warm_trainings = 0;
+  std::size_t warm_artifact_hits = 0;
+};
+
+CampaignBench campaign_sweep_bench(std::size_t threads) {
+  util::ThreadPool::set_global_threads(threads);
+  const std::string root = "pipeline_bench.campaign";
+  std::filesystem::remove_all(root);
+
+  campaign::CampaignConfig config;
+  config.spec = campaign::CampaignSpec::parse(
+      "workloads=wam;seeds=1..8;intensities=0,1;fault=blackout=2;"
+      "schedulers=inter,proposed;periods=24;slots=20;days=1;train_days=1;"
+      "n_caps=2;dp_buckets=8;pretrain_epochs=2;finetune_epochs=20");
+  config.cache_dir = root + "/cache";
+
+  CampaignBench result;
+  config.dir = root + "/cold";
+  auto t0 = Clock::now();
+  const campaign::CampaignResult cold = campaign::run_campaign(config);
+  result.cold_ms = ms_between(t0, Clock::now());
+  result.shards = cold.total_shards;
+  result.cold_trainings = cold.trainings;
+
+  config.dir = root + "/warm";
+  t0 = Clock::now();
+  const campaign::CampaignResult warm = campaign::run_campaign(config);
+  result.warm_ms = ms_between(t0, Clock::now());
+  result.warm_trainings = warm.trainings;
+  result.warm_artifact_hits = warm.artifact_hits;
+  return result;
+}
+
 void print_json_entry(std::FILE* f, const std::string& name,
                       const RunResult& r, std::size_t threads, bool last) {
   std::fprintf(f,
@@ -357,6 +400,24 @@ int main() {
                "    \"active_pf_slots\": %zu\n"
                "  },\n",
                fb.none_ms, fb.inactive_ms, fb.active_ms, fb.pf_slots);
+
+  // Campaign sweep: cold (train once) vs warm (pure cache) wall-clock.
+  const CampaignBench cb = campaign_sweep_bench(fast_threads.back());
+  std::printf("campaign sweep: %zu shards cold %.1f ms (%zu trainings), "
+              "warm %.1f ms (%zu trainings, %zu artifact hits)\n",
+              cb.shards, cb.cold_ms, cb.cold_trainings, cb.warm_ms,
+              cb.warm_trainings, cb.warm_artifact_hits);
+  std::fprintf(f,
+               "  \"campaign\": {\n"
+               "    \"shards\": %zu,\n"
+               "    \"cold_ms\": %.3f,\n"
+               "    \"warm_ms\": %.3f,\n"
+               "    \"cold_trainings\": %zu,\n"
+               "    \"warm_trainings\": %zu,\n"
+               "    \"warm_artifact_hits\": %zu\n"
+               "  },\n",
+               cb.shards, cb.cold_ms, cb.warm_ms, cb.cold_trainings,
+               cb.warm_trainings, cb.warm_artifact_hits);
 
   const double best_fast =
       std::min_element(fast.begin(), fast.end(),

@@ -33,6 +33,32 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L analysis
 "$BUILD_DIR/tools/solsched-inspect" check-bench \
   BENCH_pipeline.json BENCH_pipeline.json --max-regress 15%
 
+echo "== tier 1: campaign kill/resume smoke ($BUILD_DIR) =="
+# The campaign suite, then the CLI-level crash-safety drill: one
+# uninterrupted serial campaign, one campaign stopped after 3 shards
+# (exit 3) and resumed at default threads sharing the same artifact cache —
+# the two aggregate files must be byte-identical.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L campaign
+CAMP_SPEC="workloads=ecg;seeds=1..4;intensities=0,1;fault=blackout=3"
+CAMP_SPEC="$CAMP_SPEC;schedulers=inter,proposed;periods=12;slots=10;days=1"
+CAMP_SPEC="$CAMP_SPEC;train_days=1;n_caps=2;dp_buckets=6;pretrain_epochs=2"
+CAMP_SPEC="$CAMP_SPEC;finetune_epochs=10"
+CAMP_TMP="$BUILD_DIR/campaign-smoke"
+rm -rf "$CAMP_TMP"
+SOLSCHED_THREADS=1 "$BUILD_DIR/tools/solsched-campaign" run \
+  --spec "$CAMP_SPEC" --dir "$CAMP_TMP/full" --cache-dir "$CAMP_TMP/cache"
+rc=0
+"$BUILD_DIR/tools/solsched-campaign" run --spec "$CAMP_SPEC" \
+  --dir "$CAMP_TMP/resumed" --cache-dir "$CAMP_TMP/cache" \
+  --stop-after 3 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 from --stop-after, got $rc"; exit 1; }
+"$BUILD_DIR/tools/solsched-campaign" run --spec "$CAMP_SPEC" \
+  --dir "$CAMP_TMP/resumed" --cache-dir "$CAMP_TMP/cache"
+cmp "$CAMP_TMP/full/aggregate.json" "$CAMP_TMP/resumed/aggregate.json"
+"$BUILD_DIR/tools/solsched-inspect" campaign \
+  "$CAMP_TMP/resumed/journal.jsonl" > /dev/null
+echo "campaign kill/resume aggregates bit-identical"
+
 echo "== tier 1: TSan rerun of concurrency + obs ($TSAN_DIR) =="
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS"

@@ -1,0 +1,227 @@
+#include "campaign/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/analysis/json_mini.hpp"
+
+namespace solsched::campaign {
+namespace {
+
+constexpr const char* kMagic = "solsched-campaign-journal-v1";
+
+std::string render_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string render_u64(std::uint64_t value) { return std::to_string(value); }
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("journal " + path + ": " + what);
+}
+
+double require_number(const obs::analysis::JsonValue& obj,
+                      const std::string& key, const std::string& path) {
+  const auto* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) fail(path, "missing number \"" + key + "\"");
+  return v->number;
+}
+
+std::string require_string(const obs::analysis::JsonValue& obj,
+                           const std::string& key, const std::string& path) {
+  const auto* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) fail(path, "missing string \"" + key + "\"");
+  return v->string;
+}
+
+}  // namespace
+
+std::string ShardRecord::to_json() const {
+  using obs::analysis::json_escape;
+  std::string out = "{\"shard\": " + std::to_string(shard);
+  out += ", \"key\": \"" + json_escape(key) + "\"";
+  out += ", \"workload\": \"" + json_escape(workload) + "\"";
+  out += ", \"seed\": " + render_u64(seed);
+  out += ", \"intensity\": " + render_double(intensity);
+  out += ", \"artifact_key\": " + render_u64(artifact_key);
+  out += ", \"artifact_hit\": ";
+  out += artifact_hit ? "true" : "false";
+  out += ", \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    if (i > 0) out += ", ";
+    out += "{\"algo\": \"" + json_escape(r.algo) + "\"";
+    out += ", \"dmr\": " + render_double(r.dmr);
+    out += ", \"energy_utilization\": " + render_double(r.energy_utilization);
+    out += ", \"migration_efficiency\": " + render_double(r.migration_efficiency);
+    out += ", \"brownouts\": " + render_u64(r.brownouts);
+    out += ", \"solar_j\": " + render_double(r.solar_j);
+    out += ", \"served_j\": " + render_double(r.served_j);
+    out += ", \"loss_j\": " + render_double(r.loss_j);
+    out += ", \"power_failure_slots\": " + render_u64(r.power_failure_slots);
+    out += ", \"fallbacks\": " + render_u64(r.fallbacks);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Journal::Recovered Journal::load(const std::string& path,
+                                 std::uint64_t expected_spec_digest) {
+  std::ifstream file(path);
+  if (!file) fail(path, "cannot open");
+  Recovered out;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  // A crash can only truncate the *last* line (appends are sequential and
+  // fsync'd), so a parse failure is forgiven exactly once, at EOF.
+  std::vector<std::pair<std::size_t, std::string>> failed;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    obs::analysis::JsonValue doc;
+    try {
+      doc = obs::analysis::parse_json(line);
+    } catch (const std::exception& e) {
+      failed.emplace_back(line_no, e.what());
+      continue;
+    }
+    if (!failed.empty())
+      fail(path, "malformed line " + std::to_string(failed.front().first) +
+                     " before valid line " + std::to_string(line_no) + " (" +
+                     failed.front().second + ")");
+    if (!doc.is_object()) fail(path, "line " + std::to_string(line_no) +
+                                         " is not an object");
+    if (!header_seen) {
+      if (doc.string_or("journal") != kMagic)
+        fail(path, "missing or unknown header (expected \"" +
+                       std::string(kMagic) + "\")");
+      if (expected_spec_digest != 0) {
+        const std::string digest = require_string(doc, "spec_digest", path);
+        char expect[32];
+        std::snprintf(expect, sizeof(expect), "%016llx",
+                      static_cast<unsigned long long>(expected_spec_digest));
+        if (digest != expect)
+          fail(path, "spec digest mismatch: journal has " + digest +
+                         ", campaign spec is " + expect +
+                         " (refusing to mix results of different grids)");
+      }
+      header_seen = true;
+      continue;
+    }
+    ShardRecord rec;
+    rec.shard = static_cast<std::size_t>(require_number(doc, "shard", path));
+    rec.key = require_string(doc, "key", path);
+    rec.workload = require_string(doc, "workload", path);
+    rec.seed = static_cast<std::uint64_t>(require_number(doc, "seed", path));
+    rec.intensity = require_number(doc, "intensity", path);
+    rec.artifact_key =
+        static_cast<std::uint64_t>(require_number(doc, "artifact_key", path));
+    const auto* hit = doc.find("artifact_hit");
+    rec.artifact_hit = hit != nullptr && hit->boolean;
+    const auto* rows = doc.find("rows");
+    if (rows == nullptr || !rows->is_array())
+      fail(path, "line " + std::to_string(line_no) + ": missing rows array");
+    for (const auto& row : rows->array) {
+      ShardRow r;
+      r.algo = require_string(row, "algo", path);
+      r.dmr = require_number(row, "dmr", path);
+      r.energy_utilization = require_number(row, "energy_utilization", path);
+      r.migration_efficiency = require_number(row, "migration_efficiency", path);
+      r.brownouts =
+          static_cast<std::uint64_t>(require_number(row, "brownouts", path));
+      r.solar_j = require_number(row, "solar_j", path);
+      r.served_j = require_number(row, "served_j", path);
+      r.loss_j = require_number(row, "loss_j", path);
+      r.power_failure_slots = static_cast<std::uint64_t>(
+          require_number(row, "power_failure_slots", path));
+      r.fallbacks =
+          static_cast<std::uint64_t>(require_number(row, "fallbacks", path));
+      rec.rows.push_back(std::move(r));
+    }
+    out.records.push_back(std::move(rec));
+  }
+  if (!header_seen && !failed.empty()) {
+    // Even the header can be cut short by a crash between open and fsync.
+    out.dropped_partial = failed.size();
+    failed.clear();
+  }
+  if (!failed.empty()) {
+    if (failed.size() > 1)
+      fail(path, "multiple malformed lines (first at line " +
+                     std::to_string(failed.front().first) + ")");
+    out.dropped_partial = 1;  // The crash-truncated tail; recoverable.
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const ShardRecord& a, const ShardRecord& b) {
+              return a.shard < b.shard;
+            });
+  for (std::size_t i = 1; i < out.records.size(); ++i)
+    if (out.records[i].shard == out.records[i - 1].shard)
+      fail(path, "duplicate record for shard " +
+                     std::to_string(out.records[i].shard));
+  return out;
+}
+
+Journal::Journal(const std::string& path, std::uint64_t spec_digest)
+    : path_(path) {
+  // Heal a crash-torn tail before appending. Every complete record ends in
+  // '\n', so bytes after the last newline are a partial line; appending onto
+  // them would glue the next record into unparseable mid-file garbage.
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe) {
+      std::ostringstream buf;
+      buf << probe.rdbuf();
+      const std::string bytes = buf.str();
+      const std::size_t cut = bytes.find_last_of('\n');
+      if (!bytes.empty() && cut != bytes.size() - 1) {
+        const off_t keep =
+            cut == std::string::npos ? 0 : static_cast<off_t>(cut + 1);
+        if (::truncate(path.c_str(), keep) != 0)
+          fail(path, "cannot truncate torn tail");
+      }
+    }
+  }
+  const bool fresh = [&] {
+    std::ifstream probe(path);
+    return !probe || probe.peek() == std::ifstream::traits_type::eof();
+  }();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) fail(path, "cannot open for append");
+  if (fresh) {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(spec_digest));
+    const std::string header = "{\"journal\": \"" + std::string(kMagic) +
+                               "\", \"spec_digest\": \"" + digest + "\"}\n";
+    if (::write(fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size()))
+      fail(path, "cannot write header");
+    ::fsync(fd_);
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(const ShardRecord& record) {
+  const std::string line = record.to_json() + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (::write(fd_, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size()))
+    fail(path_, "short write");
+  if (::fsync(fd_) != 0) fail(path_, "fsync failed");
+}
+
+}  // namespace solsched::campaign

@@ -1,0 +1,60 @@
+// Campaign aggregates: the reporting side of DESIGN.md §13.
+//
+// Aggregates are a pure function of the journal records sorted by shard
+// index — no timestamps, hostnames or thread counts — so two campaigns
+// that journaled the same shards render byte-identical reports regardless
+// of how execution was split across processes or workers. aggregate_json's
+// byte stability is load-bearing: tier1.sh compares a killed+resumed
+// campaign to an uninterrupted one with cmp(1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+
+namespace solsched::campaign {
+
+/// Loads a journal for reporting (spec-digest check skipped). Throws
+/// std::runtime_error on unreadable or malformed journals.
+std::vector<ShardRecord> load_journal_records(const std::string& path);
+
+/// Summary statistics of one metric across one group of shards.
+struct MetricSummary {
+  double mean = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+/// Per-algorithm aggregate within one group (overall / per axis value).
+struct AlgoAggregate {
+  std::string algo;
+  std::size_t n = 0;              ///< Shards contributing rows.
+  MetricSummary dmr;
+  MetricSummary energy_utilization;
+  std::uint64_t brownouts = 0;    ///< Total across the group.
+  std::uint64_t power_failure_slots = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+/// One row group: "all", "workload=wam", "intensity=0.5", ...
+struct GroupAggregate {
+  std::string group;
+  std::vector<AlgoAggregate> algos;  ///< First-appearance order.
+};
+
+/// Aggregates records (must be sorted by shard — Journal::load and
+/// run_campaign both guarantee this) into overall, per-workload and
+/// per-intensity groups.
+std::vector<GroupAggregate> aggregate(const std::vector<ShardRecord>& records);
+
+/// Human-readable aggregate table.
+std::string aggregate_table(const std::vector<ShardRecord>& records);
+
+/// Deterministic JSON rendering (fixed key order, %.17g doubles):
+/// byte-identical for equal record sets.
+std::string aggregate_json(const std::vector<ShardRecord>& records);
+
+}  // namespace solsched::campaign

@@ -1,0 +1,54 @@
+// Sharded campaign execution (DESIGN.md §13).
+//
+// run_campaign expands the spec into shards, trains (or cache-loads) one
+// controller per unique offline configuration, then executes the remaining
+// shards over util::ThreadPool — the pool's fetch_add index claiming gives
+// dynamic load balancing for free — journaling each completion with an
+// fsync'd append. Aggregates are a pure function of the journal, so a
+// campaign killed at any instant resumes from the journal to bit-identical
+// results at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "campaign/spec.hpp"
+
+namespace solsched::campaign {
+
+struct CampaignConfig {
+  CampaignSpec spec;
+  std::string dir;        ///< Campaign directory (journal + default cache).
+  std::string cache_dir;  ///< Artifact cache; "" = <dir>/cache. Sharing one
+                          ///< cache across campaigns dedups training further.
+  /// Stop claiming new shards once this many completed *in this process*
+  /// (0 = run everything). The deterministic stand-in for a mid-flight kill:
+  /// journaled work is exactly a prefix-by-count of the remaining shards.
+  std::size_t stop_after = 0;
+};
+
+struct CampaignResult {
+  std::size_t total_shards = 0;
+  std::size_t resumed = 0;       ///< Shards already in the journal at start.
+  std::size_t executed = 0;      ///< Shards completed by this call.
+  std::size_t trainings = 0;     ///< train_pipeline invocations.
+  std::size_t artifact_disk_hits = 0;  ///< Unique configs served from disk.
+  std::size_t artifact_hits = 0;  ///< Executed shards that reused an artifact
+                                  ///< (trained earlier, this run or any run).
+  bool finished = false;          ///< Every shard is now journaled.
+  /// All journaled records (resumed + executed), sorted by shard index —
+  /// the input of campaign::aggregate_*.
+  std::vector<ShardRecord> records;
+};
+
+/// Runs (or resumes) the campaign. The journal lives at <dir>/journal.jsonl;
+/// an existing journal must carry the same spec digest (else
+/// std::runtime_error — a journal never mixes grids). Emits campaign.*
+/// metrics and spans when observability is enabled.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace solsched::campaign

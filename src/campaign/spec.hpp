@@ -1,0 +1,105 @@
+// Campaign specification: the scenario grid of a batch sweep (DESIGN.md §13).
+//
+// The paper's evaluation is a grid — sites × seasons × workloads × capacitor
+// banks (Fig. 7-10) — and a CampaignSpec describes one such grid compactly:
+// axes (workloads, evaluation-trace seeds, fault intensities) plus the knobs
+// shared by every cell (time grid, training climate, pipeline size, policy
+// rows). expand() flattens the axes into a deterministic shard list; the
+// shard index is the scenario's stable identity across runs, threads and
+// resumes, so a journal written by one execution is meaningful to any other
+// execution of the same spec (enforced via digest()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "solar/irradiance.hpp"
+#include "solar/time_grid.hpp"
+#include "solar/trace_generator.hpp"
+#include "task/task_graph.hpp"
+
+namespace solsched::campaign {
+
+/// One cell of the scenario grid. The shard index is its position in the
+/// expansion order (workload-major, then seed, then intensity).
+struct Scenario {
+  std::size_t shard = 0;
+  std::string workload;
+  std::uint64_t seed = 0;     ///< Evaluation-trace seed ("site").
+  double intensity = 0.0;     ///< Fault-plan scale factor.
+
+  /// Stable human-readable identity, e.g. "wam/s3/i0.5".
+  std::string key() const;
+};
+
+/// The full grid description. Parseable from a `key=value;key=value` spec
+/// string (lists comma-separated, integer ranges as `a..b`); see parse().
+struct CampaignSpec {
+  // -- axes ----------------------------------------------------------------
+  std::vector<std::string> workloads = {"wam"};  ///< wam|ecg|shm|rand1..3.
+  std::vector<std::uint64_t> seeds = {1};        ///< Evaluation-trace seeds.
+  std::vector<double> intensities = {0.0};       ///< Fault scale per cell.
+
+  // -- shared knobs --------------------------------------------------------
+  std::string fault_spec;       ///< fault::FaultPlan::parse input; "" = none.
+  std::size_t eval_days = 1;    ///< Evaluation-trace length per scenario.
+  solar::DayKind eval_day0 = solar::DayKind::kClear;  ///< First eval day.
+  std::size_t train_days = 2;   ///< Training-climate length (per workload).
+  std::uint64_t train_seed = 2015;
+  std::size_t n_caps = 4;       ///< Capacitors sized by the pipeline.
+  std::size_t periods = 144;    ///< Grid: periods per day.
+  std::size_t slots = 20;       ///< Grid: slots per period.
+  double dt_s = 30.0;           ///< Grid: slot length.
+  std::size_t dp_buckets = 0;       ///< 0 = OptimalConfig default.
+  std::size_t pretrain_epochs = 0;  ///< 0 = RbmTrainConfig default.
+  std::size_t finetune_epochs = 0;  ///< 0 = MlpTrainConfig default.
+  /// Policy rows per scenario: inter|intra|proposed|optimal|edf|asap|duty.
+  /// The offline pipeline runs (once per workload) only when "proposed" is
+  /// listed; without it every row uses the node's default bank.
+  std::vector<std::string> schedulers = {"inter", "intra", "proposed",
+                                         "optimal"};
+
+  /// Parses a spec string: `;`-separated key=value entries. Keys:
+  ///   workloads, seeds, intensities, schedulers   (comma-separated lists;
+  ///     seeds also accept a..b ranges)
+  ///   fault          (a fault::FaultPlan spec — commas stay inside)
+  ///   days, day0 (clear|partly|overcast|rainy), train_days, train_seed,
+  ///   n_caps, periods, slots, dt, dp_buckets, pretrain_epochs,
+  ///   finetune_epochs
+  /// Throws std::invalid_argument on unknown keys, malformed values, empty
+  /// axes or unknown workload/scheduler/day names.
+  static CampaignSpec parse(const std::string& text);
+
+  /// Stable re-rendering of every field in a fixed order; equal specs (after
+  /// parse-level normalization) render identically.
+  std::string canonical() const;
+
+  /// FNV-1a digest of canonical(): the journal compatibility check.
+  std::uint64_t digest() const;
+
+  /// Axes flattened in deterministic order; shard i is expand()[i].
+  std::vector<Scenario> expand() const;
+
+  /// The simulation grid for `n_days` days.
+  solar::TimeGrid grid(std::size_t n_days) const;
+
+  /// Seeded generator whose clear-sky window is scaled to the (possibly
+  /// shrunk) day of grid(): sunrise at 25%, sunset at 75% of the day, the
+  /// test-helper convention, so tiny-grid campaigns still see a dawn/noon/
+  /// night structure.
+  solar::TraceGenerator generator(std::uint64_t seed) const;
+
+  /// The base fault plan (parsed fault_spec); inactive when fault_spec is
+  /// empty.
+  fault::FaultPlan fault_plan() const;
+
+  /// Resolves a workload axis value to its task graph.
+  static task::TaskGraph workload_graph(const std::string& name);
+
+  /// True when `name` appears on the schedulers axis.
+  bool has_scheduler(const std::string& name) const;
+};
+
+}  // namespace solsched::campaign

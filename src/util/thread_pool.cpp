@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -201,13 +202,34 @@ void ThreadPool::set_global_threads(std::size_t n_threads) {
   global_slot().reset(new ThreadPool(n_threads));
 }
 
-std::size_t ThreadPool::thread_count_from_env() {
-  if (const char* env = std::getenv("SOLSCHED_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+std::size_t ThreadPool::parse_thread_count(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  std::size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+    if (value > 65536) return 0;
   }
+  return value;  // 0 stays invalid: a zero-thread pin is a typo.
+}
+
+std::size_t ThreadPool::thread_count_from_env() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  const std::size_t fallback = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  if (const char* env = std::getenv("SOLSCHED_THREADS")) {
+    const std::size_t parsed = parse_thread_count(env);
+    if (parsed > 0) return parsed;
+    // Warn once: silently substituting hardware_concurrency would break the
+    // thread-count pin the user thought they made (and with it any
+    // expectation of run-shape reproducibility they attached to it).
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      std::fprintf(stderr,
+                   "solsched: ignoring SOLSCHED_THREADS=\"%s\" (expected a "
+                   "decimal integer in [1, 65536]); using %zu threads\n",
+                   env, fallback);
+  }
+  return fallback;
 }
 
 }  // namespace solsched::util

@@ -51,9 +51,15 @@ class ThreadPool {
   /// sweep thread counts from the main thread.
   static void set_global_threads(std::size_t n_threads);
 
-  /// SOLSCHED_THREADS if set and positive, else hardware_concurrency
-  /// (else 1).
+  /// SOLSCHED_THREADS if set and valid, else hardware_concurrency (else 1).
+  /// A set-but-malformed SOLSCHED_THREADS breaks the reproducibility pin the
+  /// user thought they made, so it warns once to stderr before falling back.
   static std::size_t thread_count_from_env();
+
+  /// Parses the SOLSCHED_THREADS grammar: decimal digits only (no sign,
+  /// whitespace, hex or suffixes), value in [1, 65536]. Returns 0 for
+  /// anything else — "all", "0x4", "-2", "0" and "" are all invalid.
+  static std::size_t parse_thread_count(const char* text) noexcept;
 
  private:
   struct Impl;

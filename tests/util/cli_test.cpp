@@ -86,5 +86,87 @@ TEST(Cli, UndeclaredGetThrows) {
   EXPECT_THROW(cli.get("nonexistent"), std::invalid_argument);
 }
 
+// --- parse-time validation of typed values (the silent-zero fix) ----------
+
+TEST(Cli, TrailingGarbageNumberFailsAtParse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--days", "3x"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("--days"), std::string::npos);
+  EXPECT_NE(cli.error().find("3x"), std::string::npos);
+}
+
+TEST(Cli, NanAndInfRejected) {
+  for (const char* bad : {"nan", "inf", "-inf", "NAN"}) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--scale", bad};
+    EXPECT_FALSE(cli.parse(3, argv)) << bad;
+    EXPECT_NE(cli.error().find("--scale"), std::string::npos);
+  }
+}
+
+TEST(Cli, ScientificAndNegativeNumbersStillParse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--scale", "1e-3", "--days", "-2"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 1e-3);
+  EXPECT_EQ(cli.get_int("days"), -2);
+}
+
+TEST(Cli, MissingValueAtEndOfArgvFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--days"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("--days"), std::string::npos);
+  EXPECT_NE(cli.error().find("requires a value"), std::string::npos);
+}
+
+TEST(Cli, MissingValueBeforeAnotherFlagFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--seed", "--verbose"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("--seed"), std::string::npos);
+}
+
+TEST(Cli, BoolFlagConsumesFollowingLiteral) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose", "off", "--days", "3"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("days"), 3);
+}
+
+TEST(Cli, InvalidBoolLiteralFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("--verbose"), std::string::npos);
+}
+
+TEST(Cli, NegativeSeedThrowsOnAccess) {
+  Cli cli = make_cli();
+  // "-2" is a well-formed number, so parse() accepts it; get_seed's
+  // unsigned-decimal contract rejects it instead of wrapping via strtoull.
+  const char* argv[] = {"prog", "--seed", "-2"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_seed("seed"), std::invalid_argument);
+  EXPECT_EQ(cli.get_int("seed"), -2);
+}
+
+TEST(Cli, ExplicitStringTypeSkipsNumericValidation) {
+  Cli cli;
+  cli.add_flag("tag", "123", "run tag", Cli::FlagType::kString);
+  const char* argv[] = {"prog", "--tag", "12ab"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("tag"), "12ab");
+}
+
+TEST(Cli, EmptyEqualsValueFailsForNumericFlag) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--days="};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("--days"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace solsched::util

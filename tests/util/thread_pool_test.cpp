@@ -135,6 +135,37 @@ TEST(ThreadPool, ThreadCountFromEnv) {
   EXPECT_GE(ThreadPool::thread_count_from_env(), 1u);
 }
 
+// The documented SOLSCHED_THREADS grammar: decimal digits only, [1, 65536].
+TEST(ThreadPool, ParseThreadCountGrammar) {
+  EXPECT_EQ(ThreadPool::parse_thread_count("1"), 1u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("4"), 4u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("65536"), 65536u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("65537"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(""), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("-2"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("+4"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(" 4"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("4 "), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("0x4"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("all"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("4t"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("18446744073709551617"), 0u);
+}
+
+// Malformed values warn (once) and fall back instead of silently pinning
+// the pool to hardware_concurrency while the user believes they set 1.
+TEST(ThreadPool, MalformedEnvFallsBackToHardware) {
+  for (const char* bad : {"all", "-2", "0", "1.5", ""}) {
+    ::setenv("SOLSCHED_THREADS", bad, 1);
+    EXPECT_GE(ThreadPool::thread_count_from_env(), 1u) << bad;
+  }
+  ::setenv("SOLSCHED_THREADS", "2", 1);
+  EXPECT_EQ(ThreadPool::thread_count_from_env(), 2u);
+  ::unsetenv("SOLSCHED_THREADS");
+}
+
 TEST(ThreadPool, SetGlobalThreadsReplacesPool) {
   ThreadPool::set_global_threads(3);
   EXPECT_EQ(ThreadPool::global().size(), 3u);
