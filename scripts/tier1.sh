@@ -1,21 +1,30 @@
 #!/usr/bin/env sh
 # Tier-1 gate: the full test suite on a normal build, the trace-analytics
-# phase (golden-ledger suite + bench regression gate), plus the concurrency
-# and observability suites rerun under ThreadSanitizer, plus the fault
-# suite rerun under UndefinedBehaviorSanitizer.
+# phase (golden-ledger suite + bench regression gate), a SOLSCHED_SIMD=OFF
+# scalar-fallback build with a cross-build controller-decision check, plus
+# the concurrency and observability suites rerun under ThreadSanitizer, the
+# fault suite rerun under UndefinedBehaviorSanitizer, and the simd parity
+# suite rerun under AddressSanitizer+UBSan.
 #
-#   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
+#   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir] [scalar-build-dir] [asan-build-dir]
 #
 # The first phase is exactly the ROADMAP tier-1 command (configure, build,
-# full ctest); the TSan phase rebuilds only to run `ctest -L "concurrency|obs"`
-# — the two label families with real cross-thread traffic; the UBSan phase
-# runs `ctest -L fault` — the injection paths push NaN and out-of-range
-# values through the decoders, exactly where UB would hide.
+# full ctest); the scalar phase proves the kernel layer's bit-exactness
+# contract end to end (identical campaign decision fingerprints on the wam
+# and ecg workloads from both builds); the TSan phase rebuilds only to run
+# `ctest -L "concurrency|obs"` — the two label families with real
+# cross-thread traffic; the UBSan phase runs `ctest -L fault` — the
+# injection paths push NaN and out-of-range values through the decoders,
+# exactly where UB would hide; the ASan+UBSan phase runs `ctest -L simd` —
+# the vector kernels' tails and pack buffers are exactly where an
+# out-of-bounds lane would hide.
 set -eu
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 UBSAN_DIR="${3:-build-ubsan}"
+SCALAR_DIR="${4:-build-scalar}"
+ASAN_DIR="${5:-build-asan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 echo "== tier 1: full suite ($BUILD_DIR) =="
@@ -59,6 +68,28 @@ cmp "$CAMP_TMP/full/aggregate.json" "$CAMP_TMP/resumed/aggregate.json"
   "$CAMP_TMP/resumed/journal.jsonl" > /dev/null
 echo "campaign kill/resume aggregates bit-identical"
 
+echo "== tier 1: scalar-fallback build + cross-build decision check ($SCALAR_DIR) =="
+# SOLSCHED_SIMD=OFF build: the simd suite must pass with the dispatch
+# resolving to the scalar reference bodies, and a serial wam+ecg campaign
+# from each build must journal byte-identical records — same rows, same
+# predict_batch controller fingerprints. This is the kernel layer's
+# bit-exactness contract checked end to end, not kernel by kernel.
+cmake -B "$SCALAR_DIR" -S . -DSOLSCHED_SIMD=OFF
+cmake --build "$SCALAR_DIR" -j "$JOBS"
+ctest --test-dir "$SCALAR_DIR" --output-on-failure -j "$JOBS" -L simd
+XBUILD_SPEC="workloads=wam,ecg;seeds=1..2;intensities=0"
+XBUILD_SPEC="$XBUILD_SPEC;schedulers=inter,proposed;periods=12;slots=10;days=1"
+XBUILD_SPEC="$XBUILD_SPEC;train_days=1;n_caps=2;dp_buckets=6;pretrain_epochs=2"
+XBUILD_SPEC="$XBUILD_SPEC;finetune_epochs=10"
+XBUILD_TMP="$BUILD_DIR/xbuild-smoke"
+rm -rf "$XBUILD_TMP"
+SOLSCHED_THREADS=1 "$BUILD_DIR/tools/solsched-campaign" run \
+  --spec "$XBUILD_SPEC" --dir "$XBUILD_TMP/simd"
+SOLSCHED_THREADS=1 "$SCALAR_DIR/tools/solsched-campaign" run \
+  --spec "$XBUILD_SPEC" --dir "$XBUILD_TMP/scalar"
+cmp "$XBUILD_TMP/simd/journal.jsonl" "$XBUILD_TMP/scalar/journal.jsonl"
+echo "scalar and SIMD builds journal bit-identical wam+ecg decisions"
+
 echo "== tier 1: TSan rerun of concurrency + obs ($TSAN_DIR) =="
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS"
@@ -68,5 +99,10 @@ echo "== tier 1: UBSan rerun of fault suite ($UBSAN_DIR) =="
 cmake -B "$UBSAN_DIR" -S . -DSOLSCHED_SANITIZE=undefined
 cmake --build "$UBSAN_DIR" -j "$JOBS"
 ctest --test-dir "$UBSAN_DIR" --output-on-failure -j "$JOBS" -L fault
+
+echo "== tier 1: ASan+UBSan rerun of simd suite ($ASAN_DIR) =="
+cmake -B "$ASAN_DIR" -S . -DSOLSCHED_SANITIZE=address
+cmake --build "$ASAN_DIR" -j "$JOBS"
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L simd
 
 echo "tier 1 passed"

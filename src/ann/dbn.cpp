@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ann/kernels/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace solsched::ann {
@@ -30,6 +31,21 @@ Dbn Dbn::from_network(Mlp network) {
   Dbn dbn(network.n_inputs(), network.n_outputs(), config);
   dbn.net_ = std::move(network);
   return dbn;
+}
+
+std::vector<Vector> Dbn::predict_batch(const std::vector<Vector>& xs) const {
+  const std::size_t n_in = net_.n_inputs();
+  kernels::BatchMatrix in(xs.size(), n_in);
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    if (xs[s].size() != n_in)
+      throw std::invalid_argument("Dbn::predict_batch: input size mismatch");
+    in.set_row(s, xs[s]);
+  }
+  const kernels::BatchMatrix out = net_.forward_batch(in);
+  std::vector<Vector> ys(xs.size());
+  for (std::size_t s = 0; s < xs.size(); ++s)
+    ys[s].assign(out.row(s), out.row(s) + out.cols());
+  return ys;
 }
 
 DbnTrainReport Dbn::train(const std::vector<Sample>& samples) {

@@ -45,6 +45,11 @@ class Dbn {
   /// Inference.
   Vector predict(const Vector& x) const { return net_.forward(x); }
 
+  /// Batched inference: one GEMM-shaped forward pass over all inputs.
+  /// Bit-exact with calling predict() on each element, just cheaper — the
+  /// campaign runner probes controllers with this.
+  std::vector<Vector> predict_batch(const std::vector<Vector>& xs) const;
+
   /// Mean MSE over a labelled set.
   double evaluate(const std::vector<Sample>& samples) const {
     return net_.evaluate(samples);

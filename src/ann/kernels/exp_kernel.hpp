@@ -1,0 +1,82 @@
+// Deterministic double-precision exp for the sigmoid kernels.
+//
+// The ANN stack must be bit-reproducible across platforms and across the
+// scalar / SIMD builds (DESIGN.md §14). libm's exp is implementation
+// defined — different libcs (and different glibc micro-arch dispatches)
+// round differently — so, exactly like util::Rng replaces <random>, the
+// kernels carry their own fixed exp algorithm: a 128-entry table-driven
+// reduction (x = k/128·ln2 + r) with a degree-5 polynomial on the tiny
+// remainder |r| <= ln2/256. Accuracy is within 1 ulp of a correctly
+// rounded exp over the entire main range; the SIMD lanes execute the
+// identical operation sequence per element, so scalar and vector builds
+// agree bit for bit.
+//
+// std::fma is required semantically (single rounding); on hardware without
+// a fused unit libm's soft fma gives the same bits, only slower.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace solsched::ann::kernels {
+
+#include "ann/kernels/exp_table.inc"
+
+inline constexpr double kExpInvLn2N = 0x1.71547652b82fep+7;  // 128/ln2.
+inline constexpr double kExpLn2HiN = 0x1.62e42fefa39efp-8;   // ln2/128 head.
+inline constexpr double kExpLn2LoN = 0x1.abc9e3b39803fp-63;  // ln2/128 tail.
+inline constexpr double kExpShift = 0x1.8p52;  // 1.5·2^52 round-to-int bias.
+inline constexpr std::int64_t kExpShiftBits = 0x4338000000000000;
+inline constexpr double kExpC2 = 0.5;
+inline constexpr double kExpC3 = 1.0 / 6.0;
+inline constexpr double kExpC4 = 1.0 / 24.0;
+inline constexpr double kExpC5 = 1.0 / 120.0;
+/// Main-path cut-off: |x| <= kExpMainBound uses the table path directly;
+/// the SIMD lanes use the same predicate to select scalar fix-ups, so the
+/// two builds agree on which path every input takes.
+inline constexpr double kExpMainBound = 512.0;
+
+/// Table path, valid for finite |x| <= kExpMainBound.
+inline double exp_main(double x) noexcept {
+  const double z = x * kExpInvLn2N;
+  double kd = z + kExpShift;
+  const std::int64_t ki = std::bit_cast<std::int64_t>(kd) - kExpShiftBits;
+  kd -= kExpShift;
+  // r = x - k·ln2/128, exact to ~2^-76 thanks to the fused steps.
+  const double r = std::fma(-kd, kExpLn2LoN, std::fma(-kd, kExpLn2HiN, x));
+  const auto idx = static_cast<std::size_t>(ki & 127);
+  // 2^(k/128) = 2^floor(k/128) · kExpHi[k mod 128]: add the integer part
+  // straight into the exponent bits (normal range for |x| <= 512).
+  const std::int64_t expo_bits = (ki - (ki & 127)) << 45;
+  const double s =
+      std::bit_cast<double>(std::bit_cast<std::int64_t>(kExpHi[idx]) +
+                            expo_bits);
+  const double p = std::fma(
+      r * r, std::fma(r, std::fma(r, std::fma(r, kExpC5, kExpC4), kExpC3),
+                      kExpC2),
+      r);
+  return std::fma(s, kExpTail[idx] + p, s);
+}
+
+/// Deterministic exp over the full double range (NaN/inf/overflow/underflow
+/// handled; the rare |x| > 512 tail squares the half-argument result, which
+/// is deterministic and accurate to ~2 ulp).
+inline double exp_d(double x) noexcept {
+  if (std::fabs(x) <= kExpMainBound) return exp_main(x);
+  if (std::isnan(x)) return x;
+  if (x > 709.9) return std::numeric_limits<double>::infinity();
+  if (x < -745.2) return 0.0;
+  const double h = exp_main(x * 0.5);
+  return h * h;
+}
+
+/// Deterministic logistic sigmoid: 1 / (1 + exp(-x)). Division and
+/// addition are correctly rounded IEEE ops, so bit-reproducibility reduces
+/// to exp_d's.
+inline double sigmoid_d(double x) noexcept {
+  return 1.0 / (1.0 + exp_d(-x));
+}
+
+}  // namespace solsched::ann::kernels

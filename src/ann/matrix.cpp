@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ann/kernels/exp_kernel.hpp"
+#include "ann/kernels/kernels.hpp"
+
 namespace solsched::ann {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -25,13 +28,8 @@ Vector Matrix::multiply(const Vector& x) const {
 void Matrix::multiply_into(const Vector& x, Vector& y) const {
   if (x.size() != cols_)
     throw std::invalid_argument("Matrix::multiply: size mismatch");
-  y.assign(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const double* row = &data_[r * cols_];
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  y.resize(rows_);
+  kernels::gemv(data_.data(), rows_, cols_, x.data(), y.data());
 }
 
 Vector Matrix::multiply_transposed(const Vector& x) const {
@@ -44,32 +42,23 @@ void Matrix::multiply_transposed_into(const Vector& x, Vector& y) const {
   if (x.size() != rows_)
     throw std::invalid_argument("Matrix::multiply_transposed: size mismatch");
   y.assign(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    const double* row = &data_[r * cols_];
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
-  }
+  kernels::gemv_t_acc(data_.data(), rows_, cols_, x.data(), y.data());
 }
 
 void Matrix::add_outer(const Vector& a, const Vector& b, double scale) {
   if (a.size() != rows_ || b.size() != cols_)
     throw std::invalid_argument("Matrix::add_outer: size mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double* row = &data_[r * cols_];
-    const double ar = a[r] * scale;
-    for (std::size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
-  }
+  kernels::outer_acc_n(data_.data(), a.data(), b.data(), scale, rows_, cols_);
 }
 
 void Matrix::add_scaled(const Matrix& other, double scale) {
   if (other.rows_ != rows_ || other.cols_ != cols_)
     throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    data_[i] += scale * other.data_[i];
+  kernels::axpy_n(data_.data(), other.data_.data(), scale, data_.size());
 }
 
 void Matrix::scale(double factor) {
-  for (double& w : data_) w *= factor;
+  kernels::scale_n(data_.data(), factor, data_.size());
 }
 
 double Matrix::frobenius() const {
@@ -83,17 +72,9 @@ void momentum_update(Matrix& w, Matrix& vel, const Vector& a, const Vector& b,
   if (a.size() != w.rows() || b.size() != w.cols() ||
       vel.rows() != w.rows() || vel.cols() != w.cols())
     throw std::invalid_argument("momentum_update: size mismatch");
-  const std::size_t cols = w.cols();
-  for (std::size_t r = 0; r < w.rows(); ++r) {
-    double* wr = &w.data()[r * cols];
-    double* vr = &vel.data()[r * cols];
-    const double ar = a[r];
-    for (std::size_t c = 0; c < cols; ++c) {
-      const double grad = ar * b[c] + decay * wr[c];
-      vr[c] = momentum * vr[c] + coeff * grad;
-      wr[c] += vr[c];
-    }
-  }
+  kernels::momentum_mat_n(w.data().data(), vel.data().data(), a.data(),
+                          b.data(), momentum, coeff, decay, w.rows(),
+                          w.cols());
 }
 
 void momentum_update2(Matrix& w, Matrix& vel, const Vector& a1,
@@ -103,24 +84,15 @@ void momentum_update2(Matrix& w, Matrix& vel, const Vector& a1,
       a2.size() != w.rows() || b2.size() != w.cols() ||
       vel.rows() != w.rows() || vel.cols() != w.cols())
     throw std::invalid_argument("momentum_update2: size mismatch");
-  const std::size_t cols = w.cols();
-  for (std::size_t r = 0; r < w.rows(); ++r) {
-    double* wr = &w.data()[r * cols];
-    double* vr = &vel.data()[r * cols];
-    const double a1r = a1[r];
-    const double a2r = a2[r];
-    for (std::size_t c = 0; c < cols; ++c) {
-      const double grad = a1r * b1[c] - a2r * b2[c] + decay * wr[c];
-      vr[c] = momentum * vr[c] + coeff * grad;
-      wr[c] += vr[c];
-    }
-  }
+  kernels::momentum_mat2_n(w.data().data(), vel.data().data(), a1.data(),
+                           b1.data(), a2.data(), b2.data(), momentum, coeff,
+                           decay, w.rows(), w.cols());
 }
 
-double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+double sigmoid(double x) noexcept { return kernels::sigmoid_d(x); }
 
 void sigmoid_inplace(Vector& v) noexcept {
-  for (double& x : v) x = sigmoid(x);
+  kernels::sigmoid_n(v.data(), v.size());
 }
 
 double sigmoid_deriv_from_output(double s) noexcept { return s * (1.0 - s); }
@@ -128,7 +100,7 @@ double sigmoid_deriv_from_output(double s) noexcept { return s * (1.0 - s); }
 void add_inplace(Vector& v, const Vector& w) {
   if (v.size() != w.size())
     throw std::invalid_argument("add_inplace: size mismatch");
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] += w[i];
+  kernels::add_n(v.data(), w.data(), v.size());
 }
 
 double mse(const Vector& a, const Vector& b) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/kernels/kernels.hpp"
 #include "ann/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -31,6 +32,13 @@ struct MlpTrainConfig {
   /// the legacy path but with a different floating-point evaluation order;
   /// set false to reproduce the original sequence bit-for-bit.
   bool fused_kernels = true;
+  /// Samples per weight update. 1 (default) reproduces the per-sample SGD
+  /// sequence bit-for-bit. >1 switches to minibatch SGD: forward/backward
+  /// run as batch GEMM passes and the averaged gradient is applied once per
+  /// batch — a *different training algorithm* (deterministic and identical
+  /// across scalar/SIMD builds, but its loss is only tolerance-comparable
+  /// to batch_size=1; runs stamp the batch size into their manifests).
+  std::size_t batch_size = 1;
 };
 
 /// Fully connected feed-forward network.
@@ -45,6 +53,11 @@ class Mlp {
 
   /// Forward pass.
   Vector forward(const Vector& x) const;
+
+  /// Batched forward pass over a padded sample panel (one sample per row).
+  /// Bit-exact with calling forward() on each row: the batched GEMM keeps
+  /// every sample's per-output accumulation order.
+  kernels::BatchMatrix forward_batch(const kernels::BatchMatrix& x) const;
 
   /// One SGD epoch over the samples (shuffled); returns mean MSE loss.
   double train_epoch(const std::vector<Sample>& samples,
@@ -71,6 +84,10 @@ class Mlp {
   static Mlp deserialize(const std::string& text);
 
  private:
+  double train_epoch_minibatch(const std::vector<Sample>& samples,
+                               const MlpTrainConfig& config,
+                               const std::vector<std::size_t>& order);
+
   std::vector<std::size_t> sizes_;
   std::vector<Matrix> weights_;  ///< weights_[l]: sizes_[l+1] x sizes_[l].
   std::vector<Vector> biases_;

@@ -31,15 +31,26 @@ void Normalizer::set_ranges(Vector mins, Vector maxs) {
   maxs_ = std::move(maxs);
 }
 
+// Degenerate columns (max <= min: constant training data, or inverted
+// explicit ranges) carry no information. Both maps share one rule so the
+// round trip is exact: transform pins the column to the midpoint 0.5 and
+// inverse returns the only representable raw value, mins_[i]. Without the
+// inverse-side guard a negative range would extrapolate mins_ + range·y
+// away from the column's actual value.
+bool Normalizer::degenerate(std::size_t i) const noexcept {
+  return !(maxs_[i] - mins_[i] > 0.0);
+}
+
 Vector Normalizer::transform(const Vector& x) const {
   if (!fitted()) throw std::logic_error("Normalizer: not fitted");
   if (x.size() != dims())
     throw std::invalid_argument("Normalizer::transform: size mismatch");
   Vector y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
-    const double range = maxs_[i] - mins_[i];
-    y[i] = range > 0.0 ? util::clamp((x[i] - mins_[i]) / range, 0.0, 1.0)
-                       : 0.5;
+    y[i] = degenerate(i)
+               ? 0.5
+               : util::clamp((x[i] - mins_[i]) / (maxs_[i] - mins_[i]), 0.0,
+                             1.0);
   }
   return y;
 }
@@ -50,7 +61,8 @@ Vector Normalizer::inverse(const Vector& y) const {
     throw std::invalid_argument("Normalizer::inverse: size mismatch");
   Vector x(y.size());
   for (std::size_t i = 0; i < y.size(); ++i)
-    x[i] = mins_[i] + (maxs_[i] - mins_[i]) * y[i];
+    x[i] = degenerate(i) ? mins_[i]
+                         : mins_[i] + (maxs_[i] - mins_[i]) * y[i];
   return x;
 }
 

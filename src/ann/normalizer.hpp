@@ -32,6 +32,10 @@ class Normalizer {
   const Vector& maxs() const noexcept { return maxs_; }
 
  private:
+  /// True when column i has no usable range (max <= min); transform and
+  /// inverse share this test so degenerate columns round-trip exactly.
+  bool degenerate(std::size_t i) const noexcept;
+
   Vector mins_;
   Vector maxs_;
 };

@@ -26,6 +26,13 @@ struct RbmTrainConfig {
   /// the legacy path but with a different floating-point evaluation order;
   /// set false to reproduce the original sequence bit-for-bit.
   bool fused_kernels = true;
+  /// Samples per CD-1 weight update. 1 (default) reproduces the per-sample
+  /// sequence bit-for-bit. >1 runs the Gibbs phases as batch GEMM passes
+  /// and applies the averaged CD statistics once per batch; hidden-state
+  /// Bernoulli draws consume the RNG in (sample, unit) order — the same
+  /// stream order as batch_size=1. Deterministic and build-independent,
+  /// but a different training algorithm than per-sample updates.
+  std::size_t batch_size = 1;
 };
 
 /// Bernoulli-Bernoulli RBM.
@@ -58,6 +65,9 @@ class Rbm {
 
  private:
   Vector sample_bernoulli(const Vector& probs);
+  double train_epoch_minibatch(const std::vector<Vector>& data,
+                               const RbmTrainConfig& config,
+                               const std::vector<std::size_t>& order);
 
   Matrix weights_;  ///< hidden x visible.
   Vector hidden_bias_;

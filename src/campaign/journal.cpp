@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -23,6 +24,16 @@ std::string render_double(double value) {
 }
 
 std::string render_u64(std::uint64_t value) { return std::to_string(value); }
+
+/// Quoted 16-digit hex. Full-width u64 values (hashes, fingerprints) go
+/// through strings because a JSON number round-trips via double and loses
+/// bits above 2^53.
+std::string render_hex64(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
 
 [[noreturn]] void fail(const std::string& path, const std::string& what) {
   throw std::runtime_error("journal " + path + ": " + what);
@@ -54,6 +65,7 @@ std::string ShardRecord::to_json() const {
   out += ", \"artifact_key\": " + render_u64(artifact_key);
   out += ", \"artifact_hit\": ";
   out += artifact_hit ? "true" : "false";
+  out += ", \"controller_fp\": " + render_hex64(controller_fingerprint);
   out += ", \"rows\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ShardRow& r = rows[i];
@@ -128,6 +140,9 @@ Journal::Recovered Journal::load(const std::string& path,
         static_cast<std::uint64_t>(require_number(doc, "artifact_key", path));
     const auto* hit = doc.find("artifact_hit");
     rec.artifact_hit = hit != nullptr && hit->boolean;
+    if (const auto* fp = doc.find("controller_fp");
+        fp != nullptr && fp->is_string())
+      rec.controller_fingerprint = std::strtoull(fp->string.c_str(), nullptr, 16);
     const auto* rows = doc.find("rows");
     if (rows == nullptr || !rows->is_array())
       fail(path, "line " + std::to_string(line_no) + ": missing rows array");

@@ -45,6 +45,12 @@ struct ShardRecord {
   double intensity = 0.0;
   std::uint64_t artifact_key = 0;  ///< Offline-config digest; 0 = untrained.
   bool artifact_hit = false;       ///< Served from the on-disk cache.
+  /// FNV-1a over the bit patterns of a deterministic probe batch pushed
+  /// through Dbn::predict_batch — the controller's decision fingerprint.
+  /// Identical across SIMD and scalar builds (the kernel layer's
+  /// bit-exactness contract); 0 when the shard ran without a trained
+  /// controller. Absent in pre-fingerprint journals (parses as 0).
+  std::uint64_t controller_fingerprint = 0;
   std::vector<ShardRow> rows;
 
   /// One JSON line (no trailing newline), %.17g doubles.

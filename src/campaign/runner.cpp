@@ -3,17 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <set>
 #include <stdexcept>
 
+#include "ann/dbn.hpp"
 #include "campaign/artifact_cache.hpp"
 #include "core/experiment.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/analysis/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace solsched::campaign {
@@ -80,8 +83,48 @@ ShardRow row_from(const core::ComparisonRow& row) {
 struct Artifact {
   std::uint64_t key = 0;
   bool disk_hit = false;
+  std::uint64_t fingerprint = 0;
   std::shared_ptr<core::TrainedController> controller;
 };
+
+/// Decision fingerprint of a trained controller: a deterministic probe
+/// batch (util::Rng seeded from the artifact key) is mapped into raw input
+/// space through the normalizer's inverse, normalized back, and pushed
+/// through Dbn::predict_batch in one batched pass; the outputs' bit
+/// patterns are FNV-1a folded. The value is bit-identical across SIMD and
+/// scalar builds (kernel-layer contract) and across cache-hit and freshly
+/// trained artifacts, so journals from different builds of the same spec
+/// can be diffed on it directly.
+std::uint64_t fingerprint_controller(const core::TrainedController& tc,
+                                     std::uint64_t key) {
+  const sched::ProposedModel& model = tc.model;
+  if (!model.dbn) return 0;
+  constexpr std::size_t kProbes = 32;
+  const std::size_t d = model.dbn->n_inputs();
+  util::Rng rng(key ^ 0xC0FFEE5EEDULL);
+  std::vector<ann::Vector> batch;
+  batch.reserve(kProbes);
+  for (std::size_t s = 0; s < kProbes; ++s) {
+    ann::Vector u(d);
+    for (double& v : u) v = rng.uniform();
+    if (model.input_norm.fitted())
+      u = model.input_norm.transform(model.input_norm.inverse(u));
+    batch.push_back(std::move(u));
+  }
+  const std::vector<ann::Vector> outs = model.dbn->predict_batch(batch);
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const ann::Vector& y : outs)
+    for (double v : y) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (std::size_t byte = 0; byte < sizeof(bits); ++byte) {
+        h ^= (bits >> (8 * byte)) & 0xFFu;
+        h *= 1099511628211ULL;
+      }
+    }
+  return h;
+}
 
 }  // namespace
 
@@ -168,6 +211,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
               cache.path_of(artifact.key));
       }
       artifact.controller = std::move(controller);
+      artifact.fingerprint =
+          fingerprint_controller(*artifact.controller, artifact.key);
       artifacts.emplace(workload, std::move(artifact));
     }
     result.artifact_disk_hits =
@@ -217,6 +262,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       trained = artifact->second.controller.get();
       record.artifact_key = artifact->second.key;
       record.artifact_hit = artifact->second.disk_hit;
+      record.controller_fingerprint = artifact->second.fingerprint;
     }
 
     const std::vector<core::ComparisonRow> rows =

@@ -55,17 +55,28 @@ BenchCheckResult check_bench(const std::string& old_json_text,
       r.only_old.push_back(name);
       continue;
     }
-    BenchDelta d;
-    d.run = name;
-    d.old_ms = old_run.number_or("total_ms");
-    d.new_ms = new_run->number_or("total_ms");
-    if (d.old_ms <= 0.0)
-      throw std::runtime_error("baseline run \"" + name +
-                               "\" has no positive total_ms");
-    d.ratio = d.new_ms / d.old_ms;
-    d.regressed = d.ratio > 1.0 + max_regress;
-    if (d.regressed) ++regressions;
-    r.deltas.push_back(std::move(d));
+    // total_ms is the gate's required metric; train_ms rides along when
+    // both sides report it, so the training pipeline can't silently slow
+    // down while a faster comparison phase hides it in the total.
+    for (const char* metric : {"total_ms", "train_ms"}) {
+      BenchDelta d;
+      d.run = name;
+      d.metric = metric;
+      d.old_ms = old_run.number_or(metric);
+      d.new_ms = new_run->number_or(metric);
+      const bool required = std::string(metric) == "total_ms";
+      if (d.old_ms <= 0.0) {
+        if (required)
+          throw std::runtime_error("baseline run \"" + name +
+                                   "\" has no positive total_ms");
+        continue;  // Optional metric absent from the baseline.
+      }
+      if (!required && d.new_ms <= 0.0) continue;  // Absent from candidate.
+      d.ratio = d.new_ms / d.old_ms;
+      d.regressed = d.ratio > 1.0 + max_regress;
+      if (d.regressed) ++regressions;
+      r.deltas.push_back(std::move(d));
+    }
   }
   for (const auto& [name, run] : new_runs.object) {
     (void)run;
@@ -78,8 +89,8 @@ BenchCheckResult check_bench(const std::string& old_json_text,
     r.message = "check-bench FAILED: no runs in common";
   } else {
     std::snprintf(buf, sizeof(buf),
-                  "check-bench %s: %zu runs compared, %zu regressed beyond "
-                  "%.0f%%",
+                  "check-bench %s: %zu metrics compared, %zu regressed "
+                  "beyond %.0f%%",
                   r.ok ? "ok" : "FAILED", r.deltas.size(), regressions,
                   max_regress * 100.0);
     r.message = buf;

@@ -2,7 +2,8 @@
 //
 // Compares a fresh bench result (pipeline_bench's BENCH_pipeline.json
 // schema) against the committed baseline and fails when any run's total_ms
-// regressed beyond the allowed fraction. tier1.sh runs this through
+// — or train_ms, where both files report it — regressed beyond the
+// allowed fraction. tier1.sh runs this through
 // `solsched-inspect check-bench`, turning silent performance drift into a
 // red CI phase. Comparison is per run name under the "runs" object; runs
 // present on only one side are reported but never fail the gate (bench
@@ -14,9 +15,13 @@
 
 namespace solsched::obs::analysis {
 
-/// One compared run.
+/// One compared (run, metric) pair. total_ms is always compared (and must
+/// be positive in the baseline); train_ms is compared when both sides
+/// report a positive value, so the offline training phase is gated
+/// independently of the total.
 struct BenchDelta {
   std::string run;         ///< Key under "runs", e.g. "baseline_1t".
+  std::string metric;      ///< "total_ms" or "train_ms".
   double old_ms = 0.0;
   double new_ms = 0.0;
   double ratio = 0.0;      ///< new/old; > 1 means slower.

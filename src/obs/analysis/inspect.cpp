@@ -218,10 +218,11 @@ int cmd_check_bench(const std::string& old_path, const std::string& new_path,
       parse_regress_fraction(bound_text));
 
   util::TextTable table;
-  table.set_header({"run", "old_ms", "new_ms", "ratio", "verdict"});
+  table.set_header({"run", "metric", "old_ms", "new_ms", "ratio", "verdict"});
   for (const BenchDelta& d : r.deltas)
-    table.add_row({d.run, util::fmt(d.old_ms, 2), util::fmt(d.new_ms, 2),
-                   util::fmt(d.ratio, 3), d.regressed ? "REGRESSED" : "ok"});
+    table.add_row({d.run, d.metric, util::fmt(d.old_ms, 2),
+                   util::fmt(d.new_ms, 2), util::fmt(d.ratio, 3),
+                   d.regressed ? "REGRESSED" : "ok"});
   std::printf("%s", table.str().c_str());
   for (const std::string& name : r.only_old)
     std::printf("note: run \"%s\" only in baseline\n", name.c_str());

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "obs/span.hpp"
 #include "sched/sched_util.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace solsched::sched {
 namespace {
@@ -202,28 +204,48 @@ void OptimalScheduler::run_dp(const task::TaskGraph& graph,
           }
       }
 
+      // Two-phase row expansion. Phase 1 derives every live label's option
+      // set on the thread pool — pareto_options is pure, and the option
+      // cache computes outside its lock, so concurrent derivation produces
+      // the same vectors a serial sweep would. Phase 2 relaxes serially in
+      // ascending (h, b) order, so label ties resolve exactly as before:
+      // the DP outcome is bit-identical at every thread count.
+      std::vector<std::size_t> live;
+      live.reserve(n_caps * n_buckets);
       for (std::size_t h = 0; h < n_caps; ++h)
-        for (std::size_t b = 0; b < n_buckets; ++b) {
-          const Cell& from = at(layers[i], h, b);
-          if (from.cost >= kInf) continue;
-          ++dp_evaluations_;
-          const auto options = options_for(window_solar[i],
-                                           config.capacities_f[h],
-                                           voltage_of(h, from.usable));
-          for (const PeriodOption& opt : *options) {
-            Cell candidate;
-            candidate.cost = from.cost + static_cast<double>(opt.misses);
-            candidate.usable = opt.final_usable_j;
-            candidate.prev_h = static_cast<int>(h);
-            candidate.prev_b = static_cast<int>(b);
-            candidate.te_mask = mask_of(opt.te);
-            candidate.alpha = static_cast<float>(opt.alpha);
-            candidate.consumed = static_cast<float>(opt.consumed_cap_j);
-            candidate.misses = static_cast<std::uint8_t>(opt.misses);
-            relax(at(layers[i + 1], h, bucket_of(h, opt.final_usable_j)),
-                  candidate);
-          }
+        for (std::size_t b = 0; b < n_buckets; ++b)
+          if (at(layers[i], h, b).cost < kInf)
+            live.push_back(h * n_buckets + b);
+
+      std::vector<std::shared_ptr<const std::vector<PeriodOption>>>
+          row_options(live.size());
+      util::parallel_for(live.size(), [&](std::size_t k) {
+        const std::size_t h = live[k] / n_buckets;
+        const Cell& from = layers[i][live[k]];
+        row_options[k] = options_for(window_solar[i], config.capacities_f[h],
+                                     voltage_of(h, from.usable));
+      });
+
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        const std::size_t h = live[k] / n_buckets;
+        const std::size_t b = live[k] % n_buckets;
+        const Cell& from = at(layers[i], h, b);
+        ++dp_evaluations_;
+        const auto& options = row_options[k];
+        for (const PeriodOption& opt : *options) {
+          Cell candidate;
+          candidate.cost = from.cost + static_cast<double>(opt.misses);
+          candidate.usable = opt.final_usable_j;
+          candidate.prev_h = static_cast<int>(h);
+          candidate.prev_b = static_cast<int>(b);
+          candidate.te_mask = mask_of(opt.te);
+          candidate.alpha = static_cast<float>(opt.alpha);
+          candidate.consumed = static_cast<float>(opt.consumed_cap_j);
+          candidate.misses = static_cast<std::uint8_t>(opt.misses);
+          relax(at(layers[i + 1], h, bucket_of(h, opt.final_usable_j)),
+                candidate);
         }
+      }
     }
 
     // Best terminal label; ties toward more stored energy.

@@ -93,8 +93,11 @@ PeriodEval PeriodOptimizer::evaluate_with(const std::vector<bool>& te,
     // Oracle starvation forcing: a task whose remaining harvest (through
     // the direct channel, up to its deadline) cannot cover its remaining
     // energy must start on stored energy now, before leakage taxes it.
+    // The live-ready list is computed once per slot and shared with the
+    // load-match decision below.
+    state.live_ready_tasks_into(now, lm_scratch.live);
     must_run.assign(graph.size(), false);
-    for (std::size_t id : state.live_ready_tasks(now)) {
+    for (std::size_t id : lm_scratch.live) {
       if (!enabled[id]) continue;
       const auto& t = graph.task(id);
       const auto dl_slot = std::min(
@@ -111,9 +114,9 @@ PeriodEval PeriodOptimizer::evaluate_with(const std::vector<bool>& te,
     const double direct_budget_w = solar_w[m] * pmu_.direct_eta;
     const double max_load_w =
         pmu.supplyable_j(solar_w[m], bank, dt_s_) / dt_s_;
-    load_match_decision_into(graph, state, now, dt_s_, enabled,
-                             direct_budget_w, must_run, max_load_w, lm_scratch,
-                             chosen);
+    load_match_from_live_into(graph, state, lm_scratch.live, now, dt_s_,
+                              enabled, direct_budget_w, must_run, max_load_w,
+                              lm_scratch, chosen);
     double committed_w = 0.0;
     for (std::size_t id : chosen) committed_w += graph.task(id).power_w;
 

@@ -8,26 +8,48 @@ namespace solsched::sched {
 
 namespace {
 
+/// Buckets an already-computed live-ready list by NVP and sorts each bucket
+/// by (deadline, remaining, id). That key is a *total* order over distinct
+/// tasks, so the sorted result is unique regardless of algorithm; the
+/// buckets are tiny (one entry per live task of the NVP), making insertion
+/// sort the cheapest correct choice.
+void candidates_from_live(const task::TaskGraph& graph,
+                          const task::PeriodState& state,
+                          const std::vector<std::size_t>& live,
+                          const std::vector<bool>& enabled,
+                          LoadMatchScratch& s) {
+  s.by_nvp.resize(graph.nvp_count());
+  for (auto& list : s.by_nvp) list.clear();
+  for (std::size_t id : live) {
+    if (!enabled.empty() && !enabled[id]) continue;
+    s.by_nvp[graph.task(id).nvp].push_back(id);
+  }
+  auto before = [&](std::size_t a, std::size_t b) {
+    const auto& ta = graph.task(a);
+    const auto& tb = graph.task(b);
+    if (ta.deadline_s != tb.deadline_s) return ta.deadline_s < tb.deadline_s;
+    if (state.remaining_s(a) != state.remaining_s(b))
+      return state.remaining_s(a) < state.remaining_s(b);
+    return a < b;
+  };
+  for (auto& list : s.by_nvp)
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const std::size_t v = list[i];
+      std::size_t j = i;
+      while (j > 0 && before(v, list[j - 1])) {
+        list[j] = list[j - 1];
+        --j;
+      }
+      list[j] = v;
+    }
+}
+
 void candidates_by_nvp_into(const task::TaskGraph& graph,
                             const task::PeriodState& state, double now_s,
                             const std::vector<bool>& enabled,
                             LoadMatchScratch& s) {
-  s.by_nvp.resize(graph.nvp_count());
-  for (auto& list : s.by_nvp) list.clear();
   state.live_ready_tasks_into(now_s, s.live);
-  for (std::size_t id : s.live) {
-    if (!enabled.empty() && !enabled[id]) continue;
-    s.by_nvp[graph.task(id).nvp].push_back(id);
-  }
-  for (auto& list : s.by_nvp)
-    std::sort(list.begin(), list.end(), [&](std::size_t a, std::size_t b) {
-      const auto& ta = graph.task(a);
-      const auto& tb = graph.task(b);
-      if (ta.deadline_s != tb.deadline_s) return ta.deadline_s < tb.deadline_s;
-      if (state.remaining_s(a) != state.remaining_s(b))
-        return state.remaining_s(a) < state.remaining_s(b);
-      return a < b;
-    });
+  candidates_from_live(graph, state, s.live, enabled, s);
 }
 
 }  // namespace
@@ -97,7 +119,18 @@ void load_match_decision_into(const task::TaskGraph& graph,
                               const std::vector<bool>& must_run,
                               double max_load_w, LoadMatchScratch& scratch,
                               std::vector<std::size_t>& chosen) {
-  candidates_by_nvp_into(graph, state, now_s, enabled, scratch);
+  state.live_ready_tasks_into(now_s, scratch.live);
+  load_match_from_live_into(graph, state, scratch.live, now_s, dt_s, enabled,
+                            target_w, must_run, max_load_w, scratch, chosen);
+}
+
+void load_match_from_live_into(
+    const task::TaskGraph& graph, const task::PeriodState& state,
+    const std::vector<std::size_t>& live, double now_s, double dt_s,
+    const std::vector<bool>& enabled, double target_w,
+    const std::vector<bool>& must_run, double max_load_w,
+    LoadMatchScratch& scratch, std::vector<std::size_t>& chosen) {
+  candidates_from_live(graph, state, live, enabled, scratch);
 
   std::vector<std::size_t>& heads = scratch.heads;
   std::vector<bool>& forced = scratch.forced;
@@ -130,17 +163,35 @@ void load_match_decision_into(const task::TaskGraph& graph,
     // The shed task stays a (non-forced) candidate for the subset search.
   }
 
-  const std::size_t n = heads.size();
-  const std::size_t total = std::size_t{1} << n;
+  // Subset sweep over the *optional* heads only. Forced heads are in every
+  // combination, so the full 2^n sweep visits each distinct chosen set 2^f
+  // times; enumerating the 2^(n-f) optional subsets visits each set exactly
+  // once, in its first-occurrence order of the full sweep — which is what
+  // the "strictly better, else more tasks" selection rule keys on, so the
+  // winning set is unchanged.
+  std::vector<std::size_t>& opt = scratch.optional;
+  opt.clear();
+  double base_w = 0.0;
+  int base_count = 0;
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    if (forced[i]) {
+      base_w += graph.task(heads[i]).power_w;
+      ++base_count;
+    } else {
+      opt.push_back(i);
+    }
+  }
+  const std::size_t m = opt.size();
+  const std::size_t total = std::size_t{1} << m;
   std::size_t best_mask = 0;
   double best_cost = std::numeric_limits<double>::max();
   int best_count = -1;
   for (std::size_t mask = 0; mask < total; ++mask) {
-    double load_w = 0.0;
-    int count = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (forced[i] || ((mask >> i) & 1u)) {
-        load_w += graph.task(heads[i]).power_w;
+    double load_w = base_w;
+    int count = base_count;
+    for (std::size_t b = 0; b < m; ++b) {
+      if ((mask >> b) & 1u) {
+        load_w += graph.task(heads[opt[b]]).power_w;
         ++count;
       }
     }
@@ -155,8 +206,15 @@ void load_match_decision_into(const task::TaskGraph& graph,
   }
 
   chosen.clear();
-  for (std::size_t i = 0; i < n; ++i)
-    if (forced[i] || ((best_mask >> i) & 1u)) chosen.push_back(heads[i]);
+  std::size_t b = 0;
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    if (forced[i]) {
+      chosen.push_back(heads[i]);
+    } else {
+      if ((best_mask >> b) & 1u) chosen.push_back(heads[i]);
+      ++b;
+    }
+  }
 }
 
 double alpha_index(const task::TaskGraph& graph,

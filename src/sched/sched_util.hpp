@@ -64,6 +64,7 @@ struct LoadMatchScratch {
   std::vector<std::vector<std::size_t>> by_nvp;
   std::vector<std::size_t> heads;
   std::vector<bool> forced;
+  std::vector<std::size_t> optional;  ///< Head indices the sweep varies.
 };
 
 /// Buffer-reusing variant of load_match_decision: identical decision,
@@ -75,6 +76,16 @@ void load_match_decision_into(const task::TaskGraph& graph,
                               const std::vector<bool>& must_run,
                               double max_load_w, LoadMatchScratch& scratch,
                               std::vector<std::size_t>& chosen);
+
+/// Same decision, but from a live-ready list the caller already computed
+/// for this (state, now_s) — the period evaluator needs that list for its
+/// must-run pass anyway, so this avoids deriving it twice per slot.
+void load_match_from_live_into(
+    const task::TaskGraph& graph, const task::PeriodState& state,
+    const std::vector<std::size_t>& live, double now_s, double dt_s,
+    const std::vector<bool>& enabled, double target_w,
+    const std::vector<bool>& must_run, double max_load_w,
+    LoadMatchScratch& scratch, std::vector<std::size_t>& chosen);
 
 /// The scheduling-pattern index α (Eq. 18): energy demanded by the subset /
 /// solar energy supplied in the period. Returns a large sentinel (1e9) when

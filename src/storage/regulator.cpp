@@ -8,11 +8,6 @@
 
 namespace solsched::storage {
 
-double ConverterLaw::eta(double voltage_v) const noexcept {
-  if (voltage_v <= 0.0) return floor;
-  return util::clamp(eta_inf - drop / (voltage_v + knee), floor, ceil);
-}
-
 RegulatorCurve RegulatorCurve::fit(const std::vector<EfficiencyPoint>& points) {
   if (points.size() < 4)
     throw std::invalid_argument("RegulatorCurve::fit: need >= 4 points");
@@ -43,13 +38,6 @@ RegulatorCurve RegulatorCurve::from_law(const ConverterLaw& law) {
   curve.fitted_ = false;
   curve.law_ = law;
   return curve;
-}
-
-double RegulatorCurve::eta(double voltage_v) const {
-  if (!fitted_) return law_.eta(voltage_v);
-  // Clamp into the fit's validity range; a cubic extrapolates badly.
-  const double v = util::clamp(voltage_v, v_min_, v_max_);
-  return util::clamp(util::polyval(coeffs_, v), 0.02, 0.98);
 }
 
 ConverterLaw RegulatorModel::input_law() {

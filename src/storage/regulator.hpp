@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/mathx.hpp"
+
 namespace solsched::storage {
 
 /// One measured point of a converter efficiency curve.
@@ -32,7 +34,10 @@ struct ConverterLaw {
   double ceil = 0.95;
 
   /// Efficiency at capacitor voltage V.
-  double eta(double voltage_v) const noexcept;
+  double eta(double voltage_v) const noexcept {
+    if (voltage_v <= 0.0) return floor;
+    return util::clamp(eta_inf - drop / (voltage_v + knee), floor, ceil);
+  }
 };
 
 /// Voltage-dependent efficiency curve backed by a fitted polynomial.
@@ -49,7 +54,14 @@ class RegulatorCurve {
 
   /// Efficiency in (0, 1) at the given voltage; clamped to [0.02, 0.98] so
   /// extrapolation of the fit can never produce nonphysical values.
-  double eta(double voltage_v) const;
+  /// Inline (per-slot hot path); the Horner walk over coeffs_ is the same
+  /// util::polyval evaluation order regardless of the fit degree.
+  double eta(double voltage_v) const noexcept {
+    if (!fitted_) return law_.eta(voltage_v);
+    // Clamp into the fit's validity range; a cubic extrapolates badly.
+    const double v = util::clamp(voltage_v, v_min_, v_max_);
+    return util::clamp(util::polyval(coeffs_, v), 0.02, 0.98);
+  }
 
   /// True if this curve came from a polynomial fit (vs. analytic law).
   bool is_fitted() const noexcept { return fitted_; }

@@ -25,6 +25,7 @@ SuperCapacitor::SuperCapacitor(CapParams params, RegulatorModel regulators,
     throw std::invalid_argument("SuperCapacitor: capacity must be positive");
   if (params_.v_low < 0.0 || params_.v_high <= params_.v_low)
     throw std::invalid_argument("SuperCapacitor: need 0 <= V_L < V_H");
+  cycle_eta_ = cycle_efficiency(capacity_f());
 }
 
 double SuperCapacitor::energy_j() const noexcept {
@@ -70,11 +71,11 @@ void SuperCapacitor::set_energy(double energy_j) noexcept {
 }
 
 double SuperCapacitor::charge_eta() const noexcept {
-  return regulators_.input.eta(voltage_) * cycle_efficiency(capacity_f());
+  return regulators_.input.eta(voltage_) * cycle_eta_;
 }
 
 double SuperCapacitor::discharge_eta() const noexcept {
-  return regulators_.output.eta(voltage_) * cycle_efficiency(capacity_f());
+  return regulators_.output.eta(voltage_) * cycle_eta_;
 }
 
 ChargeResult SuperCapacitor::charge(double offer_j) noexcept {
@@ -139,6 +140,7 @@ void SuperCapacitor::degrade(double capacity_factor,
                              double leakage_scale) noexcept {
   capacity_factor_ = util::clamp(capacity_factor, 0.01, 1.0);
   leakage_scale_ = std::max(1.0, leakage_scale);
+  cycle_eta_ = cycle_efficiency(capacity_f());
 }
 
 void SuperCapacitor::kill() noexcept {

@@ -117,6 +117,11 @@ class SuperCapacitor {
   double voltage_ = 0.0;
   double capacity_factor_ = 1.0;  ///< Aging: effective C / nominal C.
   double leakage_scale_ = 1.0;    ///< Aging: leakage power multiplier.
+  /// cycle_efficiency(capacity_f()), refreshed whenever the effective
+  /// capacity changes (construction and degrade()). The DP evaluates
+  /// charge/discharge efficiencies millions of times per plan and the
+  /// log10 inside cycle_efficiency dominated those calls.
+  double cycle_eta_ = 0.0;
   bool dead_ = false;             ///< Stuck-dead cell.
 };
 

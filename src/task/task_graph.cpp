@@ -49,6 +49,20 @@ TaskGraph::TaskGraph(std::string name, std::vector<Task> tasks,
 
   for (const auto& t : tasks_) nvp_count_ = std::max(nvp_count_, t.nvp + 1);
   if (n == 0) nvp_count_ = 0;
+
+  if (mask_capable()) {
+    pred_masks_.assign(n, 0);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t p : preds_[v]) pred_masks_[v] |= std::uint64_t{1} << p;
+  }
+  deadline_order_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) deadline_order_[v] = v;
+  std::sort(deadline_order_.begin(), deadline_order_.end(),
+            [this](std::size_t a, std::size_t b) {
+              if (tasks_[a].deadline_s != tasks_[b].deadline_s)
+                return tasks_[a].deadline_s < tasks_[b].deadline_s;
+              return a < b;
+            });
 }
 
 std::vector<std::size_t> TaskGraph::tasks_on_nvp(std::size_t nvp) const {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,18 @@ class TaskGraph {
   /// Task ids in a topological order (dependencies first).
   const std::vector<std::size_t>& topo_order() const noexcept { return topo_; }
 
+  /// True when the graph fits the 64-bit set representation PeriodState's
+  /// fast path uses (every benchmark in the paper has n <= 13).
+  bool mask_capable() const noexcept { return tasks_.size() <= 64; }
+
+  /// Bit set of direct predecessors of `id` (only when mask_capable()).
+  std::uint64_t pred_mask(std::size_t id) const { return pred_masks_.at(id); }
+
+  /// Task ids sorted by (deadline_s, id) — the order deadline sweeps fire.
+  const std::vector<std::size_t>& deadline_order() const noexcept {
+    return deadline_order_;
+  }
+
   /// Task ids bound to the given NVP.
   std::vector<std::size_t> tasks_on_nvp(std::size_t nvp) const;
 
@@ -59,6 +72,8 @@ class TaskGraph {
   std::vector<std::vector<std::size_t>> preds_;
   std::vector<std::vector<std::size_t>> succs_;
   std::vector<std::size_t> topo_;
+  std::vector<std::uint64_t> pred_masks_;
+  std::vector<std::size_t> deadline_order_;
   std::size_t nvp_count_ = 0;
 };
 

@@ -5,12 +5,6 @@
 
 namespace solsched::util {
 
-double clamp(double x, double lo, double hi) noexcept {
-  return x < lo ? lo : (x > hi ? hi : x);
-}
-
-double lerp(double a, double b, double t) noexcept { return a + (b - a) * t; }
-
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
   if (n == 0) return {};
   if (n == 1) return {lo};
@@ -20,12 +14,6 @@ std::vector<double> linspace(double lo, double hi, std::size_t n) {
     out[i] = lo + step * static_cast<double>(i);
   out.back() = hi;
   return out;
-}
-
-double polyval(const std::vector<double>& coeffs, double x) noexcept {
-  double acc = 0.0;
-  for (std::size_t i = coeffs.size(); i > 0; --i) acc = acc * x + coeffs[i - 1];
-  return acc;
 }
 
 double interp1(const std::vector<double>& xs, const std::vector<double>& ys,

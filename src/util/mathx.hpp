@@ -6,17 +6,28 @@
 
 namespace solsched::util {
 
-/// Clamps x into [lo, hi]. Requires lo <= hi.
-double clamp(double x, double lo, double hi) noexcept;
+/// Clamps x into [lo, hi]. Requires lo <= hi. Inline: this sits on the
+/// per-slot storage path (tens of millions of calls per pipeline run).
+inline double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
 
 /// Linear interpolation between a and b by t in [0, 1].
-double lerp(double a, double b, double t) noexcept;
+inline double lerp(double a, double b, double t) noexcept {
+  return a + (b - a) * t;
+}
 
 /// n evenly spaced samples over [lo, hi] inclusive (n >= 2), or {lo} if n==1.
 std::vector<double> linspace(double lo, double hi, std::size_t n);
 
 /// Evaluates a polynomial with coefficients c (c[0] + c[1] x + ...; Horner).
-double polyval(const std::vector<double>& coeffs, double x) noexcept;
+/// Inline for the same reason as clamp: regulator eta evaluations call this
+/// once per charge/discharge of every simulated slot.
+inline double polyval(const std::vector<double>& coeffs, double x) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i > 0; --i) acc = acc * x + coeffs[i - 1];
+  return acc;
+}
 
 /// Piecewise-linear interpolation through (xs, ys); xs strictly increasing.
 /// Values outside the range clamp to the boundary ys.

@@ -28,6 +28,37 @@ TEST(Normalizer, ZeroRangeMapsToHalf) {
   EXPECT_DOUBLE_EQ(n.transform({3.0})[0], 0.5);
 }
 
+TEST(Normalizer, DegenerateColumnsRoundTripExactly) {
+  // A constant training column (fit) and explicitly collapsed or inverted
+  // ranges (set_ranges) must agree in both directions: transform pins the
+  // column to 0.5, inverse returns the only representable raw value
+  // mins_[i], and inverse(transform(x)) is bit-exact for in-range x.
+  Normalizer fit_n;
+  fit_n.fit({{3.0, 1.0}, {3.0, 2.0}, {3.0, 4.0}});
+  const Vector y = fit_n.transform({3.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  const Vector back = fit_n.inverse(y);
+  EXPECT_EQ(back[0], 3.0);  // Exact, not merely near.
+  EXPECT_NEAR(back[1], 2.0, 1e-12);
+  // Any normalized value inverts to the constant, so the inverse never
+  // leaves the column's actual range.
+  EXPECT_EQ(fit_n.inverse({0.0, 0.5})[0], 3.0);
+  EXPECT_EQ(fit_n.inverse({1.0, 0.5})[0], 3.0);
+
+  Normalizer set_n;
+  set_n.set_ranges({5.0}, {5.0});
+  EXPECT_DOUBLE_EQ(set_n.transform({5.0})[0], 0.5);
+  EXPECT_DOUBLE_EQ(set_n.transform({99.0})[0], 0.5);
+  EXPECT_EQ(set_n.inverse(set_n.transform({5.0}))[0], 5.0);
+
+  // Inverted ranges (max < min) are degenerate too: without the shared
+  // guard inverse would extrapolate mins + negative·y.
+  Normalizer bad_n;
+  bad_n.set_ranges({2.0}, {1.0});
+  EXPECT_DOUBLE_EQ(bad_n.transform({1.5})[0], 0.5);
+  EXPECT_EQ(bad_n.inverse({0.75})[0], 2.0);
+}
+
 TEST(Normalizer, InverseRoundTrip) {
   Normalizer n;
   n.set_ranges({-1.0, 0.0}, {1.0, 100.0});

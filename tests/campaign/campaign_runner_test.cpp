@@ -76,6 +76,11 @@ TEST_F(CampaignRunner, SharedConfigGridTrainsExactlyOnce) {
     EXPECT_EQ(result.records[i].rows.size(), 2u);  // inter + proposed.
     EXPECT_FALSE(result.records[i].artifact_hit);
     EXPECT_NE(result.records[i].artifact_key, 0u);
+    // Every shard carries the trained controller's predict_batch decision
+    // fingerprint, identical across shards of the shared artifact.
+    EXPECT_NE(result.records[i].controller_fingerprint, 0u);
+    EXPECT_EQ(result.records[i].controller_fingerprint,
+              result.records[0].controller_fingerprint);
   }
 }
 
@@ -102,6 +107,11 @@ TEST_F(CampaignRunner, WarmCacheRunTrainsZeroTimes) {
   // Cache-hit and train-then-reload controllers are the same artifact, so
   // the rows — and hence the aggregates — are bit-identical.
   EXPECT_EQ(aggregate_json(warm.records), aggregate_json(cold.records));
+  // Same artifact → same predict_batch fingerprint, trained or reloaded.
+  ASSERT_FALSE(warm.records.empty());
+  EXPECT_NE(warm.records[0].controller_fingerprint, 0u);
+  EXPECT_EQ(warm.records[0].controller_fingerprint,
+            cold.records[0].controller_fingerprint);
 }
 
 // The ISSUE acceptance test: a >= 64-scenario campaign killed mid-run

@@ -20,6 +20,9 @@ ShardRecord sample_record(std::size_t shard) {
   rec.intensity = 0.5;
   rec.artifact_key = 0xdeadbeefULL;
   rec.artifact_hit = shard % 2 == 0;
+  // Full-width value: the hex-string encoding must round-trip bits a JSON
+  // number (via double) would lose.
+  rec.controller_fingerprint = 0xFEDCBA9876543210ULL + shard;
   ShardRow row;
   row.algo = "Proposed";
   row.dmr = 0.0625 + 1e-17 * static_cast<double>(shard);  // Exercise %.17g.
@@ -56,6 +59,7 @@ TEST(Journal, AppendLoadRoundTripIsExact) {
   EXPECT_EQ(a.key, expect.key);
   EXPECT_EQ(a.artifact_key, expect.artifact_key);
   EXPECT_TRUE(a.artifact_hit);
+  EXPECT_EQ(a.controller_fingerprint, expect.controller_fingerprint);
   ASSERT_EQ(a.rows.size(), 1u);
   // Bit-exact double round trip (%.17g out, strtod in).
   EXPECT_EQ(a.rows[0].dmr, expect.rows[0].dmr);

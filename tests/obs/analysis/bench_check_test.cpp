@@ -78,6 +78,31 @@ TEST(BenchCheck, OneSidedRunsAreNotesNotFailures) {
   EXPECT_EQ(r.only_new[0], "fresh");
 }
 
+// train_ms is gated whenever both files report it — a slower training
+// pipeline can't hide behind a faster comparison phase keeping total_ms
+// flat. Runs reporting it on only one side skip the metric silently.
+TEST(BenchCheck, TrainMsGatedWhenPresentOnBothSides) {
+  const std::string old_doc =
+      "{\"runs\": {\"fast_1t\": {\"total_ms\": 100, \"train_ms\": 80}, "
+      "\"campaign\": {\"total_ms\": 50}}}";
+  const std::string new_doc =
+      "{\"runs\": {\"fast_1t\": {\"total_ms\": 100, \"train_ms\": 160}, "
+      "\"campaign\": {\"total_ms\": 50, \"train_ms\": 10}}}";
+  const BenchCheckResult r = check_bench(old_doc, new_doc, 0.15);
+  EXPECT_FALSE(r.ok);
+  // fast_1t total + train, campaign total only (its train_ms is one-sided).
+  ASSERT_EQ(r.deltas.size(), 3u);
+  std::size_t regressed = 0;
+  for (const BenchDelta& d : r.deltas)
+    if (d.regressed) {
+      ++regressed;
+      EXPECT_EQ(d.run, "fast_1t");
+      EXPECT_EQ(d.metric, "train_ms");
+      EXPECT_DOUBLE_EQ(d.ratio, 2.0);
+    }
+  EXPECT_EQ(regressed, 1u);
+}
+
 TEST(BenchCheck, RejectsMalformedDocuments) {
   EXPECT_THROW(check_bench("{}", bench_json(1, 1), 0.15), std::runtime_error);
   EXPECT_THROW(check_bench("not json", bench_json(1, 1), 0.15),
