@@ -253,6 +253,48 @@ CampaignBench campaign_sweep_bench(std::size_t threads) {
   return result;
 }
 
+/// Telemetry overhead probe: the same warm 16-shard campaign with the
+/// telemetry layer disabled (SOLSCHED_OBS unset: bus never constructed)
+/// and enabled (event stream + status snapshots + watchdog thread). Both
+/// land in the "runs" object as campaign_telem_off / campaign_telem_on so
+/// check-bench gates them against the committed baseline — the enabled run
+/// must stay within noise of the disabled one.
+struct TelemBench {
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+};
+
+TelemBench telemetry_overhead_bench(std::size_t threads,
+                                    const std::string& cache_dir) {
+  util::ThreadPool::set_global_threads(threads);
+  const std::string root = "pipeline_bench.telem";
+  std::filesystem::remove_all(root);
+
+  campaign::CampaignConfig config;
+  config.spec = campaign::CampaignSpec::parse(
+      "workloads=wam;seeds=1..8;intensities=0,1;fault=blackout=2;"
+      "schedulers=inter,proposed;periods=24;slots=20;days=1;train_days=1;"
+      "n_caps=2;dp_buckets=8;pretrain_epochs=2;finetune_epochs=20");
+  config.cache_dir = cache_dir;  // Warm: measures the shard loop, not training.
+
+  TelemBench result;
+  const auto time_one = [&](bool telemetry, double& best_ms) {
+    obs::set_enabled(telemetry);
+    for (int rep = 0; rep < kReps; ++rep) {
+      config.dir = root + (telemetry ? "/on" : "/off");
+      std::filesystem::remove_all(config.dir);  // Fresh: no resume skips.
+      const auto t0 = Clock::now();
+      campaign::run_campaign(config);
+      const double ms = ms_between(t0, Clock::now());
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    obs::set_enabled(false);
+  };
+  time_one(false, result.off_ms);
+  time_one(true, result.on_ms);
+  return result;
+}
+
 void print_json_entry(std::FILE* f, const std::string& name,
                       const RunResult& r, std::size_t threads, bool last) {
   std::fprintf(f,
@@ -320,6 +362,33 @@ int main() {
     std::printf("%s%s", i ? " " : "", sites[i].c_str());
   std::printf(")\n");
 
+  // Fault-hook overhead: the inactive-plan run must sit within noise of the
+  // no-injector run (the hooks are pointer tests on the hot path).
+  const FaultBench fb = fault_overhead_bench();
+  std::printf("fault hooks: none %.1f ms, inactive plan %.1f ms (%+.1f%%), "
+              "active plan %.1f ms (%zu pf slots)\n",
+              fb.none_ms, fb.inactive_ms,
+              fb.none_ms > 0.0
+                  ? 100.0 * (fb.inactive_ms - fb.none_ms) / fb.none_ms
+                  : 0.0,
+              fb.active_ms, fb.pf_slots);
+
+  // Campaign sweep: cold (train once) vs warm (pure cache) wall-clock.
+  const CampaignBench cb = campaign_sweep_bench(fast_threads.back());
+  std::printf("campaign sweep: %zu shards cold %.1f ms (%zu trainings), "
+              "warm %.1f ms (%zu trainings, %zu artifact hits)\n",
+              cb.shards, cb.cold_ms, cb.cold_trainings, cb.warm_ms,
+              cb.warm_trainings, cb.warm_artifact_hits);
+
+  // Telemetry overhead: the warm sweep again, with and without the live
+  // telemetry layer (reuses the campaign bench's artifact cache).
+  const TelemBench tb = telemetry_overhead_bench(
+      fast_threads.back(), "pipeline_bench.campaign/cache");
+  std::printf("campaign telemetry: off %.1f ms, on %.1f ms (%+.1f%%)\n",
+              tb.off_ms, tb.on_ms,
+              tb.off_ms > 0.0 ? 100.0 * (tb.on_ms - tb.off_ms) / tb.off_ms
+                              : 0.0);
+
   std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
@@ -338,7 +407,17 @@ int main() {
   print_json_entry(f, "baseline_1t", baseline, 1, /*last=*/false);
   for (std::size_t i = 0; i < fast.size(); ++i)
     print_json_entry(f, "fast_" + std::to_string(fast_threads[i]) + "t",
-                     fast[i], fast_threads[i], /*last=*/i + 1 == fast.size());
+                     fast[i], fast_threads[i], /*last=*/false);
+  std::fprintf(f,
+               "    \"campaign_telem_off\": {\n"
+               "      \"threads\": %zu,\n"
+               "      \"total_ms\": %.2f\n"
+               "    },\n"
+               "    \"campaign_telem_on\": {\n"
+               "      \"threads\": %zu,\n"
+               "      \"total_ms\": %.2f\n"
+               "    }\n",
+               fast_threads.back(), tb.off_ms, fast_threads.back(), tb.on_ms);
   std::fprintf(f, "  },\n");
 
   // Metrics from the instrumented pass (obs enabled, record_events on); the
@@ -382,16 +461,6 @@ int main() {
   }
   std::fprintf(f, "\n    }\n  },\n");
 
-  // Fault-hook overhead: the inactive-plan run must sit within noise of the
-  // no-injector run (the hooks are pointer tests on the hot path).
-  const FaultBench fb = fault_overhead_bench();
-  std::printf("fault hooks: none %.1f ms, inactive plan %.1f ms (%+.1f%%), "
-              "active plan %.1f ms (%zu pf slots)\n",
-              fb.none_ms, fb.inactive_ms,
-              fb.none_ms > 0.0
-                  ? 100.0 * (fb.inactive_ms - fb.none_ms) / fb.none_ms
-                  : 0.0,
-              fb.active_ms, fb.pf_slots);
   std::fprintf(f,
                "  \"fault\": {\n"
                "    \"none_ms\": %.3f,\n"
@@ -401,12 +470,6 @@ int main() {
                "  },\n",
                fb.none_ms, fb.inactive_ms, fb.active_ms, fb.pf_slots);
 
-  // Campaign sweep: cold (train once) vs warm (pure cache) wall-clock.
-  const CampaignBench cb = campaign_sweep_bench(fast_threads.back());
-  std::printf("campaign sweep: %zu shards cold %.1f ms (%zu trainings), "
-              "warm %.1f ms (%zu trainings, %zu artifact hits)\n",
-              cb.shards, cb.cold_ms, cb.cold_trainings, cb.warm_ms,
-              cb.warm_trainings, cb.warm_artifact_hits);
   std::fprintf(f,
                "  \"campaign\": {\n"
                "    \"shards\": %zu,\n"

@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 gate: the full test suite on a normal build, the trace-analytics
-# phase (golden-ledger suite + bench regression gate), a SOLSCHED_SIMD=OFF
-# scalar-fallback build with a cross-build controller-decision check, plus
-# the concurrency and observability suites rerun under ThreadSanitizer, the
-# fault suite rerun under UndefinedBehaviorSanitizer, and the simd parity
-# suite rerun under AddressSanitizer+UBSan.
+# phase (golden-ledger suite + bench regression gate over the pipeline and
+# kernel baselines), the campaign kill/resume smoke, the live-telemetry
+# drill (stop under SOLSCHED_OBS, torn-tail heal, resume, watch exit
+# codes), a SOLSCHED_SIMD=OFF scalar-fallback build with a cross-build
+# controller-decision check, plus the concurrency/observability/telemetry
+# suites rerun under ThreadSanitizer, the fault suite rerun under
+# UndefinedBehaviorSanitizer, and the simd parity suite rerun under
+# AddressSanitizer+UBSan.
 #
 #   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir] [scalar-build-dir] [asan-build-dir]
 #
@@ -40,7 +43,8 @@ echo "== tier 1: trace analytics ($BUILD_DIR) =="
 #   tools/solsched-inspect check-bench BENCH_pipeline.json <fresh.json>
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L analysis
 "$BUILD_DIR/tools/solsched-inspect" check-bench \
-  BENCH_pipeline.json BENCH_pipeline.json --max-regress 15%
+  BENCH_pipeline.json BENCH_pipeline.json \
+  BENCH_ann.json BENCH_ann.json --max-regress 15%
 
 echo "== tier 1: campaign kill/resume smoke ($BUILD_DIR) =="
 # The campaign suite, then the CLI-level crash-safety drill: one
@@ -68,6 +72,33 @@ cmp "$CAMP_TMP/full/aggregate.json" "$CAMP_TMP/resumed/aggregate.json"
   "$CAMP_TMP/resumed/journal.jsonl" > /dev/null
 echo "campaign kill/resume aggregates bit-identical"
 
+echo "== tier 1: live telemetry ($BUILD_DIR) =="
+# The telemetry suite, then the CLI-level drill from DESIGN.md §15: a
+# campaign stopped mid-flight under SOLSCHED_OBS leaves a truthful partial
+# status.json (state "stopped", exit 3 from watch); a crash-torn
+# telemetry.jsonl tail heals on resume; the finished run watches clean
+# (exit 0) and renders through solsched-inspect; and the aggregate stays
+# byte-identical to the telemetry-free run above.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L telemetry
+TELEM_TMP="$CAMP_TMP/telem"
+rm -rf "$TELEM_TMP"
+rc=0
+SOLSCHED_OBS=1 "$BUILD_DIR/tools/solsched-campaign" run --spec "$CAMP_SPEC" \
+  --dir "$TELEM_TMP" --cache-dir "$CAMP_TMP/cache" --stop-after 3 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 from telemetry stop, got $rc"; exit 1; }
+grep -q '"state": "stopped"' "$TELEM_TMP/status.json" || {
+  echo "status.json does not record the stopped state"; exit 1; }
+rc=0
+"$BUILD_DIR/tools/solsched-campaign" watch "$TELEM_TMP" --plain --once || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 from watch on stopped run, got $rc"; exit 1; }
+printf '{"seq": 9999, "type": "shard.don' >> "$TELEM_TMP/telemetry.jsonl"
+SOLSCHED_OBS=1 "$BUILD_DIR/tools/solsched-campaign" run --spec "$CAMP_SPEC" \
+  --dir "$TELEM_TMP" --cache-dir "$CAMP_TMP/cache"
+"$BUILD_DIR/tools/solsched-campaign" watch "$TELEM_TMP" --plain --once
+"$BUILD_DIR/tools/solsched-inspect" telemetry "$TELEM_TMP" > /dev/null
+cmp "$CAMP_TMP/full/aggregate.json" "$TELEM_TMP/aggregate.json"
+echo "telemetry stop/heal/resume drill passed, aggregate unchanged"
+
 echo "== tier 1: scalar-fallback build + cross-build decision check ($SCALAR_DIR) =="
 # SOLSCHED_SIMD=OFF build: the simd suite must pass with the dispatch
 # resolving to the scalar reference bodies, and a serial wam+ecg campaign
@@ -90,10 +121,11 @@ SOLSCHED_THREADS=1 "$SCALAR_DIR/tools/solsched-campaign" run \
 cmp "$XBUILD_TMP/simd/journal.jsonl" "$XBUILD_TMP/scalar/journal.jsonl"
 echo "scalar and SIMD builds journal bit-identical wam+ecg decisions"
 
-echo "== tier 1: TSan rerun of concurrency + obs ($TSAN_DIR) =="
+echo "== tier 1: TSan rerun of concurrency + obs + telemetry ($TSAN_DIR) =="
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS"
-ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L "concurrency|obs"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+  -L "concurrency|obs|telemetry"
 
 echo "== tier 1: UBSan rerun of fault suite ($UBSAN_DIR) =="
 cmake -B "$UBSAN_DIR" -S . -DSOLSCHED_SANITIZE=undefined

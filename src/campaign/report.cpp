@@ -5,6 +5,7 @@
 #include <map>
 
 #include "obs/analysis/json_mini.hpp"
+#include "util/stats.hpp"
 
 namespace solsched::campaign {
 namespace {
@@ -21,11 +22,12 @@ std::string render_fixed(double value) {
   return buf;
 }
 
-/// Nearest-rank quantile over a sorted sample, chosen with integer
-/// arithmetic only — no floating-point index math to go platform-shaped.
+/// Nearest-rank quantile over a sorted sample; the index rule lives in
+/// util::nearest_rank_index (integer arithmetic only — no floating-point
+/// index math to go platform-shaped) and is shared with core::metrics_report.
 double quantile(const std::vector<double>& sorted, std::size_t percent) {
   if (sorted.empty()) return 0.0;
-  return sorted[(sorted.size() - 1) * percent / 100];
+  return sorted[util::nearest_rank_index(sorted.size(), percent)];
 }
 
 MetricSummary summarize(std::vector<double> values) {

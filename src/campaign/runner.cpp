@@ -16,6 +16,7 @@
 #include "obs/analysis/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -173,6 +174,38 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   nvp::NodeConfig node;
   node.grid = spec.grid(1);
 
+  // ---- Live telemetry (DESIGN.md §15). -----------------------------------
+  // The bus exists only when observability is on, so with SOLSCHED_OBS
+  // unset every publish site below is a single null-pointer branch and the
+  // journal/aggregate bytes cannot depend on the telemetry layer.
+  std::unique_ptr<obs::TelemetryBus> bus;
+  std::string node_digest_hex;
+  if (obs::enabled()) {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(spec_digest));
+    obs::TelemetryBus::Options opt;
+    opt.dir = config.dir;
+    opt.spec_digest = digest;
+    opt.heartbeat_ms = config.telemetry_heartbeat_ms;
+    opt.stall_ms = config.telemetry_stall_ms;
+    opt.threads = util::ThreadPool::global().size();
+    bus = std::make_unique<obs::TelemetryBus>(std::move(opt));
+    std::map<std::string, std::size_t> workload_total;
+    std::map<std::string, std::size_t> workload_done;
+    for (const Scenario& s : scenarios) {
+      ++workload_total[s.workload];
+      workload_done.emplace(s.workload, 0);
+      if (done.find(s.shard) != done.end()) ++workload_done[s.workload];
+    }
+    bus->campaign_start(scenarios.size(), workload_total, workload_done);
+    char nd[32];
+    std::snprintf(nd, sizeof(nd), "%016llx",
+                  static_cast<unsigned long long>(
+                      obs::analysis::node_config_digest(node)));
+    node_digest_hex = nd;
+  }
+
   // ---- Offline artifacts: one per workload, content-addressed. -----------
   // Trained serially (train_pipeline parallelizes internally; an outer
   // parallel loop would only serialize it again) and normalized through the
@@ -194,8 +227,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       if (cache.load(artifact.key, controller.get())) {
         artifact.disk_hit = true;
         OBS_COUNTER_ADD("campaign.artifact_cache.disk_hits", 1);
+        if (bus) bus->train_cache_hit(workload);
       } else {
         OBS_COUNTER_ADD("campaign.artifact_cache.disk_misses", 1);
+        if (bus) bus->train_start(workload);
         const task::TaskGraph graph = CampaignSpec::workload_graph(workload);
         const solar::SolarTrace training =
             spec.generator(spec.train_seed)
@@ -242,6 +277,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     if (stop.load(std::memory_order_relaxed)) return;
     OBS_SPAN("campaign.shard");
     const Scenario& scenario = remaining[i];
+    if (bus)
+      bus->shard_claimed(scenario.shard, scenario.workload, node_digest_hex);
     const task::TaskGraph graph =
         CampaignSpec::workload_graph(scenario.workload);
     const solar::SolarTrace trace =
@@ -265,8 +302,16 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       record.controller_fingerprint = artifact->second.fingerprint;
     }
 
-    const std::vector<core::ComparisonRow> rows =
-        core::run_comparison(graph, trace, node, trained, cmp);
+    if (bus) bus->sim_start(scenario.shard);
+    if (config.shard_hook) config.shard_hook(scenario.shard);
+
+    std::vector<core::ComparisonRow> rows;
+    try {
+      rows = core::run_comparison(graph, trace, node, trained, cmp);
+    } catch (const std::exception& e) {
+      if (bus) bus->shard_failed(scenario.shard, e.what());
+      throw;
+    }
 
     record.shard = scenario.shard;
     record.key = scenario.key();
@@ -280,6 +325,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     OBS_COUNTER_ADD("campaign.journal.appends", 1);
     OBS_COUNTER_ADD("campaign.shards.executed", 1);
     if (record.artifact_hit) OBS_COUNTER_ADD("campaign.artifact_cache.hits", 1);
+    if (bus) bus->shard_done(scenario.shard, record.artifact_hit);
     fresh[i] = std::move(record);
     executed[i] = 1;
     const std::size_t n = completed.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -300,6 +346,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
               return a.shard < b.shard;
             });
   result.finished = result.records.size() == result.total_shards;
+  if (bus) bus->campaign_finish(result.finished);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,6 +30,15 @@ struct CampaignConfig {
   /// (0 = run everything). The deterministic stand-in for a mid-flight kill:
   /// journaled work is exactly a prefix-by-count of the remaining shards.
   std::size_t stop_after = 0;
+  /// Telemetry cadence (DESIGN.md §15). Only consulted when observability
+  /// is enabled — with SOLSCHED_OBS unset no bus is constructed and every
+  /// publish site is a single null-pointer branch.
+  std::uint64_t telemetry_heartbeat_ms = 1000;  ///< Heartbeat + status.json.
+  std::uint64_t telemetry_stall_ms = 30000;     ///< Straggler flag window.
+  /// Test/drill hook invoked inside the worker after sim.start is published
+  /// (null = none). A hook that sleeps past telemetry_stall_ms is the
+  /// watchdog drill: the shard goes quiet and must get flagged.
+  std::function<void(std::size_t shard)> shard_hook;
 };
 
 struct CampaignResult {

@@ -6,6 +6,7 @@
 
 #include "obs/analysis/attribution.hpp"
 #include "util/csv.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace solsched::core {
@@ -78,6 +79,29 @@ std::string metrics_report(const obs::MetricsSnapshot& snapshot) {
     out << h.name << ": n=" << h.count << " sum=" << util::fmt(h.sum, 4);
     if (h.count > 0)
       out << " mean=" << util::fmt(h.sum / static_cast<double>(h.count), 4);
+    // Nearest-rank quantiles from the bucket counts (same index rule as the
+    // campaign aggregates): the quantile resolves to the upper bound of the
+    // bucket holding that rank — "<=bound", or ">bound" for the overflow
+    // bucket — so latency histograms read without the inspect CLI.
+    if (h.count > 0) {
+      for (const std::size_t percent : {std::size_t{50}, std::size_t{90},
+                                        std::size_t{99}}) {
+        const std::uint64_t rank = util::nearest_rank_index(
+            static_cast<std::size_t>(h.count), percent);
+        std::uint64_t cumulative = 0;
+        out << " p" << percent;
+        for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+          cumulative += h.bucket_counts[b];
+          if (cumulative > rank) {
+            if (b < h.upper_bounds.size())
+              out << "<=" << util::fmt(h.upper_bounds[b], 4);
+            else
+              out << ">" << util::fmt(h.upper_bounds.back(), 4);
+            break;
+          }
+        }
+      }
+    }
     out << " buckets[";
     for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
       if (b) out << " ";

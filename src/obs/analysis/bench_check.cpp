@@ -1,6 +1,7 @@
 #include "obs/analysis/bench_check.hpp"
 
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 
 #include "obs/analysis/json_mini.hpp"
@@ -14,6 +15,96 @@ const JsonValue& runs_of(const JsonValue& doc, const char* which) {
     throw std::runtime_error(std::string(which) +
                              " bench file has no \"runs\" object");
   return *runs;
+}
+
+/// Key of one kernel entry: "gemv[64x128]". (kernel, rows, cols) is the
+/// identity BENCH_ann.json sweeps over.
+std::string kernel_key(const JsonValue& entry) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[%llux%llu]",
+                static_cast<unsigned long long>(entry.number_or("rows")),
+                static_cast<unsigned long long>(entry.number_or("cols")));
+  return entry.string_or("kernel") + buf;
+}
+
+std::map<std::string, const JsonValue*> kernels_of(const JsonValue& doc,
+                                                   const char* which) {
+  const JsonValue* kernels = doc.find("kernels");
+  if (kernels == nullptr || !kernels->is_array())
+    throw std::runtime_error(std::string(which) +
+                             " bench file has no \"kernels\" array");
+  std::map<std::string, const JsonValue*> out;
+  for (const JsonValue& entry : kernels->array)
+    out[kernel_key(entry)] = &entry;
+  return out;
+}
+
+void finish(BenchCheckResult& r, std::size_t regressions) {
+  r.ok = regressions == 0 && !r.deltas.empty();
+  char buf[128];
+  if (r.deltas.empty()) {
+    r.message = "check-bench FAILED: no runs in common";
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "check-bench %s: %zu metrics compared, %zu regressed "
+                  "beyond %.0f%%",
+                  r.ok ? "ok" : "FAILED", r.deltas.size(), regressions,
+                  r.max_regress * 100.0);
+    r.message = buf;
+  }
+}
+
+/// Kernel-schema gate: Gflop/s throughput must not drop beyond the bound.
+BenchCheckResult check_bench_kernels(const JsonValue& old_doc,
+                                     const JsonValue& new_doc,
+                                     double max_regress) {
+  const auto old_kernels = kernels_of(old_doc, "baseline");
+  const auto new_kernels = kernels_of(new_doc, "candidate");
+
+  BenchCheckResult r;
+  r.max_regress = max_regress;
+  std::size_t regressions = 0;
+  for (const auto& [key, old_entry] : old_kernels) {
+    const auto it = new_kernels.find(key);
+    if (it == new_kernels.end()) {
+      r.only_old.push_back(key);
+      continue;
+    }
+    const JsonValue& new_entry = *it->second;
+    BenchDelta d;
+    d.run = key;
+    // Throughput is the headline number; entries with no flop count
+    // (sigmoid reports mflops 0) fall back to per-call latency. Either
+    // way ratio > 1 means the candidate is slower.
+    const double old_mflops = old_entry->number_or("mflops");
+    const double new_mflops = new_entry.number_or("mflops");
+    if (old_mflops > 0.0) {
+      if (new_mflops <= 0.0)
+        throw std::runtime_error("candidate kernel \"" + key +
+                                 "\" lost its mflops value");
+      d.metric = "mflops";
+      d.old_ms = old_mflops;
+      d.new_ms = new_mflops;
+      d.ratio = old_mflops / new_mflops;
+    } else {
+      d.metric = "ns_per_call";
+      d.old_ms = old_entry->number_or("ns_per_call");
+      d.new_ms = new_entry.number_or("ns_per_call");
+      if (d.old_ms <= 0.0)
+        throw std::runtime_error("baseline kernel \"" + key +
+                                 "\" has neither mflops nor ns_per_call");
+      d.ratio = d.new_ms / d.old_ms;
+    }
+    d.regressed = d.ratio > 1.0 + max_regress;
+    if (d.regressed) ++regressions;
+    r.deltas.push_back(std::move(d));
+  }
+  for (const auto& [key, entry] : new_kernels) {
+    (void)entry;
+    if (old_kernels.find(key) == old_kernels.end()) r.only_new.push_back(key);
+  }
+  finish(r, regressions);
+  return r;
 }
 
 }  // namespace
@@ -42,6 +133,11 @@ BenchCheckResult check_bench(const std::string& old_json_text,
                              double max_regress) {
   const JsonValue old_doc = parse_json(old_json_text);
   const JsonValue new_doc = parse_json(new_json_text);
+  // Schema sniff on the baseline: a "kernels" array is BENCH_ann.json,
+  // a "runs" object is BENCH_pipeline.json.
+  const JsonValue* old_kernels = old_doc.find("kernels");
+  if (old_kernels != nullptr && old_kernels->is_array())
+    return check_bench_kernels(old_doc, new_doc, max_regress);
   const JsonValue& old_runs = runs_of(old_doc, "baseline");
   const JsonValue& new_runs = runs_of(new_doc, "candidate");
 
@@ -83,18 +179,7 @@ BenchCheckResult check_bench(const std::string& old_json_text,
     if (old_runs.find(name) == nullptr) r.only_new.push_back(name);
   }
 
-  r.ok = regressions == 0 && !r.deltas.empty();
-  char buf[128];
-  if (r.deltas.empty()) {
-    r.message = "check-bench FAILED: no runs in common";
-  } else {
-    std::snprintf(buf, sizeof(buf),
-                  "check-bench %s: %zu metrics compared, %zu regressed "
-                  "beyond %.0f%%",
-                  r.ok ? "ok" : "FAILED", r.deltas.size(), regressions,
-                  max_regress * 100.0);
-    r.message = buf;
-  }
+  finish(r, regressions);
   return r;
 }
 

@@ -13,6 +13,8 @@
 #include "obs/analysis/bench_check.hpp"
 #include "obs/analysis/json_mini.hpp"
 #include "obs/analysis/ledger.hpp"
+#include "obs/analysis/profile.hpp"
+#include "obs/analysis/telemetry_view.hpp"
 #include "obs/sim_trace.hpp"
 #include "util/table.hpp"
 
@@ -29,8 +31,17 @@ constexpr const char* kUsage =
     " conservation audit\n"
     "  dmr <trace>                      deadline-miss attribution\n"
     "  diff <runA.json> <runB.json>     compare two run manifests\n"
-    "  check-bench <old.json> <new.json> [--max-regress 15%]\n"
-    "                                   fail on total_ms regression\n"
+    "  check-bench <old.json> <new.json> [<old2> <new2> ...]\n"
+    "              [--max-regress 15%]  fail on bench regression; pipeline\n"
+    "                                   (\"runs\": total_ms/train_ms) and\n"
+    "                                   kernel (\"kernels\": Gflop/s)\n"
+    "                                   schemas, sniffed per pair\n"
+    "  profile <trace.json> [--folded <out>]\n"
+    "                                   fold a Chrome trace into per-span\n"
+    "                                   self/total times; --folded writes\n"
+    "                                   collapsed stacks for speedscope\n"
+    "  telemetry <campaign-dir>         one-shot campaign status render +\n"
+    "                                   telemetry event census\n"
     "\n"
     "traces are JSONL (--trace-out/--events-out output); a path ending in\n"
     ".csv is read as long-format CSV. exit codes: 0 ok, 1 check failed,\n"
@@ -211,25 +222,67 @@ int cmd_diff(const std::string& path_a, const std::string& path_b) {
   return 1;
 }
 
-int cmd_check_bench(const std::string& old_path, const std::string& new_path,
-                    const std::string& bound_text) {
-  const BenchCheckResult r = check_bench(
-      read_file(old_path), read_file(new_path),
-      parse_regress_fraction(bound_text));
+int cmd_check_bench(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const std::string& bound_text) {
+  const double bound = parse_regress_fraction(bound_text);
+  bool all_ok = true;
+  for (const auto& [old_path, new_path] : pairs) {
+    const BenchCheckResult r =
+        check_bench(read_file(old_path), read_file(new_path), bound);
+    if (pairs.size() > 1)
+      std::printf("== %s vs %s ==\n", old_path.c_str(), new_path.c_str());
+    util::TextTable table;
+    table.set_header({"run", "metric", "old", "new", "ratio", "verdict"});
+    for (const BenchDelta& d : r.deltas)
+      table.add_row({d.run, d.metric, util::fmt(d.old_ms, 2),
+                     util::fmt(d.new_ms, 2), util::fmt(d.ratio, 3),
+                     d.regressed ? "REGRESSED" : "ok"});
+    std::printf("%s", table.str().c_str());
+    for (const std::string& name : r.only_old)
+      std::printf("note: run \"%s\" only in baseline\n", name.c_str());
+    for (const std::string& name : r.only_new)
+      std::printf("note: run \"%s\" only in candidate\n", name.c_str());
+    std::printf("\n%s\n", r.message.c_str());
+    all_ok = all_ok && r.ok;
+  }
+  if (pairs.size() > 1)
+    std::printf("check-bench overall: %s (%zu file pairs)\n",
+                all_ok ? "ok" : "FAILED", pairs.size());
+  return all_ok ? 0 : 1;
+}
 
+int cmd_profile(const std::string& trace_path, const std::string& folded_out) {
+  const SpanProfile profile = profile_trace(read_file(trace_path));
+  std::printf("%s", profile_table(profile).c_str());
+  if (!folded_out.empty()) {
+    std::ofstream out(folded_out, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + folded_out);
+    out << folded_stacks(profile);
+    if (!out.flush())
+      throw std::runtime_error("cannot write " + folded_out);
+    std::printf("folded stacks (%zu paths) -> %s\n", profile.folded.size(),
+                folded_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_telemetry(const std::string& dir) {
+  const CampaignStatus status = parse_status(read_file(dir + "/status.json"));
+  std::printf("%s", render_status(status, /*plain=*/true).c_str());
+
+  const TelemetryLog log = load_telemetry(read_file(dir + "/telemetry.jsonl"));
   util::TextTable table;
-  table.set_header({"run", "metric", "old_ms", "new_ms", "ratio", "verdict"});
-  for (const BenchDelta& d : r.deltas)
-    table.add_row({d.run, d.metric, util::fmt(d.old_ms, 2),
-                   util::fmt(d.new_ms, 2), util::fmt(d.ratio, 3),
-                   d.regressed ? "REGRESSED" : "ok"});
-  std::printf("%s", table.str().c_str());
-  for (const std::string& name : r.only_old)
-    std::printf("note: run \"%s\" only in baseline\n", name.c_str());
-  for (const std::string& name : r.only_new)
-    std::printf("note: run \"%s\" only in candidate\n", name.c_str());
-  std::printf("\n%s\n", r.message.c_str());
-  return r.ok ? 0 : 1;
+  table.set_header({"event", "count"});
+  for (const auto& [type, count] : log.census())
+    table.add_row({type, std::to_string(count)});
+  std::printf("\n%s", table.str().c_str());
+  std::printf("%zu events, spec %s", log.lines.size(),
+              log.spec_digest.c_str());
+  if (log.dropped_partial > 0)
+    std::printf(", %zu crash-torn tail line(s) dropped", log.dropped_partial);
+  std::printf("\n");
+  return 0;
 }
 
 }  // namespace
@@ -261,15 +314,40 @@ int run_inspect(int argc, const char* const* argv) {
 
     if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
 
-    if (cmd == "check-bench" && (args.size() == 3 || args.size() == 5)) {
+    if (cmd == "check-bench" && args.size() >= 3) {
       std::string bound = "15%";
-      if (args.size() == 5) {
-        if (args[3] != "--max-regress") throw std::runtime_error(
-            "unknown flag: " + args[3]);
-        bound = args[4];
+      std::vector<std::string> files;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--max-regress") {
+          if (i + 1 >= args.size())
+            throw std::runtime_error("--max-regress needs a value");
+          bound = args[++i];
+        } else if (!args[i].empty() && args[i][0] == '-') {
+          throw std::runtime_error("unknown flag: " + args[i]);
+        } else {
+          files.push_back(args[i]);
+        }
       }
-      return cmd_check_bench(args[1], args[2], bound);
+      if (files.empty() || files.size() % 2 != 0)
+        throw std::runtime_error(
+            "check-bench needs baseline/candidate file pairs");
+      std::vector<std::pair<std::string, std::string>> pairs;
+      for (std::size_t i = 0; i < files.size(); i += 2)
+        pairs.emplace_back(files[i], files[i + 1]);
+      return cmd_check_bench(pairs, bound);
     }
+
+    if (cmd == "profile" && (args.size() == 2 || args.size() == 4)) {
+      std::string folded_out;
+      if (args.size() == 4) {
+        if (args[2] != "--folded")
+          throw std::runtime_error("unknown flag: " + args[2]);
+        folded_out = args[3];
+      }
+      return cmd_profile(args[1], folded_out);
+    }
+
+    if (cmd == "telemetry" && args.size() == 2) return cmd_telemetry(args[1]);
 
     std::fprintf(stderr, "solsched-inspect: bad command line\n\n%s", kUsage);
     return 2;

@@ -1,0 +1,77 @@
+// Span-aggregation profiler (DESIGN.md §15).
+//
+// The Chrome trace sink records every completed OBS_SPAN as a flat
+// ("ph":"X") event — name, thread, start, duration. That answers "what ran"
+// but not "where did the wall-clock go": a parent span's duration includes
+// all of its children, so summing durations over-counts nested work.
+//
+// profile_trace() reconstructs the span nesting per thread (complete events
+// from RAII scopes nest perfectly: a child's [ts, ts+dur) interval lies
+// inside its parent's) and folds it into:
+//
+//  * per-name self/total aggregates — self time is duration minus enclosed
+//    children, so the self column sums to measured wall-clock instead of
+//    multiple times over;
+//  * folded stacks ("campaign.run;campaign.shard;nvp.simulate 1234") in the
+//    collapsed format speedscope, FlameGraph and inferno all ingest, one
+//    line per unique stack path weighted by self-microseconds.
+//
+// `solsched-inspect profile <trace.json>` is the CLI face of this module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace solsched::obs::analysis {
+
+/// Per-name aggregate over the whole trace.
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_us = 0;  ///< Sum of durations (children included).
+  std::uint64_t self_us = 0;   ///< Sum of durations minus enclosed children.
+};
+
+/// A reconstructed profile of one Chrome trace.
+struct SpanProfile {
+  /// Aggregates sorted by descending self_us (ties: name ascending).
+  std::vector<SpanAggregate> spans;
+  /// Folded stacks: "root;child;leaf" -> self microseconds, summed over
+  /// every occurrence of that path on any thread.
+  std::map<std::string, std::uint64_t> folded;
+  std::size_t events = 0;   ///< Complete ("X") events consumed.
+  std::size_t threads = 0;  ///< Distinct tids seen.
+  /// Global trace extent: max(ts+dur) - min(ts) over all events.
+  std::uint64_t wall_us = 0;
+  /// Root-span time summed over threads: for each tid, the self+children
+  /// time of its top-level spans. This is what the profile *accounts for*.
+  std::uint64_t accounted_us = 0;
+  /// Sum over threads of each thread's own extent — the denominator of
+  /// coverage(): accounted thread-time over observed thread-time.
+  std::uint64_t thread_extent_us = 0;
+
+  /// Fraction of observed thread-time inside some span, in [0, 1].
+  /// The ≥0.95 acceptance gate reads this.
+  double coverage() const noexcept {
+    return thread_extent_us == 0
+               ? 1.0
+               : static_cast<double>(accounted_us) /
+                     static_cast<double>(thread_extent_us);
+  }
+};
+
+/// Folds a Chrome trace document ({"traceEvents":[...]}) into a profile.
+/// Events other than "ph":"X" are ignored. Throws std::runtime_error on
+/// malformed JSON or a missing traceEvents array.
+SpanProfile profile_trace(const std::string& trace_json_text);
+
+/// Human-readable table: name, calls, total ms, self ms, self %.
+std::string profile_table(const SpanProfile& profile);
+
+/// Collapsed/folded stack lines ("a;b;c 123\n"), sorted lexicographically —
+/// pipe into speedscope or flamegraph.pl.
+std::string folded_stacks(const SpanProfile& profile);
+
+}  // namespace solsched::obs::analysis

@@ -1,9 +1,20 @@
 // Descriptive statistics over sample vectors (metrics aggregation).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace solsched::util {
+
+/// Index of the nearest-rank percentile in a sorted sample of size n:
+/// floor((n-1) * percent / 100), computed in integer arithmetic so the
+/// campaign aggregates and metrics_report quantile columns stay
+/// bit-reproducible (no float rounding at bucket boundaries). Returns 0
+/// for n == 0; percent must be in [0, 100].
+constexpr std::size_t nearest_rank_index(std::size_t n,
+                                         std::size_t percent) noexcept {
+  return n == 0 ? 0 : (n - 1) * percent / 100;
+}
 
 /// Arithmetic mean; 0 for an empty sample.
 double mean(const std::vector<double>& xs) noexcept;

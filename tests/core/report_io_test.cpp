@@ -67,6 +67,33 @@ TEST(Report, MetricsReportRendersNonEmptySnapshot) {
   EXPECT_NE(text.find("12"), std::string::npos);
 }
 
+// Histogram lines carry nearest-rank p50/p90/p99 resolved to bucket upper
+// bounds, matching the campaign-aggregate index rule
+// (util::nearest_rank_index: rank = (n-1)*percent/100).
+TEST(Report, MetricsReportHistogramQuantiles) {
+  obs::MetricsSnapshot snap;
+  obs::MetricsSnapshot::HistogramEntry h;
+  h.name = "sim.slot_us";
+  h.upper_bounds = {1.0, 10.0, 100.0};
+  // 100 samples: 60 in <=1, 35 in <=10, 4 in <=100, 1 overflow.
+  h.bucket_counts = {60, 35, 4, 1};
+  h.count = 100;
+  h.sum = 500.0;
+  snap.histograms.push_back(h);
+  const std::string text = metrics_report(snap);
+  // Ranks: p50 -> 49 (bucket <=1), p90 -> 89 (bucket <=10),
+  // p99 -> 98 (bucket <=100).
+  EXPECT_NE(text.find("p50<=1.0000"), std::string::npos) << text;
+  EXPECT_NE(text.find("p90<=10.0000"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99<=100.0000"), std::string::npos) << text;
+
+  // Every sample in the overflow bucket: quantiles report "> last bound".
+  snap.histograms[0].bucket_counts = {0, 0, 0, 100};
+  const std::string overflow = metrics_report(snap);
+  EXPECT_NE(overflow.find("p50>100.0000"), std::string::npos) << overflow;
+  EXPECT_NE(overflow.find("p99>100.0000"), std::string::npos) << overflow;
+}
+
 TEST(Report, WriteTextFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/solsched_report.txt";
   EXPECT_TRUE(write_text_file(path, "hello"));

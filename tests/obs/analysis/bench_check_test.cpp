@@ -103,6 +103,84 @@ TEST(BenchCheck, TrainMsGatedWhenPresentOnBothSides) {
   EXPECT_EQ(regressed, 1u);
 }
 
+// -- kernel schema (BENCH_ann.json) ----------------------------------------
+
+std::string kernel_json(double gemv_mflops, double sigmoid_ns) {
+  return "{\"dispatch\": \"avx2\", \"kernels\": ["
+         "{\"kernel\": \"gemv\", \"rows\": 24, \"cols\": 25, "
+         "\"ns_per_call\": 107.6, \"mflops\": " +
+         std::to_string(gemv_mflops) +
+         "}, "
+         "{\"kernel\": \"sigmoid\", \"rows\": 24, \"cols\": 25, "
+         "\"ns_per_call\": " +
+         std::to_string(sigmoid_ns) + ", \"mflops\": 0}]}";
+}
+
+// A "kernels" baseline flips the gate into Gflop/s mode: throughput drops
+// regress (ratio = old/new), gains never do.
+TEST(BenchCheck, KernelSchemaGatesThroughputDrops) {
+  const std::string base = kernel_json(10000, 500);
+  const BenchCheckResult same = check_bench(base, base, 0.15);
+  EXPECT_TRUE(same.ok);
+  ASSERT_EQ(same.deltas.size(), 2u);
+  EXPECT_EQ(same.deltas.begin()->run, "gemv[24x25]");
+  for (const BenchDelta& d : same.deltas) EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+
+  const BenchCheckResult slow = check_bench(base, kernel_json(5000, 500), 0.15);
+  EXPECT_FALSE(slow.ok);
+  for (const BenchDelta& d : slow.deltas)
+    if (d.run == "gemv[24x25]") {
+      EXPECT_EQ(d.metric, "mflops");
+      EXPECT_DOUBLE_EQ(d.ratio, 2.0);  // old/new: > 1 means slower.
+      EXPECT_TRUE(d.regressed);
+    }
+
+  EXPECT_TRUE(check_bench(base, kernel_json(20000, 500), 0.15).ok);
+}
+
+// Kernels with no flop count (sigmoid reports mflops 0) are gated on
+// per-call latency instead — slower calls regress (ratio = new/old).
+TEST(BenchCheck, KernelSchemaFallsBackToLatencyWithoutMflops) {
+  const BenchCheckResult r =
+      check_bench(kernel_json(10000, 500), kernel_json(10000, 1500), 0.15);
+  EXPECT_FALSE(r.ok);
+  for (const BenchDelta& d : r.deltas)
+    if (d.run == "sigmoid[24x25]") {
+      EXPECT_EQ(d.metric, "ns_per_call");
+      EXPECT_DOUBLE_EQ(d.ratio, 3.0);
+      EXPECT_TRUE(d.regressed);
+    }
+}
+
+TEST(BenchCheck, KernelSchemaMismatchesThrow) {
+  const std::string base = kernel_json(10000, 500);
+  // Candidate dropped its mflops measurement: that's a harness bug, not a
+  // regression verdict.
+  std::string lost = base;
+  const std::string needle = "\"mflops\": 10000.000000";
+  ASSERT_NE(lost.find(needle), std::string::npos);
+  lost.replace(lost.find(needle), needle.size(), "\"mflops\": 0");
+  EXPECT_THROW(check_bench(base, lost, 0.15), std::runtime_error);
+  // A kernels baseline against a runs candidate is a schema mismatch.
+  EXPECT_THROW(check_bench(base, bench_json(1, 1), 0.15), std::runtime_error);
+}
+
+// Shape changes (a size added or removed from the sweep) are notes.
+TEST(BenchCheck, KernelSchemaOneSidedEntriesAreNotes) {
+  const std::string wide =
+      "{\"kernels\": ["
+      "{\"kernel\": \"gemv\", \"rows\": 24, \"cols\": 25, \"mflops\": 100},"
+      "{\"kernel\": \"gemv\", \"rows\": 12, \"cols\": 24, \"mflops\": 100}]}";
+  const std::string narrow =
+      "{\"kernels\": ["
+      "{\"kernel\": \"gemv\", \"rows\": 24, \"cols\": 25, \"mflops\": 100}]}";
+  const BenchCheckResult r = check_bench(wide, narrow, 0.15);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.only_old.size(), 1u);
+  EXPECT_EQ(r.only_old[0], "gemv[12x24]");
+  EXPECT_TRUE(check_bench(narrow, wide, 0.15).only_new.size() == 1);
+}
+
 TEST(BenchCheck, RejectsMalformedDocuments) {
   EXPECT_THROW(check_bench("{}", bench_json(1, 1), 0.15), std::runtime_error);
   EXPECT_THROW(check_bench("not json", bench_json(1, 1), 0.15),
@@ -183,6 +261,21 @@ TEST_F(InspectCli, CheckBenchExitCodes) {
   EXPECT_EQ(run({"check-bench", base, base, "--max-regress", "0"}), 0);
   EXPECT_EQ(run({"check-bench", base, twice}), 1);
   EXPECT_EQ(run({"check-bench", base, twice, "--max-regress", "120%"}), 0);
+}
+
+// check-bench accepts several old/new pairs in one invocation — the tier-1
+// gate passes BENCH_pipeline.json and BENCH_ann.json together — and fails
+// if any pair regresses.
+TEST_F(InspectCli, CheckBenchGatesMultiplePairs) {
+  const std::string runs = write_temp("mp_runs.json", bench_json(100.0, 40.0));
+  const std::string kernels =
+      write_temp("mp_kern.json", kernel_json(10000, 500));
+  const std::string kernels_slow =
+      write_temp("mp_kern_slow.json", kernel_json(5000, 500));
+  EXPECT_EQ(run({"check-bench", runs, runs, kernels, kernels}), 0);
+  EXPECT_EQ(run({"check-bench", runs, runs, kernels, kernels_slow}), 1);
+  // An odd file count can't form pairs: usage error.
+  EXPECT_EQ(run({"check-bench", runs, runs, kernels}), 2);
 }
 
 TEST_F(InspectCli, UsageAndErrorExitCodes) {

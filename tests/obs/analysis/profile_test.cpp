@@ -1,0 +1,165 @@
+// Span-aggregation profiler: nesting reconstruction, self/total split,
+// folded stacks, multi-thread accounting and the coverage metric.
+#include "obs/analysis/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace solsched::obs::analysis {
+namespace {
+
+struct Ev {
+  const char* name;
+  std::uint64_t ts;
+  std::uint64_t dur;
+  std::uint64_t tid = 1;
+};
+
+std::string trace_of(const std::vector<Ev>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Ev& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + std::string(e.name) +
+           "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + std::to_string(e.ts) +
+           ",\"dur\":" + std::to_string(e.dur) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+const SpanAggregate* find(const SpanProfile& p, const std::string& name) {
+  for (const SpanAggregate& a : p.spans)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+// The RAII-scope nesting A{ B{ D } C } reconstructed from flat complete
+// events: total includes children, self excludes them.
+TEST(Profile, SelfTimeExcludesNestedChildren) {
+  const SpanProfile p = profile_trace(trace_of({
+      {"A", 0, 100},
+      {"B", 10, 30},
+      {"D", 20, 10},
+      {"C", 50, 30},
+  }));
+  EXPECT_EQ(p.events, 4u);
+  EXPECT_EQ(p.threads, 1u);
+  EXPECT_EQ(p.wall_us, 100u);
+
+  ASSERT_NE(find(p, "A"), nullptr);
+  EXPECT_EQ(find(p, "A")->calls, 1u);
+  EXPECT_EQ(find(p, "A")->total_us, 100u);
+  EXPECT_EQ(find(p, "A")->self_us, 40u);  // 100 - (30 + 30).
+  EXPECT_EQ(find(p, "B")->total_us, 30u);
+  EXPECT_EQ(find(p, "B")->self_us, 20u);  // 30 - 10 (D).
+  EXPECT_EQ(find(p, "C")->self_us, 30u);  // Leaf.
+  EXPECT_EQ(find(p, "D")->self_us, 10u);
+
+  // Self over all spans equals the accounted root time: no double count.
+  std::uint64_t self_sum = 0;
+  for (const SpanAggregate& a : p.spans) self_sum += a.self_us;
+  EXPECT_EQ(self_sum, 100u);
+  EXPECT_EQ(p.accounted_us, 100u);
+  EXPECT_EQ(p.thread_extent_us, 100u);
+  EXPECT_DOUBLE_EQ(p.coverage(), 1.0);
+}
+
+TEST(Profile, FoldedStacksCarrySelfWeightPerPath) {
+  const SpanProfile p = profile_trace(trace_of({
+      {"A", 0, 100},
+      {"B", 10, 30},
+      {"D", 20, 10},
+      {"C", 50, 30},
+  }));
+  EXPECT_EQ(p.folded.at("A"), 40u);
+  EXPECT_EQ(p.folded.at("A;B"), 20u);
+  EXPECT_EQ(p.folded.at("A;B;D"), 10u);
+  EXPECT_EQ(p.folded.at("A;C"), 30u);
+  EXPECT_EQ(folded_stacks(p),
+            "A 40\nA;B 20\nA;B;D 10\nA;C 30\n");
+}
+
+// Spans on different tids never nest into each other; per-name aggregates
+// and the coverage denominator sum across threads.
+TEST(Profile, ThreadsAreIndependentStacks) {
+  const SpanProfile p = profile_trace(trace_of({
+      {"root", 0, 50, 1},
+      {"leaf", 10, 20, 1},
+      {"root", 5, 40, 2},  // Overlaps tid 1 in time: still its own root.
+  }));
+  EXPECT_EQ(p.threads, 2u);
+  EXPECT_EQ(find(p, "root")->calls, 2u);
+  EXPECT_EQ(find(p, "root")->total_us, 90u);
+  EXPECT_EQ(find(p, "root")->self_us, 70u);  // 30 (tid 1) + 40 (tid 2).
+  EXPECT_EQ(p.accounted_us, 90u);
+  EXPECT_EQ(p.thread_extent_us, 90u);  // 50 + 40.
+  EXPECT_DOUBLE_EQ(p.coverage(), 1.0);
+}
+
+// Repeated calls of the same span aggregate; a sibling that starts exactly
+// when its predecessor ends is a sibling, not a child.
+TEST(Profile, BackToBackSiblingsDoNotNest) {
+  const SpanProfile p = profile_trace(trace_of({
+      {"outer", 0, 40},
+      {"step", 0, 20},
+      {"step", 20, 20},
+  }));
+  EXPECT_EQ(find(p, "step")->calls, 2u);
+  EXPECT_EQ(find(p, "step")->total_us, 40u);
+  EXPECT_EQ(find(p, "step")->self_us, 40u);
+  EXPECT_EQ(find(p, "outer")->self_us, 0u);  // Fully covered by children.
+  EXPECT_EQ(p.folded.count("outer"), 0u);    // Zero-self paths are dropped.
+  EXPECT_EQ(p.folded.at("outer;step"), 40u);
+}
+
+// Gaps between root spans are unaccounted thread time: coverage < 1.
+TEST(Profile, CoverageReflectsUninstrumentedGaps) {
+  const SpanProfile p = profile_trace(trace_of({
+      {"early", 0, 10},
+      {"late", 90, 10},
+  }));
+  EXPECT_EQ(p.thread_extent_us, 100u);
+  EXPECT_EQ(p.accounted_us, 20u);
+  EXPECT_DOUBLE_EQ(p.coverage(), 0.2);
+}
+
+TEST(Profile, TableListsSpansAndCoverageFooter) {
+  const SpanProfile p = profile_trace(trace_of({{"alpha", 0, 1000}}));
+  const std::string table = profile_table(p);
+  EXPECT_NE(table.find("span"), std::string::npos);
+  EXPECT_NE(table.find("self_ms"), std::string::npos);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("coverage 100.0%"), std::string::npos);
+}
+
+TEST(Profile, SortedBySelfTimeDescending) {
+  const SpanProfile p = profile_trace(trace_of({
+      {"small", 0, 10},
+      {"big", 20, 100},
+  }));
+  ASSERT_EQ(p.spans.size(), 2u);
+  EXPECT_EQ(p.spans[0].name, "big");
+  EXPECT_EQ(p.spans[1].name, "small");
+}
+
+TEST(Profile, IgnoresNonCompleteEventsAndEmptyTrace) {
+  const SpanProfile p = profile_trace(
+      "{\"traceEvents\":[{\"name\":\"meta\",\"ph\":\"M\",\"tid\":1,"
+      "\"ts\":0,\"dur\":0}]}");
+  EXPECT_EQ(p.events, 0u);
+  EXPECT_EQ(p.wall_us, 0u);
+  EXPECT_DOUBLE_EQ(p.coverage(), 1.0);  // Nothing observed, nothing missed.
+}
+
+TEST(Profile, RejectsMalformedInput) {
+  EXPECT_THROW(profile_trace("not json"), std::runtime_error);
+  EXPECT_THROW(profile_trace("{\"no_events\": 1}"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace solsched::obs::analysis

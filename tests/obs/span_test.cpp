@@ -5,11 +5,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "obs/analysis/json_mini.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace solsched::obs {
 namespace {
@@ -165,6 +167,45 @@ TEST_F(SpanTest, ChromeTraceEscapesSpanNames) {
   ASSERT_NE(events, nullptr);
   ASSERT_EQ(events->array.size(), 1u);
   EXPECT_EQ(events->array[0].string_or("name"), nasty);
+}
+
+// Concurrency contract of the trace sink: the N-thread trace parses as one
+// valid JSON document and carries exactly the same span multiset (name ->
+// count) as the 1-thread run — interleaving may reorder events and spread
+// them over tids, but never lose, duplicate, or corrupt one.
+TEST_F(SpanTest, ChromeTraceConcurrentSpansSameMultiset) {
+  const auto run_and_census = [&](std::size_t threads) {
+    util::ThreadPool::set_global_threads(threads);
+    clear_trace_events();
+    set_trace_events_enabled(true);
+    util::parallel_for(64, [](std::size_t i) {
+      ScopedSpan outer("test.span.mt." + std::to_string(i % 4));
+      OBS_SPAN("test.span.mt.inner");
+    });
+    set_trace_events_enabled(false);
+    const std::string path = ::testing::TempDir() + "span_test.mt." +
+                             std::to_string(threads) + ".trace.json";
+    EXPECT_TRUE(write_chrome_trace(path));
+    const analysis::JsonValue doc = analysis::parse_json(slurp(path));
+    std::remove(path.c_str());
+    std::map<std::string, std::size_t> census;
+    const analysis::JsonValue* events = doc.find("traceEvents");
+    EXPECT_NE(events, nullptr);
+    if (events != nullptr)
+      for (const analysis::JsonValue& ev : events->array)
+        ++census[ev.string_or("name")];
+    return census;
+  };
+
+  const auto serial = run_and_census(1);
+  const auto parallel = run_and_census(4);
+  util::ThreadPool::set_global_threads(util::ThreadPool::thread_count_from_env());
+
+  // 64 outer spans over 4 names + 64 inner spans: 128 events, both runs.
+  EXPECT_EQ(serial.at("test.span.mt.inner"), 64u);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(serial.at("test.span.mt." + std::to_string(k)), 16u);
+  EXPECT_EQ(parallel, serial);
 }
 
 TEST_F(SpanTest, NowUsMonotonic) {
