@@ -1,0 +1,181 @@
+// Wall-clock benchmark of the solsched-serve daemon: an in-process server
+// on a private socket, one client, closed-loop queries. Reports per-query
+// latency percentiles (client side, socket round trip included) and
+// throughput per scenario into BENCH_serve.json, which check-bench gates
+// with its serve schema (p99_us must not grow, qps must not drop).
+//
+// Scenarios:
+//  - decision_hot:     real DBN decisions against a trained controller;
+//  - fallback_missing: the no-controller LSA degradation rung (the floor
+//    a dying deployment stands on — it must stay cheap).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "campaign/artifact_cache.hpp"
+#include "core/pipeline.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "solar/trace_generator.hpp"
+#include "task/benchmarks.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace solsched;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::uint64_t kKey = 0xbe4cULL;
+constexpr std::size_t kWarmup = 50;
+constexpr std::size_t kRequests = 2000;
+
+struct Scenario {
+  std::string name;
+  std::size_t requests = 0;
+  double qps = 0.0;
+  double mean_us = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// Small controller in the unit-test shape: a 1-hour "day" of 12 periods,
+/// trained in a few hundred ms. The bench measures serving, not training.
+core::TrainedController tiny_controller() {
+  const solar::TimeGrid grid{1, 12, 10, 30.0};
+  solar::TraceGeneratorConfig gen_config;
+  gen_config.seed = 81;
+  gen_config.clear_sky.sunrise_s = 0.25 * grid.day_s();
+  gen_config.clear_sky.sunset_s = 0.75 * grid.day_s();
+  const solar::TraceGenerator gen(gen_config);
+
+  nvp::NodeConfig node;
+  node.grid = grid;
+  node.capacities_f = {5.0, 20.0, 60.0};
+
+  core::PipelineConfig config;
+  config.n_caps = 2;
+  config.dp.energy_buckets = 6;
+  config.dbn.pretrain.epochs = 2;
+  config.dbn.finetune.epochs = 10;
+  return core::train_pipeline(task::wam_benchmark(), gen.generate_days(1, grid),
+                              node, config);
+}
+
+Scenario run_scenario(const std::string& name, serve::ServeClient& client,
+                      const serve::QueryRequest& query, std::size_t requests) {
+  Scenario s;
+  s.name = name;
+  s.requests = requests;
+  serve::DecisionReply reply;
+  for (std::size_t i = 0; i < kWarmup; ++i)
+    (void)client.query(query, &reply);
+
+  std::vector<std::uint64_t> latencies_us;
+  latencies_us.reserve(requests);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto q0 = Clock::now();
+    if (client.query(query, &reply) != serve::ServeClient::Result::kOk) {
+      std::fprintf(stderr, "serve_bench: query failed in %s\n", name.c_str());
+      std::exit(1);
+    }
+    latencies_us.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              q0)
+            .count()));
+  }
+  const double total_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  double sum = 0.0;
+  for (const std::uint64_t us : latencies_us) sum += static_cast<double>(us);
+  s.mean_us = sum / static_cast<double>(latencies_us.size());
+  s.p50_us = latencies_us[(latencies_us.size() - 1) * 50 / 100];
+  s.p99_us = latencies_us[(latencies_us.size() - 1) * 99 / 100];
+  s.qps = total_s > 0.0 ? static_cast<double>(requests) / total_s : 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("serve_bench",
+                      "scheduling-as-a-service round-trip latency");
+  util::ThreadPool::set_global_threads(1);
+
+  const std::string root = "serve_bench.tmp";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  const core::TrainedController controller = tiny_controller();
+  {
+    campaign::ArtifactCache cache(root + "/cache");
+    cache.store(kKey, controller);
+  }
+
+  serve::Server::Options options;
+  options.socket_path = root + "/sock";
+  options.cache_dir = root + "/cache";
+  options.workers = 2;
+  options.queue_depth = 64;
+  serve::Server server(options);
+  server.start();
+
+  serve::ServeClient::Options copts;
+  copts.socket_path = options.socket_path;
+  serve::ServeClient client(copts);
+
+  serve::QueryRequest hot;
+  hot.controller_key = kKey;
+  hot.period = 4;
+  hot.accumulated_dmr = 0.1;
+  // Sizing clusters the bank (train_days=1 collapses to one capacitor);
+  // shape the query from what was actually trained.
+  hot.cap_voltages.assign(controller.node.capacities_f.size(), 2.5);
+  hot.last_period_solar_w.assign(controller.node.grid.n_slots, 0.08);
+
+  serve::QueryRequest missing = hot;
+  missing.controller_key = 0x404;
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(run_scenario("decision_hot", client, hot, kRequests));
+  scenarios.push_back(
+      run_scenario("fallback_missing", client, missing, kRequests));
+  server.stop();
+  std::filesystem::remove_all(root);
+
+  for (const Scenario& s : scenarios)
+    std::printf("%-18s %zu requests  %.0f q/s  mean %.1f us  p50 %llu us  "
+                "p99 %llu us\n",
+                s.name.c_str(), s.requests, s.qps, s.mean_us,
+                static_cast<unsigned long long>(s.p50_us),
+                static_cast<unsigned long long>(s.p99_us));
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"requests\": %zu,\n",
+               kRequests);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"requests\": %zu, "
+                 "\"qps\": %.1f, \"mean_us\": %.2f, \"p50_us\": %llu, "
+                 "\"p99_us\": %llu}%s\n",
+                 s.name.c_str(), s.requests, s.qps, s.mean_us,
+                 static_cast<unsigned long long>(s.p50_us),
+                 static_cast<unsigned long long>(s.p99_us),
+                 i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}

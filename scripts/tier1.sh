@@ -3,8 +3,10 @@
 # phase (golden-ledger suite + bench regression gate over the pipeline and
 # kernel baselines), the campaign kill/resume smoke, the live-telemetry
 # drill (stop under SOLSCHED_OBS, torn-tail heal, resume, watch exit
-# codes), a SOLSCHED_SIMD=OFF scalar-fallback build with a cross-build
-# controller-decision check, plus the concurrency/observability/telemetry
+# codes), the serve daemon kill/restart drill (SIGKILL mid-load, backoff
+# reconnect, bit-identical decisions across the restart), a
+# SOLSCHED_SIMD=OFF scalar-fallback build with a cross-build
+# controller-decision check, plus the concurrency/obs/telemetry/serve
 # suites rerun under ThreadSanitizer, the fault suite rerun under
 # UndefinedBehaviorSanitizer, and the simd parity suite rerun under
 # AddressSanitizer+UBSan.
@@ -44,7 +46,8 @@ echo "== tier 1: trace analytics ($BUILD_DIR) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L analysis
 "$BUILD_DIR/tools/solsched-inspect" check-bench \
   BENCH_pipeline.json BENCH_pipeline.json \
-  BENCH_ann.json BENCH_ann.json --max-regress 15%
+  BENCH_ann.json BENCH_ann.json \
+  BENCH_serve.json BENCH_serve.json --max-regress 15%
 
 echo "== tier 1: campaign kill/resume smoke ($BUILD_DIR) =="
 # The campaign suite, then the CLI-level crash-safety drill: one
@@ -99,6 +102,54 @@ SOLSCHED_OBS=1 "$BUILD_DIR/tools/solsched-campaign" run --spec "$CAMP_SPEC" \
 cmp "$CAMP_TMP/full/aggregate.json" "$TELEM_TMP/aggregate.json"
 echo "telemetry stop/heal/resume drill passed, aggregate unchanged"
 
+echo "== tier 1: serve daemon drill ($BUILD_DIR) =="
+# The serve suite, then the CLI-level crash drill from DESIGN.md §16: a
+# daemon serving the campaign cache above answers a query, survives a
+# loadgen burst, is SIGKILLed while a second loadgen is mid-flight, a
+# fresh daemon rebinds the same socket, the stranded clients reconnect
+# through backoff (exit 0 = every query eventually answered), and the
+# post-restart decision is byte-identical to the pre-kill one. train_days=1
+# k-means-clusters each controller to a single capacitor, hence the single
+# --voltages entry and --caps 1.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L serve
+SERVE_TMP="$CAMP_TMP/serve"
+rm -rf "$SERVE_TMP"
+mkdir -p "$SERVE_TMP"
+KEY="$(basename "$(ls "$CAMP_TMP/cache"/*.controller | head -n 1)" .controller)"
+SERVE_SOCK="$SERVE_TMP/sock"
+SERVE_STATUS="$SERVE_TMP/status.json"
+"$BUILD_DIR/tools/solsched-serve" run --socket "$SERVE_SOCK" \
+  --cache-dir "$CAMP_TMP/cache" --status "$SERVE_STATUS" \
+  --status-interval-ms 50 &
+SERVE_PID=$!
+SERVE_SOLAR="0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1"
+"$BUILD_DIR/tools/solsched-serve" query --socket "$SERVE_SOCK" \
+  --key "$KEY" --voltages 2.5 --solar "$SERVE_SOLAR" --period 4 \
+  --max-attempts 40 > "$SERVE_TMP/pre.txt"
+"$BUILD_DIR/tools/solsched-serve" loadgen --socket "$SERVE_SOCK" \
+  --key "$KEY" --count 50 --clients 4 --caps 1 --slots 10
+"$BUILD_DIR/tools/solsched-serve" loadgen --socket "$SERVE_SOCK" \
+  --key "$KEY" --count 500 --clients 2 --caps 1 --slots 10 \
+  --max-attempts 60 --base-backoff-ms 20 \
+  > "$SERVE_TMP/loadgen-kill.txt" &
+LOADGEN_PID=$!
+kill -9 "$SERVE_PID"
+"$BUILD_DIR/tools/solsched-serve" run --socket "$SERVE_SOCK" \
+  --cache-dir "$CAMP_TMP/cache" --status "$SERVE_STATUS" \
+  --status-interval-ms 50 &
+SERVE_PID=$!
+wait "$LOADGEN_PID" || { echo "loadgen across the kill lost queries"; \
+  cat "$SERVE_TMP/loadgen-kill.txt"; exit 1; }
+grep -q "refused 0 exhausted 0" "$SERVE_TMP/loadgen-kill.txt"
+"$BUILD_DIR/tools/solsched-serve" query --socket "$SERVE_SOCK" \
+  --key "$KEY" --voltages 2.5 --solar "$SERVE_SOLAR" --period 4 \
+  --max-attempts 40 > "$SERVE_TMP/post.txt"
+cmp "$SERVE_TMP/pre.txt" "$SERVE_TMP/post.txt"
+"$BUILD_DIR/tools/solsched-serve" stop --socket "$SERVE_SOCK"
+wait "$SERVE_PID"
+"$BUILD_DIR/tools/solsched-inspect" serve "$SERVE_STATUS" > /dev/null
+echo "serve kill/restart decisions bit-identical"
+
 echo "== tier 1: scalar-fallback build + cross-build decision check ($SCALAR_DIR) =="
 # SOLSCHED_SIMD=OFF build: the simd suite must pass with the dispatch
 # resolving to the scalar reference bodies, and a serial wam+ecg campaign
@@ -121,11 +172,11 @@ SOLSCHED_THREADS=1 "$SCALAR_DIR/tools/solsched-campaign" run \
 cmp "$XBUILD_TMP/simd/journal.jsonl" "$XBUILD_TMP/scalar/journal.jsonl"
 echo "scalar and SIMD builds journal bit-identical wam+ecg decisions"
 
-echo "== tier 1: TSan rerun of concurrency + obs + telemetry ($TSAN_DIR) =="
+echo "== tier 1: TSan rerun of concurrency + obs + telemetry + serve ($TSAN_DIR) =="
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS"
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -L "concurrency|obs|telemetry"
+  -L "concurrency|obs|telemetry|serve"
 
 echo "== tier 1: UBSan rerun of fault suite ($UBSAN_DIR) =="
 cmake -B "$UBSAN_DIR" -S . -DSOLSCHED_SANITIZE=undefined

@@ -83,23 +83,28 @@ std::string metrics_report(const obs::MetricsSnapshot& snapshot) {
     // campaign aggregates): the quantile resolves to the upper bound of the
     // bucket holding that rank — "<=bound", or ">bound" for the overflow
     // bucket — so latency histograms read without the inspect CLI.
-    if (h.count > 0) {
+    if (h.count > 0 && !h.bucket_counts.empty()) {
       for (const std::size_t percent : {std::size_t{50}, std::size_t{90},
                                         std::size_t{99}}) {
         const std::uint64_t rank = util::nearest_rank_index(
             static_cast<std::size_t>(h.count), percent);
         std::uint64_t cumulative = 0;
-        out << " p" << percent;
+        std::string rendered;
         for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
           cumulative += h.bucket_counts[b];
           if (cumulative > rank) {
             if (b < h.upper_bounds.size())
-              out << "<=" << util::fmt(h.upper_bounds[b], 4);
+              rendered = "<=" + util::fmt(h.upper_bounds[b], 4);
+            else if (!h.upper_bounds.empty())
+              rendered = ">" + util::fmt(h.upper_bounds.back(), 4);
             else
-              out << ">" << util::fmt(h.upper_bounds.back(), 4);
+              rendered = ">0";  // Bound-less snapshot: nothing to anchor on.
             break;
           }
         }
+        // A hand-built or torn snapshot can sum its buckets below `count`;
+        // emit no column rather than a dangling "p50" label.
+        if (!rendered.empty()) out << " p" << percent << rendered;
       }
     }
     out << " buckets[";

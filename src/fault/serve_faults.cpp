@@ -1,0 +1,86 @@
+#include "fault/serve_faults.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace solsched::fault {
+namespace {
+
+double clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+double parse_value(const std::string& key, const std::string& text) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ServeFaultPlan::parse: bad value for " + key);
+  }
+  if (used != text.size() || !std::isfinite(value) || value < 0.0)
+    throw std::invalid_argument("ServeFaultPlan::parse: bad value for " + key);
+  return value;
+}
+
+}  // namespace
+
+bool ServeFaultPlan::any() const noexcept {
+  return drop_prob > 0.0 || delay_prob > 0.0 || corrupt_prob > 0.0;
+}
+
+ServeFault ServeFaultPlan::decide(std::uint64_t ordinal) const noexcept {
+  if (!any()) return ServeFault::kNone;
+  // A fresh per-ordinal stream keeps decisions independent of how many
+  // replies other connections have sent: reply N misbehaves identically
+  // whether the drill ran with 1 client or 16.
+  util::Rng rng(seed ^ (0x5345525645ull + ordinal * 0x9E3779B97F4A7C15ull));
+  const double roll = rng.uniform();
+  if (roll < drop_prob) return ServeFault::kDrop;
+  if (roll < drop_prob + corrupt_prob) return ServeFault::kCorrupt;
+  if (roll < drop_prob + corrupt_prob + delay_prob) return ServeFault::kDelay;
+  return ServeFault::kNone;
+}
+
+ServeFaultPlan ServeFaultPlan::parse(const std::string& spec) {
+  ServeFaultPlan plan;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument(
+          "ServeFaultPlan::parse: expected key=value, got " + item);
+    const std::string key = item.substr(0, eq);
+    const std::string text = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_value(key, text));
+    } else if (key == "drop") {
+      plan.drop_prob = clamp01(parse_value(key, text));
+    } else if (key == "delay") {
+      plan.delay_prob = clamp01(parse_value(key, text));
+    } else if (key == "delay-ms") {
+      plan.delay_ms = static_cast<std::uint32_t>(parse_value(key, text));
+    } else if (key == "corrupt") {
+      plan.corrupt_prob = clamp01(parse_value(key, text));
+    } else {
+      throw std::invalid_argument("ServeFaultPlan::parse: unknown key " + key);
+    }
+  }
+  return plan;
+}
+
+std::string ServeFaultPlan::describe() const {
+  std::ostringstream out;
+  out << "seed " << seed;
+  if (drop_prob > 0.0) out << ", drop " << drop_prob;
+  if (delay_prob > 0.0)
+    out << ", delay " << delay_prob << " (" << delay_ms << " ms)";
+  if (corrupt_prob > 0.0) out << ", corrupt " << corrupt_prob;
+  if (!any()) out << ", inactive";
+  return out.str();
+}
+
+}  // namespace solsched::fault

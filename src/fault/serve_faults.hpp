@@ -1,0 +1,56 @@
+// Reply-path fault injection for the solsched-serve daemon.
+//
+// The offline FaultPlan models what a deployed *node* suffers (blackouts,
+// sensor glitches, aging); a ServeFaultPlan models what a serving *network
+// path* suffers: replies that are dropped (client sees EOF / timeout),
+// delayed (client-side deadline pressure), or corrupted in flight (frame
+// hash mismatch on receipt). It exists to drive the adversarial serve
+// tests and the tier-1 kill/restart drill's client-resilience claims —
+// the client library must survive every one of these deterministically.
+//
+// Same design rules as src/fault: the plan is pure seeded configuration
+// parsed from a compact `key=value,...` spec, and decisions are a pure
+// function of (seed, reply ordinal) — independent of thread interleaving,
+// so two runs of the same drill misbehave on exactly the same replies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace solsched::fault {
+
+/// What the fault hook does to one outgoing reply.
+enum class ServeFault : std::uint8_t {
+  kNone = 0,
+  kDrop = 1,     ///< Swallow the reply; the client sees silence then EOF.
+  kDelay = 2,    ///< Sleep delay_ms before writing the reply.
+  kCorrupt = 3,  ///< Flip bytes in the written frame (hash check must trip).
+};
+
+/// Seeded reply-path fault scenario. Probabilities are per reply and
+/// mutually exclusive, drawn in drop > corrupt > delay priority.
+struct ServeFaultPlan {
+  std::uint64_t seed = 1;
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  double corrupt_prob = 0.0;
+  std::uint32_t delay_ms = 50;  ///< Sleep applied on kDelay replies.
+
+  /// True when any probability is non-zero. An inactive plan must leave
+  /// the reply path byte- and timing-identical to having no hook at all.
+  bool any() const noexcept;
+
+  /// The fault applied to reply number `ordinal` (0-based, assigned in
+  /// reply-send order). Deterministic: depends only on (seed, ordinal).
+  ServeFault decide(std::uint64_t ordinal) const noexcept;
+
+  /// Parses `key=value[,key=value...]`. Keys: seed, drop, delay, delay-ms,
+  /// corrupt. Empty spec = inactive plan. Throws std::invalid_argument on
+  /// unknown keys or malformed values.
+  static ServeFaultPlan parse(const std::string& spec);
+
+  /// Compact human-readable summary of the active processes.
+  std::string describe() const;
+};
+
+}  // namespace solsched::fault

@@ -107,6 +107,89 @@ BenchCheckResult check_bench_kernels(const JsonValue& old_doc,
   return r;
 }
 
+std::map<std::string, const JsonValue*> scenarios_of(const JsonValue& doc,
+                                                     const char* which) {
+  const JsonValue* scenarios = doc.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array())
+    throw std::runtime_error(std::string(which) +
+                             " bench file has no \"scenarios\" array");
+  std::map<std::string, const JsonValue*> out;
+  for (const JsonValue& entry : scenarios->array)
+    out[entry.string_or("scenario")] = &entry;
+  return out;
+}
+
+/// Serve-schema gate (BENCH_serve.json): tail latency must not grow and
+/// throughput must not drop beyond the bound. Latency gates on p99_us
+/// (new/old), falling back to ns_per_query when a file predates the
+/// microsecond histogram; throughput gates on qps (old/new) whenever the
+/// baseline reports one.
+BenchCheckResult check_bench_serve(const JsonValue& old_doc,
+                                   const JsonValue& new_doc,
+                                   double max_regress) {
+  const auto old_scenarios = scenarios_of(old_doc, "baseline");
+  const auto new_scenarios = scenarios_of(new_doc, "candidate");
+
+  BenchCheckResult r;
+  r.max_regress = max_regress;
+  std::size_t regressions = 0;
+  for (const auto& [key, old_entry] : old_scenarios) {
+    const auto it = new_scenarios.find(key);
+    if (it == new_scenarios.end()) {
+      r.only_old.push_back(key);
+      continue;
+    }
+    const JsonValue& new_entry = *it->second;
+
+    const char* lat_metric = "p99_us";
+    double old_lat = old_entry->number_or("p99_us");
+    if (old_lat <= 0.0) {
+      lat_metric = "ns_per_query";
+      old_lat = old_entry->number_or("ns_per_query");
+    }
+    if (old_lat <= 0.0)
+      throw std::runtime_error("baseline scenario \"" + key +
+                               "\" has neither p99_us nor ns_per_query");
+    const double new_lat = new_entry.number_or(lat_metric);
+    if (new_lat <= 0.0)
+      throw std::runtime_error("candidate scenario \"" + key +
+                               "\" lost its " + lat_metric + " value");
+    BenchDelta lat;
+    lat.run = key;
+    lat.metric = lat_metric;
+    lat.old_ms = old_lat;
+    lat.new_ms = new_lat;
+    lat.ratio = new_lat / old_lat;
+    lat.regressed = lat.ratio > 1.0 + max_regress;
+    if (lat.regressed) ++regressions;
+    r.deltas.push_back(std::move(lat));
+
+    const double old_qps = old_entry->number_or("qps");
+    if (old_qps > 0.0) {
+      const double new_qps = new_entry.number_or("qps");
+      if (new_qps <= 0.0)
+        throw std::runtime_error("candidate scenario \"" + key +
+                                 "\" lost its qps value");
+      BenchDelta thr;
+      thr.run = key;
+      thr.metric = "qps";
+      thr.old_ms = old_qps;
+      thr.new_ms = new_qps;
+      thr.ratio = old_qps / new_qps;  // > 1 means the candidate is slower.
+      thr.regressed = thr.ratio > 1.0 + max_regress;
+      if (thr.regressed) ++regressions;
+      r.deltas.push_back(std::move(thr));
+    }
+  }
+  for (const auto& [key, entry] : new_scenarios) {
+    (void)entry;
+    if (old_scenarios.find(key) == old_scenarios.end())
+      r.only_new.push_back(key);
+  }
+  finish(r, regressions);
+  return r;
+}
+
 }  // namespace
 
 double parse_regress_fraction(const std::string& text) {
@@ -134,10 +217,14 @@ BenchCheckResult check_bench(const std::string& old_json_text,
   const JsonValue old_doc = parse_json(old_json_text);
   const JsonValue new_doc = parse_json(new_json_text);
   // Schema sniff on the baseline: a "kernels" array is BENCH_ann.json,
-  // a "runs" object is BENCH_pipeline.json.
+  // a "scenarios" array is BENCH_serve.json, a "runs" object is
+  // BENCH_pipeline.json.
   const JsonValue* old_kernels = old_doc.find("kernels");
   if (old_kernels != nullptr && old_kernels->is_array())
     return check_bench_kernels(old_doc, new_doc, max_regress);
+  const JsonValue* old_scenarios = old_doc.find("scenarios");
+  if (old_scenarios != nullptr && old_scenarios->is_array())
+    return check_bench_serve(old_doc, new_doc, max_regress);
   const JsonValue& old_runs = runs_of(old_doc, "baseline");
   const JsonValue& new_runs = runs_of(new_doc, "candidate");
 

@@ -1,6 +1,7 @@
 #include "obs/analysis/inspect.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -14,6 +15,7 @@
 #include "obs/analysis/json_mini.hpp"
 #include "obs/analysis/ledger.hpp"
 #include "obs/analysis/profile.hpp"
+#include "obs/analysis/serve_view.hpp"
 #include "obs/analysis/telemetry_view.hpp"
 #include "obs/sim_trace.hpp"
 #include "util/table.hpp"
@@ -42,6 +44,12 @@ constexpr const char* kUsage =
     "                                   collapsed stacks for speedscope\n"
     "  telemetry <campaign-dir>         one-shot campaign status render +\n"
     "                                   telemetry event census\n"
+    "  serve <status.json> [--max-age-ms N] [--now-ms N]\n"
+    "                                   render a solsched-serve status file;\n"
+    "                                   exit 1 when a \"running\" snapshot is\n"
+    "                                   older than the age bound (daemon\n"
+    "                                   presumed killed); --now-ms overrides\n"
+    "                                   the wall clock for reproducible runs\n"
     "\n"
     "traces are JSONL (--trace-out/--events-out output); a path ending in\n"
     ".csv is read as long-format CSV. exit codes: 0 ok, 1 check failed,\n"
@@ -285,6 +293,13 @@ int cmd_telemetry(const std::string& dir) {
   return 0;
 }
 
+int cmd_serve(const std::string& path, std::uint64_t now_ms,
+              std::uint64_t max_age_ms) {
+  const ServeStatus status = parse_serve_status(read_file(path));
+  std::printf("%s", render_serve_status(status, now_ms, max_age_ms).c_str());
+  return serve_status_is_stale(status, now_ms, max_age_ms) ? 1 : 0;
+}
+
 }  // namespace
 
 int run_inspect(int argc, const char* const* argv) {
@@ -348,6 +363,23 @@ int run_inspect(int argc, const char* const* argv) {
     }
 
     if (cmd == "telemetry" && args.size() == 2) return cmd_telemetry(args[1]);
+
+    if (cmd == "serve" && args.size() >= 2 && args.size() % 2 == 0) {
+      std::uint64_t max_age_ms = 5000;
+      std::uint64_t now_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+        if (args[i] == "--max-age-ms")
+          max_age_ms = std::stoull(args[i + 1]);
+        else if (args[i] == "--now-ms")
+          now_ms = std::stoull(args[i + 1]);
+        else
+          throw std::runtime_error("unknown flag: " + args[i]);
+      }
+      return cmd_serve(args[1], now_ms, max_age_ms);
+    }
 
     std::fprintf(stderr, "solsched-inspect: bad command line\n\n%s", kUsage);
     return 2;

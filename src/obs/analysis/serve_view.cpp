@@ -1,0 +1,113 @@
+#include "obs/analysis/serve_view.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/analysis/json_mini.hpp"
+
+namespace solsched::obs::analysis {
+namespace {
+
+constexpr const char* kServeStatusMagic = "solsched-serve-v1";
+
+std::uint64_t u64_of(const JsonValue& doc, const char* key) {
+  return static_cast<std::uint64_t>(doc.number_or(key));
+}
+
+}  // namespace
+
+ServeStatus parse_serve_status(const std::string& json_text) {
+  const JsonValue doc = parse_json(json_text);
+  if (doc.string_or("status") != kServeStatusMagic)
+    throw std::runtime_error(
+        "serve status.json: missing or unknown \"status\" magic (expected "
+        "\"" +
+        std::string(kServeStatusMagic) + "\")");
+  ServeStatus out;
+  out.state = doc.string_or("state");
+  out.wall_ms = u64_of(doc, "wall_ms");
+  out.pid = u64_of(doc, "pid");
+  out.socket = doc.string_or("socket");
+  out.controllers = static_cast<std::size_t>(doc.number_or("controllers"));
+  out.workers = static_cast<std::size_t>(doc.number_or("workers"));
+  out.queue_capacity =
+      static_cast<std::size_t>(doc.number_or("queue_capacity"));
+  out.queue_depth = static_cast<std::size_t>(doc.number_or("queue_depth"));
+  out.queue_peak = static_cast<std::size_t>(doc.number_or("queue_peak"));
+  out.requests = u64_of(doc, "requests");
+  out.decisions = u64_of(doc, "decisions");
+  out.fallbacks = u64_of(doc, "fallbacks");
+  out.malformed = u64_of(doc, "malformed");
+  out.shed = u64_of(doc, "shed");
+  out.timeouts = u64_of(doc, "timeouts");
+  out.errors = u64_of(doc, "errors");
+  out.reloads = u64_of(doc, "reloads");
+  out.faults_injected = u64_of(doc, "faults_injected");
+  out.latency_count = u64_of(doc, "latency_count");
+  out.latency_sum_us = u64_of(doc, "latency_sum_us");
+  out.p50_us = u64_of(doc, "p50_us");
+  out.p99_us = u64_of(doc, "p99_us");
+  return out;
+}
+
+bool serve_status_is_stale(const ServeStatus& status,
+                           std::uint64_t now_wall_ms,
+                           std::uint64_t max_age_ms) {
+  if (status.state == "stopped" || now_wall_ms == 0) return false;
+  return now_wall_ms > status.wall_ms &&
+         now_wall_ms - status.wall_ms > max_age_ms;
+}
+
+std::string render_serve_status(const ServeStatus& status,
+                                std::uint64_t now_wall_ms,
+                                std::uint64_t max_age_ms) {
+  std::ostringstream out;
+  char line[256];
+  out << "solsched-serve  state " << status.state;
+  if (serve_status_is_stale(status, now_wall_ms, max_age_ms))
+    out << "  (stale: daemon gone?)";
+  out << "\n";
+  std::snprintf(line, sizeof(line), "  pid %llu  socket %s\n",
+                static_cast<unsigned long long>(status.pid),
+                status.socket.c_str());
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  controllers %zu  workers %zu  queue %zu/%zu (peak %zu)\n",
+                status.controllers, status.workers, status.queue_depth,
+                status.queue_capacity, status.queue_peak);
+  out << line;
+  std::snprintf(
+      line, sizeof(line),
+      "  requests %llu  decisions %llu  fallbacks %llu  reloads %llu\n",
+      static_cast<unsigned long long>(status.requests),
+      static_cast<unsigned long long>(status.decisions),
+      static_cast<unsigned long long>(status.fallbacks),
+      static_cast<unsigned long long>(status.reloads));
+  out << line;
+  std::snprintf(
+      line, sizeof(line),
+      "  malformed %llu  shed %llu  timeouts %llu  errors %llu  faults "
+      "%llu\n",
+      static_cast<unsigned long long>(status.malformed),
+      static_cast<unsigned long long>(status.shed),
+      static_cast<unsigned long long>(status.timeouts),
+      static_cast<unsigned long long>(status.errors),
+      static_cast<unsigned long long>(status.faults_injected));
+  out << line;
+  const double mean_us =
+      status.latency_count > 0
+          ? static_cast<double>(status.latency_sum_us) /
+                static_cast<double>(status.latency_count)
+          : 0.0;
+  std::snprintf(line, sizeof(line),
+                "  latency mean %.1f us  p50 %llu us  p99 %llu us  "
+                "(%llu samples)\n",
+                mean_us, static_cast<unsigned long long>(status.p50_us),
+                static_cast<unsigned long long>(status.p99_us),
+                static_cast<unsigned long long>(status.latency_count));
+  out << line;
+  return out.str();
+}
+
+}  // namespace solsched::obs::analysis

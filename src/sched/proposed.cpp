@@ -35,6 +35,30 @@ ann::Vector ProposedScheduler::build_input(const nvp::PeriodContext& ctx,
   return x;
 }
 
+nvp::PeriodPlan lsa_fallback_plan(const storage::CapacitorBank& bank,
+                                  FallbackReason reason) {
+  nvp::PeriodPlan plan;
+  plan.used_fallback = true;
+  plan.fallback_code = static_cast<int>(reason);
+  // Keep the current capacitor unless it is stuck dead — then move to the
+  // fullest live one so the baseline has storage to work with.
+  const std::size_t current = bank.selected_index();
+  if (bank.at(current).dead()) {
+    std::size_t best = current;
+    double best_e = -1.0;
+    for (std::size_t h = 0; h < bank.size(); ++h) {
+      if (bank.at(h).dead()) continue;
+      const double e = bank.at(h).usable_energy_j();
+      if (e > best_e) {
+        best_e = e;
+        best = h;
+      }
+    }
+    if (best != current) plan.select_cap = best;
+  }
+  return plan;
+}
+
 nvp::PeriodPlan ProposedScheduler::fallback_plan(const nvp::PeriodContext& ctx,
                                                  FallbackReason reason) {
   ++fallback_count_;
@@ -45,25 +69,7 @@ nvp::PeriodPlan ProposedScheduler::fallback_plan(const nvp::PeriodContext& ctx,
   active_te_.clear();
   intra_mode_ = false;
 
-  nvp::PeriodPlan plan;
-  plan.used_fallback = true;
-  plan.fallback_code = static_cast<int>(reason);
-  // Keep the current capacitor unless it is stuck dead — then move to the
-  // fullest live one so the baseline has storage to work with.
-  const std::size_t current = ctx.bank->selected_index();
-  if (ctx.bank->at(current).dead()) {
-    std::size_t best = current;
-    double best_e = -1.0;
-    for (std::size_t h = 0; h < ctx.bank->size(); ++h) {
-      if (ctx.bank->at(h).dead()) continue;
-      const double e = ctx.bank->at(h).usable_energy_j();
-      if (e > best_e) {
-        best_e = e;
-        best = h;
-      }
-    }
-    if (best != current) plan.select_cap = best;
-  }
+  nvp::PeriodPlan plan = lsa_fallback_plan(*ctx.bank, reason);
   OBS_COUNTER_ADD("sched.proposed.fallbacks", 1);
   return plan;
 }

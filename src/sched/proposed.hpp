@@ -29,6 +29,15 @@ enum class FallbackReason : int {
   kDeadCap = 4,       ///< Decoded capacitor out of range or stuck-dead.
 };
 
+/// The degraded-mode period plan shared by every consumer of FallbackReason
+/// (ProposedScheduler and the solsched-serve engine): LSA inter-task over
+/// all tasks, keeping the current capacitor unless it is stuck dead — then
+/// moving to the fullest live one so the baseline has storage to work with.
+/// Pure function of the bank, so online and served fallbacks are
+/// bit-identical by construction.
+nvp::PeriodPlan lsa_fallback_plan(const storage::CapacitorBank& bank,
+                                  FallbackReason reason);
+
 /// Trained artifacts the online policy needs (produced by core::Pipeline).
 struct ProposedModel {
   std::shared_ptr<const ann::Dbn> dbn;  ///< Input width N_s + H + 1.

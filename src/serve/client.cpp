@@ -1,0 +1,219 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace solsched::serve {
+namespace {
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, out + got, size - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout (EAGAIN under SO_RCVTIMEO) or error.
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeClient::ServeClient(Options options)
+    : options_(std::move(options)), rng_(options_.jitter_seed) {
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+}
+
+ServeClient::~ServeClient() { disconnect(); }
+
+void ServeClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServeClient::connect_if_needed() {
+  if (fd_ >= 0) return true;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) return false;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.recv_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((options_.recv_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+  ++reconnects_;
+  return true;
+}
+
+void ServeClient::backoff(std::size_t attempt_index) {
+  // base * 2^attempt, capped, plus up to one base of seeded jitter so a
+  // fleet of restarting clients does not stampede a recovering daemon in
+  // lockstep.
+  std::uint64_t delay = options_.base_backoff_ms;
+  for (std::size_t i = 0; i < attempt_index && delay < options_.max_backoff_ms;
+       ++i)
+    delay *= 2;
+  if (delay > options_.max_backoff_ms) delay = options_.max_backoff_ms;
+  delay += static_cast<std::uint64_t>(
+      rng_.uniform() * static_cast<double>(options_.base_backoff_ms));
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+ServeClient::AttemptStatus ServeClient::attempt(
+    FrameType type, const std::vector<std::uint8_t>& payload,
+    FrameType expected, std::vector<std::uint8_t>* out) {
+  if (!connect_if_needed()) {
+    last_error_ = {ErrorCode::kInternal, "connect failed"};
+    return AttemptStatus::kTransient;
+  }
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    last_error_ = {ErrorCode::kInternal, "send failed"};
+    disconnect();
+    return AttemptStatus::kTransient;
+  }
+  std::vector<std::uint8_t> header(kFrameHeaderSize);
+  if (!read_exact(fd_, header.data(), header.size())) {
+    last_error_ = {ErrorCode::kInternal, "reply header not received"};
+    disconnect();
+    return AttemptStatus::kTransient;
+  }
+  FrameHeader fh;
+  if (decode_header(header.data(), header.size(), &fh) != FrameVerdict::kOk) {
+    // A garbled header (e.g. the injected corrupt fault landing early in
+    // the frame) leaves the stream unframed: drop the connection, retry.
+    last_error_ = {ErrorCode::kInternal, "reply header invalid"};
+    disconnect();
+    return AttemptStatus::kTransient;
+  }
+  std::vector<std::uint8_t> body(fh.payload_len);
+  if (fh.payload_len > 0 && !read_exact(fd_, body.data(), body.size())) {
+    last_error_ = {ErrorCode::kInternal, "reply payload not received"};
+    disconnect();
+    return AttemptStatus::kTransient;
+  }
+  if (verify_payload(fh, body.data(), body.size()) != FrameVerdict::kOk) {
+    last_error_ = {ErrorCode::kInternal, "reply payload corrupt"};
+    disconnect();
+    return AttemptStatus::kTransient;
+  }
+  if (fh.type == FrameType::kError) {
+    ErrorReply error;
+    if (decode_error(body.data(), body.size(), &error) != FrameVerdict::kOk) {
+      last_error_ = {ErrorCode::kInternal, "error reply undecodable"};
+      disconnect();
+      return AttemptStatus::kTransient;
+    }
+    last_error_ = error;
+    switch (error.code) {
+      case ErrorCode::kOverloaded:
+      case ErrorCode::kTimeout:
+      case ErrorCode::kShuttingDown:
+        return AttemptStatus::kTransient;  // Back off and try again.
+      default:
+        return AttemptStatus::kPermanent;
+    }
+  }
+  if (fh.type != expected) {
+    last_error_ = {ErrorCode::kInternal, "unexpected reply frame type"};
+    disconnect();
+    return AttemptStatus::kTransient;
+  }
+  if (out) *out = std::move(body);
+  return AttemptStatus::kDone;
+}
+
+ServeClient::Result ServeClient::call(FrameType type,
+                                      const std::vector<std::uint8_t>& payload,
+                                      FrameType expected,
+                                      std::vector<std::uint8_t>* out) {
+  for (std::size_t i = 0; i < options_.max_attempts; ++i) {
+    if (i > 0) {
+      ++retries_;
+      backoff(i - 1);
+    }
+    switch (attempt(type, payload, expected, out)) {
+      case AttemptStatus::kDone:
+        return Result::kOk;
+      case AttemptStatus::kPermanent:
+        return Result::kRefused;
+      case AttemptStatus::kTransient:
+        break;
+    }
+  }
+  return Result::kExhausted;
+}
+
+ServeClient::Result ServeClient::query(const QueryRequest& request,
+                                       DecisionReply* reply) {
+  std::vector<std::uint8_t> body;
+  const Result result =
+      call(FrameType::kQuery, encode_query(request), FrameType::kDecision,
+           &body);
+  if (result != Result::kOk) return result;
+  if (decode_decision(body.data(), body.size(), reply) != FrameVerdict::kOk) {
+    last_error_ = {ErrorCode::kInternal, "decision reply undecodable"};
+    return Result::kExhausted;
+  }
+  return Result::kOk;
+}
+
+ServeClient::Result ServeClient::ping() {
+  return call(FrameType::kPing, {}, FrameType::kPong, nullptr);
+}
+
+ServeClient::Result ServeClient::reload(std::uint64_t controller_key,
+                                        ReloadReply* ack) {
+  std::vector<std::uint8_t> body;
+  const Result result = call(FrameType::kReload, encode_reload(controller_key),
+                             FrameType::kReloadAck, &body);
+  if (result != Result::kOk) return result;
+  if (decode_reload_ack(body.data(), body.size(), ack) != FrameVerdict::kOk) {
+    last_error_ = {ErrorCode::kInternal, "reload ack undecodable"};
+    return Result::kExhausted;
+  }
+  return Result::kOk;
+}
+
+ServeClient::Result ServeClient::shutdown_server() {
+  return call(FrameType::kShutdown, {}, FrameType::kPong, nullptr);
+}
+
+}  // namespace solsched::serve

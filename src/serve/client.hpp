@@ -1,0 +1,94 @@
+// Client library of the solsched-serve daemon.
+//
+// A ServeClient owns one connection to the daemon and makes request loss
+// someone else's problem: every call retries transient failures (connect
+// refused, mid-request EOF, receive timeout, corrupted reply frame,
+// SERVE_OVERLOADED / SERVE_TIMEOUT / SERVE_SHUTTING_DOWN refusals) with
+// exponential backoff plus deterministic seeded jitter, reconnecting from
+// scratch each attempt — so a kill -9 of the daemon mid-request is
+// survivable end to end: the client backs off while the daemon restarts,
+// then the retried query lands on the new process. Permanent refusals
+// (SERVE_MALFORMED, SERVE_BAD_REQUEST, SERVE_INTERNAL) are returned to
+// the caller immediately: retrying a request the server understood and
+// rejected would loop forever.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace solsched::serve {
+
+class ServeClient {
+ public:
+  struct Options {
+    std::string socket_path;
+    std::size_t max_attempts = 8;       ///< Total tries per call.
+    std::uint64_t base_backoff_ms = 20; ///< Doubled per attempt.
+    std::uint64_t max_backoff_ms = 2000;
+    std::uint64_t recv_timeout_ms = 2000;  ///< Per-attempt receive budget.
+    std::uint64_t jitter_seed = 1;      ///< Deterministic backoff jitter.
+  };
+
+  enum class Result {
+    kOk,        ///< Decision (or ack/pong) received.
+    kRefused,   ///< Typed permanent server error; see last_error().
+    kExhausted, ///< Every attempt failed transiently; see last_error().
+  };
+
+  explicit ServeClient(Options options);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends one query; fills `*reply` on kOk.
+  Result query(const QueryRequest& request, DecisionReply* reply);
+
+  /// Liveness probe.
+  Result ping();
+
+  /// Asks the daemon to hot-reload one controller; fills `*ack` on kOk
+  /// (ack->ok reports the reload outcome — a failed reload is a valid
+  /// answer, not a transport failure).
+  Result reload(std::uint64_t controller_key, ReloadReply* ack);
+
+  /// Asks the daemon to drain and exit.
+  Result shutdown_server();
+
+  const ErrorReply& last_error() const noexcept { return last_error_; }
+  std::size_t reconnects() const noexcept { return reconnects_; }
+  std::size_t retries() const noexcept { return retries_; }
+
+ private:
+  enum class AttemptStatus {
+    kDone,       ///< Got the expected reply.
+    kTransient,  ///< Worth a backoff + retry.
+    kPermanent,  ///< Typed refusal; stop retrying.
+  };
+
+  /// One round trip over a (re)established connection.
+  AttemptStatus attempt(FrameType type,
+                        const std::vector<std::uint8_t>& payload,
+                        FrameType expected, std::vector<std::uint8_t>* out);
+
+  /// Runs the retry loop around attempt().
+  Result call(FrameType type, const std::vector<std::uint8_t>& payload,
+              FrameType expected, std::vector<std::uint8_t>* out);
+
+  bool connect_if_needed();
+  void disconnect();
+  void backoff(std::size_t attempt_index);
+
+  Options options_;
+  int fd_ = -1;
+  util::Rng rng_;
+  ErrorReply last_error_;
+  std::size_t reconnects_ = 0;
+  std::size_t retries_ = 0;
+};
+
+}  // namespace solsched::serve

@@ -1,0 +1,71 @@
+#include "serve/serve_stats.hpp"
+
+namespace solsched::serve {
+
+void ServeStats::record_decision(std::uint64_t latency_us,
+                                 bool fallback) noexcept {
+  decisions_.fetch_add(1, kRelaxed);
+  if (fallback) fallbacks_.fetch_add(1, kRelaxed);
+  latency_count_.fetch_add(1, kRelaxed);
+  latency_sum_us_.fetch_add(latency_us, kRelaxed);
+  std::size_t bucket = kLatencyBoundsUs.size();  // Overflow by default.
+  for (std::size_t i = 0; i < kLatencyBoundsUs.size(); ++i) {
+    if (latency_us <= kLatencyBoundsUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, kRelaxed);
+}
+
+void ServeStats::queue_enter() noexcept {
+  const std::uint64_t depth = depth_.fetch_add(1, kRelaxed) + 1;
+  std::uint64_t peak = peak_.load(kRelaxed);
+  while (depth > peak &&
+         !peak_.compare_exchange_weak(peak, depth, kRelaxed)) {
+  }
+}
+
+std::uint64_t ServeStats::percentile_us(
+    const std::array<std::uint64_t, kLatencyBoundsUs.size() + 1>& counts,
+    std::uint64_t total, double q) noexcept {
+  if (total == 0) return 0;
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * total).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank * 1.0 < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank)
+      return i < kLatencyBoundsUs.size() ? kLatencyBoundsUs[i]
+                                         : 2 * kLatencyBoundsUs.back();
+  }
+  return 2 * kLatencyBoundsUs.back();
+}
+
+ServeStats::Snapshot ServeStats::snapshot() const noexcept {
+  Snapshot s;
+  s.requests = requests_.load(kRelaxed);
+  s.decisions = decisions_.load(kRelaxed);
+  s.fallbacks = fallbacks_.load(kRelaxed);
+  s.malformed = malformed_.load(kRelaxed);
+  s.shed = shed_.load(kRelaxed);
+  s.timeouts = timeouts_.load(kRelaxed);
+  s.errors = errors_.load(kRelaxed);
+  s.reloads = reloads_.load(kRelaxed);
+  s.faults_injected = faults_.load(kRelaxed);
+  s.queue_depth = depth_.load(kRelaxed);
+  s.queue_peak = peak_.load(kRelaxed);
+  s.latency_count = latency_count_.load(kRelaxed);
+  s.latency_sum_us = latency_sum_us_.load(kRelaxed);
+  std::array<std::uint64_t, kLatencyBoundsUs.size() + 1> counts{};
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    counts[i] = buckets_[i].load(kRelaxed);
+  s.p50_us = percentile_us(counts, s.latency_count, 0.50);
+  s.p99_us = percentile_us(counts, s.latency_count, 0.99);
+  return s;
+}
+
+}  // namespace solsched::serve

@@ -1,0 +1,489 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace solsched::serve {
+namespace {
+
+const std::vector<double>& latency_bounds_ms() {
+  static const std::vector<double> bounds = {0.1, 0.5, 1, 5, 10, 50, 100, 500};
+  return bounds;
+}
+
+std::uint64_t wall_ms_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// read() the exact byte count; false on EOF/error before completion.
+bool read_exact(int fd, std::uint8_t* out, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, out + got, size - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// send() everything, MSG_NOSIGNAL so a vanished client cannot SIGPIPE
+/// the daemon; false on error.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void json_string(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : options_(std::move(options)),
+      engine_(DecisionEngine::Options{options_.cache_dir,
+                                      options_.assume_infer_us}) {
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+  if (options_.workers == 0) options_.workers = 1;
+  const std::size_t loaded = engine_.load_all();
+  std::fprintf(stderr, "solsched-serve: %zu controller(s) loaded from %s\n",
+               loaded, options_.cache_dir.c_str());
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("Server: socket path too long: " +
+                             options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("Server: socket(): " +
+                             std::string(std::strerror(errno)));
+  // A kill -9'd predecessor leaves its socket file behind; rebinding the
+  // same address must succeed, so the stale node is removed first.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Server: bind(" + options_.socket_path +
+                             "): " + err);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    throw std::runtime_error("Server: listen(): " + err);
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  write_status("running");
+  accept_thread_ = std::thread([this] { accept_main(); });
+  dispatch_thread_ = std::thread([this] {
+    // The worker pool: `workers` long-running loop bodies over the bounded
+    // queue. ThreadPool::run blocks this dispatcher (a participant) until
+    // every loop exits at shutdown.
+    pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+    pool_->run(options_.workers, [this](std::size_t) { worker_main(); });
+  });
+  if (!options_.status_path.empty() && options_.status_interval_ms > 0)
+    status_thread_ = std::thread([this] { status_main(); });
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  request_stop();
+
+  // Close the listener to unblock accept(). exchange() claims the fd so
+  // the accept loop can never see a half-closed descriptor.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every connection reader.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) {
+        conn->open.store(false, std::memory_order_release);
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& t : conn_threads_)
+      if (t.joinable()) t.join();
+    conn_threads_.clear();
+  }
+
+  // Wake the workers; they drain the queue with SERVE_SHUTTING_DOWN
+  // replies and exit.
+  queue_cv_.notify_all();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  pool_.reset();
+  if (status_thread_.joinable()) status_thread_.join();
+
+  ::unlink(options_.socket_path.c_str());
+  write_status("stopped");
+}
+
+void Server::accept_main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener closed by stop().
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { connection_main(conn); });
+  }
+}
+
+void Server::connection_main(std::shared_ptr<Conn> conn) {
+  std::vector<std::uint8_t> header(kFrameHeaderSize);
+  std::vector<std::uint8_t> payload;
+  while (conn->open.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
+    if (!read_exact(conn->fd, header.data(), header.size())) break;
+    FrameHeader fh;
+    const FrameVerdict hv = decode_header(header.data(), header.size(), &fh);
+    if (hv != FrameVerdict::kOk) {
+      // Header-level garbage: the stream has lost framing, so reply with
+      // the typed refusal and close — resynchronizing random bytes is not
+      // possible, crashing on them is not acceptable.
+      stats_.record_malformed();
+      OBS_COUNTER_ADD("serve.malformed", 1);
+      send_error(conn, ErrorCode::kMalformed,
+                 std::string("bad frame header: ") + verdict_name(hv),
+                 false);
+      break;
+    }
+    payload.resize(fh.payload_len);
+    if (fh.payload_len > 0 &&
+        !read_exact(conn->fd, payload.data(), payload.size()))
+      break;
+    const FrameVerdict pv = verify_payload(fh, payload.data(), payload.size());
+    if (pv != FrameVerdict::kOk) {
+      // Framing is still aligned (the length was honored), so the
+      // connection survives a corrupted payload.
+      stats_.record_malformed();
+      OBS_COUNTER_ADD("serve.malformed", 1);
+      send_error(conn, ErrorCode::kMalformed,
+                 std::string("payload rejected: ") + verdict_name(pv), false);
+      continue;
+    }
+    switch (fh.type) {
+      case FrameType::kPing:
+        send_frame(conn, FrameType::kPong, {}, false);
+        break;
+      case FrameType::kShutdown:
+        send_frame(conn, FrameType::kPong, {}, false);
+        request_stop();
+        break;
+      case FrameType::kReload: {
+        std::uint64_t key = 0;
+        if (decode_reload(payload.data(), payload.size(), &key) !=
+            FrameVerdict::kOk) {
+          stats_.record_malformed();
+          send_error(conn, ErrorCode::kMalformed, "bad reload payload",
+                     false);
+          break;
+        }
+        ReloadReply ack;
+        ack.controller_key = key;
+        ack.ok = engine_.load_controller(key, &ack.message);
+        if (ack.ok) {
+          stats_.record_reload();
+          OBS_COUNTER_ADD("serve.reloads", 1);
+        }
+        send_frame(conn, FrameType::kReloadAck, encode_reload_ack(ack),
+                   false);
+        break;
+      }
+      case FrameType::kQuery: {
+        QueryRequest query;
+        if (decode_query(payload.data(), payload.size(), &query) !=
+            FrameVerdict::kOk) {
+          stats_.record_malformed();
+          OBS_COUNTER_ADD("serve.malformed", 1);
+          send_error(conn, ErrorCode::kMalformed, "bad query payload", true);
+          break;
+        }
+        handle_query(conn, std::move(query));
+        break;
+      }
+      default:
+        // Reply frames arriving at the server are a protocol violation.
+        stats_.record_malformed();
+        send_error(conn, ErrorCode::kMalformed, "unexpected frame type",
+                   false);
+        break;
+    }
+  }
+  conn->open.store(false, std::memory_order_release);
+  ::close(conn->fd);
+}
+
+void Server::handle_query(const std::shared_ptr<Conn>& conn,
+                          QueryRequest query) {
+  stats_.record_request();
+  OBS_COUNTER_ADD("serve.requests", 1);
+  if (stopping_.load(std::memory_order_acquire)) {
+    send_error(conn, ErrorCode::kShuttingDown, "daemon is draining", true);
+    return;
+  }
+  Job job;
+  job.conn = conn;
+  job.enqueue_us = obs::now_us();
+  // The effective budget is the tighter of the client's deadline and the
+  // server-side cap; 0 on both sides means unbounded.
+  std::uint64_t budget_ms = query.deadline_ms;
+  if (options_.request_timeout_ms > 0 &&
+      (budget_ms == 0 || options_.request_timeout_ms < budget_ms))
+    budget_ms = options_.request_timeout_ms;
+  job.deadline_us = budget_ms > 0 ? job.enqueue_us + budget_ms * 1000 : 0;
+  job.query = std::move(query);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.queue_depth) {
+      // Backpressure: the queue is the only unbounded-growth risk on the
+      // request path, so it never grows — the reader sheds instead.
+      stats_.record_shed();
+      OBS_COUNTER_ADD("serve.shed", 1);
+      send_error(conn, ErrorCode::kOverloaded, "request queue full", true);
+      return;
+    }
+    queue_.push_back(std::move(job));
+    stats_.queue_enter();
+    OBS_GAUGE_SET("serve.queue_depth", queue_.size());
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_main() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // Stopping and drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      stats_.queue_leave();
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      send_error(job.conn, ErrorCode::kShuttingDown, "daemon is draining",
+                 true);
+      continue;
+    }
+    process_job(std::move(job));
+  }
+}
+
+void Server::process_job(Job job) {
+  const std::uint64_t now = obs::now_us();
+  // Deadline re-check on dequeue: a request that died waiting in the queue
+  // gets the typed timeout, never a late decision the node cannot use.
+  if (job.deadline_us > 0 && now >= job.deadline_us) {
+    stats_.record_timeout();
+    OBS_COUNTER_ADD("serve.timeouts", 1);
+    send_error(job.conn, ErrorCode::kTimeout, "deadline expired in queue",
+               true);
+    return;
+  }
+  const std::uint64_t remaining_us =
+      job.deadline_us > 0 ? job.deadline_us - now
+                          : ~std::uint64_t{0};
+  DecisionEngine::Outcome outcome;
+  try {
+    outcome = engine_.decide(job.query, remaining_us);
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = {ErrorCode::kInternal, e.what()};
+  }
+  if (!outcome.ok) {
+    send_error(job.conn, outcome.error.code, outcome.error.message, true);
+    return;
+  }
+  const std::uint64_t latency_us = obs::now_us() - job.enqueue_us;
+  stats_.record_decision(latency_us, outcome.reply.used_fallback);
+  if (outcome.reply.used_fallback) OBS_COUNTER_ADD("serve.fallbacks", 1);
+  OBS_COUNTER_ADD("serve.decisions", 1);
+  OBS_HISTOGRAM_OBSERVE("serve.request_ms", latency_bounds_ms(),
+                        static_cast<double>(latency_us) / 1000.0);
+  send_frame(job.conn, FrameType::kDecision, encode_decision(outcome.reply),
+             true);
+}
+
+void Server::send_frame(const std::shared_ptr<Conn>& conn, FrameType type,
+                        const std::vector<std::uint8_t>& payload,
+                        bool query_reply) {
+  std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  if (query_reply && options_.faults.any()) {
+    const std::uint64_t ordinal =
+        fault_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    switch (options_.faults.decide(ordinal)) {
+      case fault::ServeFault::kNone:
+        break;
+      case fault::ServeFault::kDrop:
+        stats_.record_fault_injected();
+        return;  // Swallow the reply; the client's retry machinery owns it.
+      case fault::ServeFault::kDelay:
+        stats_.record_fault_injected();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.faults.delay_ms));
+        break;
+      case fault::ServeFault::kCorrupt:
+        stats_.record_fault_injected();
+        // Flip one byte past the header so the client's payload-hash check
+        // trips (an empty payload corrupts the hash field itself).
+        frame[frame.size() > kFrameHeaderSize ? kFrameHeaderSize : 12] ^=
+            0xFF;
+        break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  if (!write_all(conn->fd, frame.data(), frame.size()))
+    conn->open.store(false, std::memory_order_release);
+}
+
+void Server::send_error(const std::shared_ptr<Conn>& conn, ErrorCode code,
+                        const std::string& message, bool query_reply) {
+  if (code != ErrorCode::kMalformed) {
+    stats_.record_error();
+    OBS_COUNTER_ADD("serve.errors", 1);
+  }
+  send_frame(conn, FrameType::kError, encode_error({code, message}),
+             query_reply);
+}
+
+std::string Server::status_json(const std::string& state) const {
+  const ServeStats::Snapshot s = stats_.snapshot();
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"status\": \"solsched-serve-v1\",\n";
+  out << "  \"state\": \"" << state << "\",\n";
+  out << "  \"wall_ms\": " << wall_ms_now() << ",\n";
+  out << "  \"pid\": " << ::getpid() << ",\n";
+  out << "  \"socket\": ";
+  json_string(out, options_.socket_path);
+  out << ",\n";
+  out << "  \"controllers\": " << engine_.controller_count() << ",\n";
+  out << "  \"workers\": " << options_.workers << ",\n";
+  out << "  \"queue_capacity\": " << options_.queue_depth << ",\n";
+  out << "  \"queue_depth\": " << s.queue_depth << ",\n";
+  out << "  \"queue_peak\": " << s.queue_peak << ",\n";
+  out << "  \"requests\": " << s.requests << ",\n";
+  out << "  \"decisions\": " << s.decisions << ",\n";
+  out << "  \"fallbacks\": " << s.fallbacks << ",\n";
+  out << "  \"malformed\": " << s.malformed << ",\n";
+  out << "  \"shed\": " << s.shed << ",\n";
+  out << "  \"timeouts\": " << s.timeouts << ",\n";
+  out << "  \"errors\": " << s.errors << ",\n";
+  out << "  \"reloads\": " << s.reloads << ",\n";
+  out << "  \"faults_injected\": " << s.faults_injected << ",\n";
+  out << "  \"latency_count\": " << s.latency_count << ",\n";
+  out << "  \"latency_sum_us\": " << s.latency_sum_us << ",\n";
+  out << "  \"p50_us\": " << s.p50_us << ",\n";
+  out << "  \"p99_us\": " << s.p99_us << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+void Server::write_status(const std::string& state) const {
+  if (options_.status_path.empty()) return;
+  const std::string tmp = options_.status_path + ".tmp";
+  const std::string text = status_json(state);
+  FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) return;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  std::fflush(file);
+  ::fsync(::fileno(file));
+  std::fclose(file);
+  if (ok) std::rename(tmp.c_str(), options_.status_path.c_str());
+}
+
+void Server::status_main() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.status_interval_ms));
+    if (stop_requested_) break;
+    lock.unlock();
+    write_status("running");
+    lock.lock();
+  }
+}
+
+}  // namespace solsched::serve

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -192,6 +193,25 @@ std::uint64_t Cli::get_seed(const std::string& name) const {
   if (!parse_full_seed(value, &parsed))
     throw std::invalid_argument("flag --" + name + ": invalid seed \"" +
                                 value + "\" (unsigned decimal)");
+  return parsed;
+}
+
+std::uint64_t Cli::get_uint(const std::string& name) const {
+  return get_uint(name, std::numeric_limits<std::uint64_t>::max());
+}
+
+std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t max) const {
+  const std::string& value = flag_of(name).value;
+  std::uint64_t parsed = 0;
+  // parse_full_seed already refuses signs (no silent -1 -> 2^64-1 wrap),
+  // fractions and ERANGE overflow; this accessor adds the domain bound.
+  if (!parse_full_seed(value, &parsed))
+    throw std::invalid_argument("flag --" + name +
+                                ": invalid unsigned integer \"" + value +
+                                "\"");
+  if (parsed > max)
+    throw std::invalid_argument("flag --" + name + ": value " + value +
+                                " exceeds maximum " + std::to_string(max));
   return parsed;
 }
 

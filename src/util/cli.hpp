@@ -57,6 +57,14 @@ class Cli {
   bool get_bool(const std::string& name) const;
   std::uint64_t get_seed(const std::string& name) const;
 
+  /// Unsigned accessor for count-like flags (ports, queue depths, timeout
+  /// milliseconds). Rejects signs, fractions, trailing garbage and
+  /// overflow — `--port -1` must be an error, never a 2^64-1 wraparound —
+  /// and optionally enforces an inclusive upper bound (e.g. 65535 for a
+  /// port). Throws std::invalid_argument naming the flag.
+  std::uint64_t get_uint(const std::string& name) const;
+  std::uint64_t get_uint(const std::string& name, std::uint64_t max) const;
+
   /// True if the user explicitly supplied the flag.
   bool was_set(const std::string& name) const;
 

@@ -94,6 +94,39 @@ TEST(Report, MetricsReportHistogramQuantiles) {
   EXPECT_NE(overflow.find("p99>100.0000"), std::string::npos) << overflow;
 }
 
+TEST(Report, MetricsReportGuardsDegenerateHistograms) {
+  // A histogram that was registered but never observed: no percentile
+  // columns, no crash.
+  obs::MetricsSnapshot snap;
+  obs::MetricsSnapshot::HistogramEntry empty;
+  empty.name = "serve.latency_us";
+  empty.upper_bounds = {1.0, 10.0};
+  empty.bucket_counts = {0, 0, 0};
+  empty.count = 0;
+  snap.histograms.push_back(empty);
+  std::string text = metrics_report(snap);
+  EXPECT_NE(text.find("serve.latency_us: n=0"), std::string::npos) << text;
+  EXPECT_EQ(text.find("p50"), std::string::npos) << text;
+
+  // count > 0 with no buckets at all (hand-built or torn snapshot): the
+  // percentile pass must not index into empty vectors.
+  snap.histograms[0].bucket_counts.clear();
+  snap.histograms[0].upper_bounds.clear();
+  snap.histograms[0].count = 5;
+  snap.histograms[0].sum = 50.0;
+  text = metrics_report(snap);
+  EXPECT_NE(text.find("n=5"), std::string::npos) << text;
+  EXPECT_EQ(text.find("p50"), std::string::npos) << text;
+
+  // Bucket sums below count (same torn-snapshot family): no dangling
+  // "p99" label with no value behind it.
+  snap.histograms[0].upper_bounds = {1.0};
+  snap.histograms[0].bucket_counts = {3, 0};  // Sums to 3, count says 5.
+  text = metrics_report(snap);
+  EXPECT_NE(text.find("p50<=1.0000"), std::string::npos) << text;
+  EXPECT_EQ(text.find("p99"), std::string::npos) << text;
+}
+
 TEST(Report, WriteTextFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/solsched_report.txt";
   EXPECT_TRUE(write_text_file(path, "hello"));

@@ -181,6 +181,89 @@ TEST(BenchCheck, KernelSchemaOneSidedEntriesAreNotes) {
   EXPECT_TRUE(check_bench(narrow, wide, 0.15).only_new.size() == 1);
 }
 
+// -- serve schema (BENCH_serve.json) ---------------------------------------
+
+std::string serve_json(double p99_us, double qps) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"scenarios\": ["
+                "{\"scenario\": \"decision_hot\", \"p99_us\": %f, "
+                "\"qps\": %f},"
+                "{\"scenario\": \"fallback\", \"p99_us\": %f}]}",
+                p99_us, qps, p99_us * 0.5);
+  return buf;
+}
+
+TEST(BenchCheck, ServeSchemaGatesTailLatencyAndThroughput) {
+  const std::string base = serve_json(200.0, 50000.0);
+  const BenchCheckResult same = check_bench(base, base, 0.15);
+  EXPECT_TRUE(same.ok);
+  // decision_hot contributes p99_us + qps, fallback (no qps) only p99_us.
+  ASSERT_EQ(same.deltas.size(), 3u);
+  for (const BenchDelta& d : same.deltas) EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+
+  // Tail latency doubled: new/old = 2.
+  const BenchCheckResult slow =
+      check_bench(base, serve_json(400.0, 50000.0), 0.15);
+  EXPECT_FALSE(slow.ok);
+  for (const BenchDelta& d : slow.deltas)
+    if (d.metric == "p99_us") {
+      EXPECT_DOUBLE_EQ(d.ratio, 2.0);
+      EXPECT_TRUE(d.regressed);
+    }
+
+  // Throughput halved: old/new = 2 even though latency held.
+  const BenchCheckResult starved =
+      check_bench(base, serve_json(200.0, 25000.0), 0.15);
+  EXPECT_FALSE(starved.ok);
+  for (const BenchDelta& d : starved.deltas)
+    if (d.metric == "qps") {
+      EXPECT_DOUBLE_EQ(d.ratio, 2.0);
+      EXPECT_TRUE(d.regressed);
+    }
+
+  // Faster and fatter both pass.
+  EXPECT_TRUE(check_bench(base, serve_json(100.0, 100000.0), 0.15).ok);
+}
+
+TEST(BenchCheck, ServeSchemaFallsBackToNsPerQuery) {
+  const std::string old_ns =
+      "{\"scenarios\": [{\"scenario\": \"decision_hot\", "
+      "\"ns_per_query\": 1000}]}";
+  const std::string new_ns =
+      "{\"scenarios\": [{\"scenario\": \"decision_hot\", "
+      "\"ns_per_query\": 3000}]}";
+  const BenchCheckResult r = check_bench(old_ns, new_ns, 0.15);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].metric, "ns_per_query");
+  EXPECT_DOUBLE_EQ(r.deltas[0].ratio, 3.0);
+}
+
+TEST(BenchCheck, ServeSchemaMismatchesThrow) {
+  const std::string base = serve_json(200.0, 50000.0);
+  // Candidate lost its latency metric entirely: harness bug, not a verdict.
+  EXPECT_THROW(
+      check_bench(base,
+                  "{\"scenarios\": [{\"scenario\": \"decision_hot\"},"
+                  "{\"scenario\": \"fallback\"}]}",
+                  0.15),
+      std::runtime_error);
+  // Baseline scenario with neither p99_us nor ns_per_query.
+  EXPECT_THROW(
+      check_bench("{\"scenarios\": [{\"scenario\": \"x\"}]}",
+                  "{\"scenarios\": [{\"scenario\": \"x\"}]}", 0.15),
+      std::runtime_error);
+  // One-sided scenarios are notes, not failures.
+  const BenchCheckResult r = check_bench(
+      base, "{\"scenarios\": [{\"scenario\": \"decision_hot\", "
+            "\"p99_us\": 200, \"qps\": 50000}]}",
+      0.15);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.only_old.size(), 1u);
+  EXPECT_EQ(r.only_old[0], "fallback");
+}
+
 TEST(BenchCheck, RejectsMalformedDocuments) {
   EXPECT_THROW(check_bench("{}", bench_json(1, 1), 0.15), std::runtime_error);
   EXPECT_THROW(check_bench("not json", bench_json(1, 1), 0.15),

@@ -1,0 +1,109 @@
+// Reader side of the solsched-serve status file: parsing, the staleness
+// verdict for daemons killed without a final "stopped" snapshot, and the
+// plain-text render `solsched-inspect serve` prints.
+#include "obs/analysis/serve_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace solsched::obs::analysis {
+namespace {
+
+// A status.json exactly as serve::Server::status_json emits it.
+const char* kServeStatus = R"({
+  "status": "solsched-serve-v1",
+  "state": "running",
+  "wall_ms": 5000000,
+  "pid": 4242,
+  "socket": "/tmp/solsched.sock",
+  "controllers": 3,
+  "workers": 2,
+  "queue_capacity": 64,
+  "queue_depth": 5,
+  "queue_peak": 17,
+  "requests": 1000,
+  "decisions": 950,
+  "fallbacks": 12,
+  "malformed": 3,
+  "shed": 20,
+  "timeouts": 7,
+  "errors": 20,
+  "reloads": 2,
+  "faults_injected": 0,
+  "latency_count": 950,
+  "latency_sum_us": 95000,
+  "p50_us": 100,
+  "p99_us": 500
+})";
+
+TEST(ServeView, ParseStatusReadsEveryField) {
+  const ServeStatus s = parse_serve_status(kServeStatus);
+  EXPECT_EQ(s.state, "running");
+  EXPECT_EQ(s.wall_ms, 5000000u);
+  EXPECT_EQ(s.pid, 4242u);
+  EXPECT_EQ(s.socket, "/tmp/solsched.sock");
+  EXPECT_EQ(s.controllers, 3u);
+  EXPECT_EQ(s.workers, 2u);
+  EXPECT_EQ(s.queue_capacity, 64u);
+  EXPECT_EQ(s.queue_depth, 5u);
+  EXPECT_EQ(s.queue_peak, 17u);
+  EXPECT_EQ(s.requests, 1000u);
+  EXPECT_EQ(s.decisions, 950u);
+  EXPECT_EQ(s.fallbacks, 12u);
+  EXPECT_EQ(s.malformed, 3u);
+  EXPECT_EQ(s.shed, 20u);
+  EXPECT_EQ(s.timeouts, 7u);
+  EXPECT_EQ(s.errors, 20u);
+  EXPECT_EQ(s.reloads, 2u);
+  EXPECT_EQ(s.latency_count, 950u);
+  EXPECT_EQ(s.latency_sum_us, 95000u);
+  EXPECT_EQ(s.p50_us, 100u);
+  EXPECT_EQ(s.p99_us, 500u);
+}
+
+TEST(ServeView, RejectsDegenerateDocuments) {
+  // Zero-length, magic-less and wrong-magic files must all be refused —
+  // these are what a watcher finds when it races the daemon's first write
+  // or points at the wrong campaign file.
+  EXPECT_THROW(parse_serve_status(""), std::runtime_error);
+  EXPECT_THROW(parse_serve_status("{}"), std::runtime_error);
+  EXPECT_THROW(parse_serve_status("not json"), std::runtime_error);
+  EXPECT_THROW(
+      parse_serve_status(R"({"status": "solsched-campaign-status-v1"})"),
+      std::runtime_error);
+}
+
+TEST(ServeView, StalenessAgesOutKilledDaemons) {
+  ServeStatus s = parse_serve_status(kServeStatus);  // running, wall 5000000.
+  EXPECT_FALSE(serve_status_is_stale(s, 5000000 + 5000, 5000));  // At edge.
+  EXPECT_TRUE(serve_status_is_stale(s, 5000000 + 5001, 5000));
+  EXPECT_FALSE(serve_status_is_stale(s, 0, 5000));  // No clock: no verdict.
+
+  // A kill -9 leaves the last "running" snapshot behind forever; a clean
+  // stop writes "stopped", which never goes stale.
+  s.state = "stopped";
+  EXPECT_FALSE(serve_status_is_stale(s, 5000000 + 7200000, 5000));
+}
+
+TEST(ServeView, RenderCarriesCountersAndStaleNote) {
+  const ServeStatus s = parse_serve_status(kServeStatus);
+  const std::string text = render_serve_status(s);
+  EXPECT_NE(text.find("state running"), std::string::npos);
+  EXPECT_NE(text.find("pid 4242"), std::string::npos);
+  EXPECT_NE(text.find("/tmp/solsched.sock"), std::string::npos);
+  EXPECT_NE(text.find("queue 5/64 (peak 17)"), std::string::npos);
+  EXPECT_NE(text.find("requests 1000"), std::string::npos);
+  EXPECT_NE(text.find("fallbacks 12"), std::string::npos);
+  EXPECT_NE(text.find("malformed 3"), std::string::npos);
+  EXPECT_NE(text.find("p99 500 us"), std::string::npos);
+  EXPECT_EQ(text.find("stale"), std::string::npos);
+
+  EXPECT_NE(render_serve_status(s, 5000000 + 60000).find(
+                "(stale: daemon gone?)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace solsched::obs::analysis

@@ -125,6 +125,41 @@ const char* kHeader =
     "{\"telemetry\": \"solsched-campaign-telemetry-v1\", "
     "\"spec_digest\": \"00000000deadbeef\"}\n";
 
+// Degenerate files a crash (or a watcher racing the first write) leaves
+// behind: zero-length, header-only, and a stale "running" snapshot from a
+// process that is long dead.
+TEST(TelemetryView, ZeroLengthFilesAreRefusedOrEmpty) {
+  // A zero-length status.json cannot carry the magic: the reader must
+  // refuse it, not render a zeroed dashboard.
+  EXPECT_THROW(parse_status(""), std::runtime_error);
+  EXPECT_THROW(parse_status("{}"), std::runtime_error);
+  // A zero-length telemetry.jsonl is a valid (empty) log: the bus opens
+  // the file before its first fsync'd header write.
+  const TelemetryLog empty = load_telemetry("");
+  EXPECT_TRUE(empty.lines.empty());
+  EXPECT_TRUE(empty.spec_digest.empty());
+  EXPECT_EQ(empty.dropped_partial, 0u);
+}
+
+TEST(TelemetryView, HeaderOnlyTelemetryIsAnEmptyLog) {
+  const TelemetryLog log = load_telemetry(kHeader);
+  EXPECT_TRUE(log.lines.empty());
+  EXPECT_EQ(log.spec_digest, "00000000deadbeef");
+  EXPECT_EQ(log.dropped_partial, 0u);
+  EXPECT_TRUE(log.census().empty());
+}
+
+TEST(TelemetryView, StaleRunningSnapshotFromDeadProcessFlagsAndExits) {
+  const CampaignStatus s = parse_status(kStatus);  // running, wall 1000000.
+  // Hours later the writer is clearly dead: stale, rendered as such, and
+  // the watcher's verdict is "resume me" (3), never "finished".
+  const std::uint64_t hours_later = 1000000 + 7200000;
+  EXPECT_TRUE(status_is_stale(s, hours_later));
+  EXPECT_NE(render_status(s, true, hours_later).find("stale"),
+            std::string::npos);
+  EXPECT_EQ(status_exit_code(s), 3);
+}
+
 TEST(TelemetryView, LoadTelemetryParsesLinesAndCensus) {
   const std::string text =
       std::string(kHeader) +

@@ -1,0 +1,71 @@
+// Reply-path fault plan: spec grammar, per-ordinal determinism, and the
+// drop > corrupt > delay priority contract.
+#include "fault/serve_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace solsched::fault {
+namespace {
+
+TEST(ServeFaults, EmptySpecIsInactive) {
+  const ServeFaultPlan plan = ServeFaultPlan::parse("");
+  EXPECT_FALSE(plan.any());
+  for (std::uint64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(plan.decide(i), ServeFault::kNone);
+}
+
+TEST(ServeFaults, ParseReadsEveryKey) {
+  const ServeFaultPlan plan =
+      ServeFaultPlan::parse("seed=7,drop=0.1,delay=0.2,delay-ms=80,corrupt=0.05");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay_prob, 0.2);
+  EXPECT_EQ(plan.delay_ms, 80u);
+  EXPECT_DOUBLE_EQ(plan.corrupt_prob, 0.05);
+  EXPECT_TRUE(plan.any());
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(ServeFaults, ParseRejectsGarbage) {
+  EXPECT_THROW(ServeFaultPlan::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(ServeFaultPlan::parse("drop=oops"), std::invalid_argument);
+  EXPECT_THROW(ServeFaultPlan::parse("drop=-0.5"), std::invalid_argument);
+  EXPECT_THROW(ServeFaultPlan::parse("drop"), std::invalid_argument);
+}
+
+TEST(ServeFaults, DecisionsAreDeterministicPerOrdinal) {
+  const ServeFaultPlan plan = ServeFaultPlan::parse("seed=3,drop=0.3,delay=0.3");
+  for (std::uint64_t i = 0; i < 256; ++i)
+    EXPECT_EQ(plan.decide(i), plan.decide(i)) << "ordinal " << i;
+  // A different seed reshuffles which ordinals misbehave.
+  const ServeFaultPlan other =
+      ServeFaultPlan::parse("seed=4,drop=0.3,delay=0.3");
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 256 && !differs; ++i)
+    differs = plan.decide(i) != other.decide(i);
+  EXPECT_TRUE(differs);
+}
+
+TEST(ServeFaults, CertainDropBeatsEverything) {
+  ServeFaultPlan plan;
+  plan.drop_prob = 1.0;
+  plan.delay_prob = 1.0;
+  plan.corrupt_prob = 1.0;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    EXPECT_EQ(plan.decide(i), ServeFault::kDrop);
+}
+
+TEST(ServeFaults, RatesLandNearProbabilities) {
+  const ServeFaultPlan plan = ServeFaultPlan::parse("seed=9,drop=0.25");
+  std::size_t drops = 0;
+  constexpr std::uint64_t kN = 4000;
+  for (std::uint64_t i = 0; i < kN; ++i)
+    if (plan.decide(i) == ServeFault::kDrop) ++drops;
+  EXPECT_GT(drops, kN / 8);      // Well above zero...
+  EXPECT_LT(drops, kN / 2);      // ...well below half.
+}
+
+}  // namespace
+}  // namespace solsched::fault

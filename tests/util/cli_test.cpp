@@ -168,5 +168,68 @@ TEST(Cli, EmptyEqualsValueFailsForNumericFlag) {
   EXPECT_NE(cli.error().find("--days"), std::string::npos);
 }
 
+TEST(Cli, GetUintReadsCountFlags) {
+  Cli cli;
+  cli.add_flag("port", "7777", "listen port");
+  cli.add_flag("queue-depth", "64", "queue capacity");
+  const char* argv[] = {"prog", "--port", "8080"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_uint("port"), 8080u);
+  EXPECT_EQ(cli.get_uint("queue-depth"), 64u);
+}
+
+TEST(Cli, GetUintRejectsNegativeInsteadOfWrapping) {
+  Cli cli;
+  cli.add_flag("port", "7777", "listen port");
+  // "-1" parses as a well-formed number, so parse() accepts it; the
+  // unsigned accessor must refuse rather than hand back 2^64 - 1.
+  const char* argv[] = {"prog", "--port", "-1"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_uint("port"), std::invalid_argument);
+  EXPECT_EQ(cli.get_int("port"), -1);
+}
+
+TEST(Cli, GetUintRejectsFractionsAndPlusSign) {
+  Cli cli;
+  cli.add_flag("timeout-ms", "1000", "request timeout");
+  {
+    const char* argv[] = {"prog", "--timeout-ms", "1.5"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_THROW(cli.get_uint("timeout-ms"), std::invalid_argument);
+  }
+  {
+    Cli plus;
+    plus.add_flag("timeout-ms", "1000", "request timeout");
+    const char* argv[] = {"prog", "--timeout-ms", "+7"};
+    ASSERT_TRUE(plus.parse(3, argv));
+    EXPECT_THROW(plus.get_uint("timeout-ms"), std::invalid_argument);
+  }
+}
+
+TEST(Cli, GetUintRejectsOverflow) {
+  Cli cli;
+  cli.add_flag("queue-depth", "64", "queue capacity");
+  // One past 2^64 - 1: strtoull would clamp with ERANGE; the accessor
+  // must throw instead of silently saturating.
+  const char* argv[] = {"prog", "--queue-depth", "18446744073709551616"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_uint("queue-depth"), std::invalid_argument);
+}
+
+TEST(Cli, GetUintEnforcesInclusiveUpperBound) {
+  Cli cli;
+  cli.add_flag("port", "7777", "listen port");
+  const char* argv[] = {"prog", "--port", "65535"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_uint("port", 65535), 65535u);
+  EXPECT_THROW(cli.get_uint("port", 65534), std::invalid_argument);
+  try {
+    cli.get_uint("port", 1024);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--port"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace solsched::util
