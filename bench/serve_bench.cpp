@@ -40,6 +40,13 @@ struct Scenario {
   double mean_us = 0.0;
   std::uint64_t p50_us = 0;
   std::uint64_t p99_us = 0;
+  // Server-side verdict deltas across the scenario (warmup included —
+  // refusals there count against the run too). `errors` already contains
+  // shed and timeouts (every non-malformed refusal is recorded once).
+  std::uint64_t shed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  double availability = 1.0;
 };
 
 /// Small controller in the unit-test shape: a 1-hour "day" of 12 periods,
@@ -65,11 +72,13 @@ core::TrainedController tiny_controller() {
                               node, config);
 }
 
-Scenario run_scenario(const std::string& name, serve::ServeClient& client,
+Scenario run_scenario(const std::string& name, const serve::Server& server,
+                      serve::ServeClient& client,
                       const serve::QueryRequest& query, std::size_t requests) {
   Scenario s;
   s.name = name;
   s.requests = requests;
+  const serve::ServeStats::Snapshot before = server.stats();
   serve::DecisionReply reply;
   for (std::size_t i = 0; i < kWarmup; ++i)
     (void)client.query(query, &reply);
@@ -98,6 +107,17 @@ Scenario run_scenario(const std::string& name, serve::ServeClient& client,
   s.p50_us = latencies_us[(latencies_us.size() - 1) * 50 / 100];
   s.p99_us = latencies_us[(latencies_us.size() - 1) * 99 / 100];
   s.qps = total_s > 0.0 ? static_cast<double>(requests) / total_s : 0.0;
+
+  const serve::ServeStats::Snapshot after = server.stats();
+  s.shed = after.shed - before.shed;
+  s.timeouts = after.timeouts - before.timeouts;
+  s.errors = after.errors - before.errors;
+  const std::uint64_t decisions = after.decisions - before.decisions;
+  const std::uint64_t verdicts = decisions + s.errors;
+  s.availability = verdicts == 0
+                       ? 1.0
+                       : static_cast<double>(decisions) /
+                             static_cast<double>(verdicts);
   return s;
 }
 
@@ -142,18 +162,23 @@ int main() {
   missing.controller_key = 0x404;
 
   std::vector<Scenario> scenarios;
-  scenarios.push_back(run_scenario("decision_hot", client, hot, kRequests));
   scenarios.push_back(
-      run_scenario("fallback_missing", client, missing, kRequests));
+      run_scenario("decision_hot", server, client, hot, kRequests));
+  scenarios.push_back(
+      run_scenario("fallback_missing", server, client, missing, kRequests));
   server.stop();
   std::filesystem::remove_all(root);
 
   for (const Scenario& s : scenarios)
     std::printf("%-18s %zu requests  %.0f q/s  mean %.1f us  p50 %llu us  "
-                "p99 %llu us\n",
+                "p99 %llu us  availability %.6f (shed %llu timeout %llu "
+                "error %llu)\n",
                 s.name.c_str(), s.requests, s.qps, s.mean_us,
                 static_cast<unsigned long long>(s.p50_us),
-                static_cast<unsigned long long>(s.p99_us));
+                static_cast<unsigned long long>(s.p99_us), s.availability,
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.timeouts),
+                static_cast<unsigned long long>(s.errors));
 
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (!f) {
@@ -168,10 +193,14 @@ int main() {
     std::fprintf(f,
                  "    {\"scenario\": \"%s\", \"requests\": %zu, "
                  "\"qps\": %.1f, \"mean_us\": %.2f, \"p50_us\": %llu, "
-                 "\"p99_us\": %llu}%s\n",
+                 "\"p99_us\": %llu, \"availability\": %.6f, "
+                 "\"shed\": %llu, \"timeouts\": %llu, \"errors\": %llu}%s\n",
                  s.name.c_str(), s.requests, s.qps, s.mean_us,
                  static_cast<unsigned long long>(s.p50_us),
-                 static_cast<unsigned long long>(s.p99_us),
+                 static_cast<unsigned long long>(s.p99_us), s.availability,
+                 static_cast<unsigned long long>(s.shed),
+                 static_cast<unsigned long long>(s.timeouts),
+                 static_cast<unsigned long long>(s.errors),
                  i + 1 < scenarios.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

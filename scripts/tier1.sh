@@ -4,9 +4,12 @@
 # kernel baselines), the campaign kill/resume smoke, the live-telemetry
 # drill (stop under SOLSCHED_OBS, torn-tail heal, resume, watch exit
 # codes), the serve daemon kill/restart drill (SIGKILL mid-load, backoff
-# reconnect, bit-identical decisions across the restart), a
+# reconnect, bit-identical decisions across the restart), the serve
+# observability drill (SLO burn-rate alert under an injected delay fault,
+# timeseries ring flush, a traced request stitched across the client and
+# server Chrome-trace dumps), a
 # SOLSCHED_SIMD=OFF scalar-fallback build with a cross-build
-# controller-decision check, plus the concurrency/obs/telemetry/serve
+# controller-decision check, plus the concurrency/obs/telemetry/serve/tsdb
 # suites rerun under ThreadSanitizer, the fault suite rerun under
 # UndefinedBehaviorSanitizer, and the simd parity suite rerun under
 # AddressSanitizer+UBSan.
@@ -150,6 +153,59 @@ wait "$SERVE_PID"
 "$BUILD_DIR/tools/solsched-inspect" serve "$SERVE_STATUS" > /dev/null
 echo "serve kill/restart decisions bit-identical"
 
+echo "== tier 1: serve observability drill ($BUILD_DIR) =="
+# The tsdb suite, then the DESIGN.md §17 drill: a daemon with an SLO
+# config, a 30 ms reply-delay fault, a timeseries ring and an armed trace
+# sink serves a loadgen burst whose 20 ms deadlines expire in queue behind
+# the single delayed worker. The burn rate blows the 0.95 budget in both
+# windows, so `solsched-inspect slo` must page (exit 1). A traced query
+# then writes the client half of the timeline; the daemon's stop flushes
+# the server half; `solsched-inspect timeline` stitches the two dumps into
+# one flow-linked view of that id (and exits 1 for an id that is absent).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L tsdb
+OBS_TMP="$CAMP_TMP/serve-obs"
+rm -rf "$OBS_TMP"
+mkdir -p "$OBS_TMP"
+OBS_SOCK="$OBS_TMP/sock"
+OBS_STATUS="$OBS_TMP/status.json"
+"$BUILD_DIR/tools/solsched-serve" run --socket "$OBS_SOCK" \
+  --cache-dir "$CAMP_TMP/cache" --status "$OBS_STATUS" \
+  --status-interval-ms 50 --workers 1 \
+  --slo "availability=0.95,fast-s=5,slow-s=10,burn=2" \
+  --fault "seed=1,delay=1.0,delay-ms=30" \
+  --timeseries "$OBS_TMP/timeseries.jsonl" \
+  --trace-out "$OBS_TMP/server_trace.json" &
+OBS_PID=$!
+"$BUILD_DIR/tools/solsched-serve" loadgen --socket "$OBS_SOCK" \
+  --key "$KEY" --count 25 --clients 2 --caps 1 --slots 10 \
+  --deadline-ms 20 --max-attempts 40 \
+  > "$OBS_TMP/loadgen.txt" || true
+grep -q "timeout-seen [1-9]" "$OBS_TMP/loadgen.txt" || {
+  echo "delay fault produced no client-visible timeouts"; \
+  cat "$OBS_TMP/loadgen.txt"; exit 1; }
+sleep 1  # two status ticks: the SLO engine samples the burst.
+rc=0
+"$BUILD_DIR/tools/solsched-inspect" slo "$OBS_STATUS" || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected burn-rate alert (exit 1), got $rc"; exit 1; }
+[ -s "$OBS_TMP/timeseries.jsonl" ] || { echo "timeseries ring never flushed"; exit 1; }
+"$BUILD_DIR/tools/solsched-serve" query --socket "$OBS_SOCK" \
+  --key "$KEY" --voltages 2.5 --solar "$SERVE_SOLAR" --period 4 \
+  --max-attempts 40 --trace-id 0xabc123 \
+  --trace-out "$OBS_TMP/client_trace.json" > /dev/null
+"$BUILD_DIR/tools/solsched-serve" stop --socket "$OBS_SOCK"
+wait "$OBS_PID"
+"$BUILD_DIR/tools/solsched-inspect" timeline \
+  "$OBS_TMP/client_trace.json" "$OBS_TMP/server_trace.json" \
+  --trace-id 0xabc123 --merged-out "$OBS_TMP/merged_trace.json" \
+  > "$OBS_TMP/timeline.txt"
+grep -q "serve.req" "$OBS_TMP/timeline.txt"
+grep -q "serve.client.request" "$OBS_TMP/timeline.txt"
+rc=0
+"$BUILD_DIR/tools/solsched-inspect" timeline "$OBS_TMP/merged_trace.json" \
+  --trace-id 0xdead > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 for an absent trace id, got $rc"; exit 1; }
+echo "serve slo alert + stitched client/server timeline drill passed"
+
 echo "== tier 1: scalar-fallback build + cross-build decision check ($SCALAR_DIR) =="
 # SOLSCHED_SIMD=OFF build: the simd suite must pass with the dispatch
 # resolving to the scalar reference bodies, and a serial wam+ecg campaign
@@ -172,11 +228,11 @@ SOLSCHED_THREADS=1 "$SCALAR_DIR/tools/solsched-campaign" run \
 cmp "$XBUILD_TMP/simd/journal.jsonl" "$XBUILD_TMP/scalar/journal.jsonl"
 echo "scalar and SIMD builds journal bit-identical wam+ecg decisions"
 
-echo "== tier 1: TSan rerun of concurrency + obs + telemetry + serve ($TSAN_DIR) =="
+echo "== tier 1: TSan rerun of concurrency + obs + telemetry + serve + tsdb ($TSAN_DIR) =="
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS"
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -L "concurrency|obs|telemetry|serve"
+  -L "concurrency|obs|telemetry|serve|tsdb"
 
 echo "== tier 1: UBSan rerun of fault suite ($UBSAN_DIR) =="
 cmake -B "$UBSAN_DIR" -S . -DSOLSCHED_SANITIZE=undefined

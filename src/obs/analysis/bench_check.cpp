@@ -123,7 +123,8 @@ std::map<std::string, const JsonValue*> scenarios_of(const JsonValue& doc,
 /// throughput must not drop beyond the bound. Latency gates on p99_us
 /// (new/old), falling back to ns_per_query when a file predates the
 /// microsecond histogram; throughput gates on qps (old/new) whenever the
-/// baseline reports one.
+/// baseline reports one. Availability gates on old/new whenever the
+/// baseline reports it (pre-availability baselines skip the check).
 BenchCheckResult check_bench_serve(const JsonValue& old_doc,
                                    const JsonValue& new_doc,
                                    double max_regress) {
@@ -179,6 +180,23 @@ BenchCheckResult check_bench_serve(const JsonValue& old_doc,
       thr.regressed = thr.ratio > 1.0 + max_regress;
       if (thr.regressed) ++regressions;
       r.deltas.push_back(std::move(thr));
+    }
+
+    const double old_avail = old_entry->number_or("availability");
+    if (old_avail > 0.0) {
+      const double new_avail = new_entry.number_or("availability");
+      if (new_avail <= 0.0)
+        throw std::runtime_error("candidate scenario \"" + key +
+                                 "\" lost its availability value");
+      BenchDelta avail;
+      avail.run = key;
+      avail.metric = "availability";
+      avail.old_ms = old_avail;
+      avail.new_ms = new_avail;
+      avail.ratio = old_avail / new_avail;  // > 1: candidate refuses more.
+      avail.regressed = avail.ratio > 1.0 + max_regress;
+      if (avail.regressed) ++regressions;
+      r.deltas.push_back(std::move(avail));
     }
   }
   for (const auto& [key, entry] : new_scenarios) {

@@ -17,6 +17,7 @@
 #include "obs/analysis/profile.hpp"
 #include "obs/analysis/serve_view.hpp"
 #include "obs/analysis/telemetry_view.hpp"
+#include "obs/analysis/timeline.hpp"
 #include "obs/sim_trace.hpp"
 #include "util/table.hpp"
 
@@ -50,6 +51,16 @@ constexpr const char* kUsage =
     "                                   older than the age bound (daemon\n"
     "                                   presumed killed); --now-ms overrides\n"
     "                                   the wall clock for reproducible runs\n"
+    "  slo <status.json>                render the daemon's SLO block; exit\n"
+    "                                   1 while a burn-rate or p99 alert is\n"
+    "                                   firing\n"
+    "  timeline <trace.json> [...] [--trace-id 0xID] [--merged-out <path>]\n"
+    "                                   merge client+server Chrome traces\n"
+    "                                   into per-request stage breakdowns;\n"
+    "                                   --merged-out writes one stitched\n"
+    "                                   trace for chrome://tracing; exit 1\n"
+    "                                   when --trace-id is absent from the\n"
+    "                                   dumps\n"
     "\n"
     "traces are JSONL (--trace-out/--events-out output); a path ending in\n"
     ".csv is read as long-format CSV. exit codes: 0 ok, 1 check failed,\n"
@@ -300,6 +311,60 @@ int cmd_serve(const std::string& path, std::uint64_t now_ms,
   return serve_status_is_stale(status, now_ms, max_age_ms) ? 1 : 0;
 }
 
+int cmd_slo(const std::string& path) {
+  const ServeStatus status = parse_serve_status(read_file(path));
+  if (!status.has_slo) {
+    std::printf("%s: no slo configured (start the daemon with --slo)\n",
+                path.c_str());
+    return 0;
+  }
+  const ServeStatus::Slo& slo = status.slo;
+  std::printf("slo targets: availability %.4f  p99 %llu us  "
+              "windows %llu/%llu s  burn alert >= %.1f\n",
+              slo.target_availability,
+              static_cast<unsigned long long>(slo.target_p99_us),
+              static_cast<unsigned long long>(slo.fast_window_s),
+              static_cast<unsigned long long>(slo.slow_window_s),
+              slo.burn_alert);
+  std::printf("observed:    availability %.4f (fast) %.4f (slow)  "
+              "burn %.2f/%.2f  p99 %llu/%llu us\n",
+              slo.availability_fast, slo.availability_slow, slo.burn_fast,
+              slo.burn_slow,
+              static_cast<unsigned long long>(slo.p99_fast_us),
+              static_cast<unsigned long long>(slo.p99_slow_us));
+  if (slo.alert) {
+    std::printf("verdict:     ALERT (%s%s%s)\n",
+                slo.alert_availability ? "availability-burn" : "",
+                slo.alert_availability && slo.alert_p99 ? ", " : "",
+                slo.alert_p99 ? "p99-latency" : "");
+    return 1;
+  }
+  std::printf("verdict:     ok (error budget intact)\n");
+  return 0;
+}
+
+int cmd_timeline(const std::vector<std::string>& paths,
+                 std::uint64_t trace_id, const std::string& merged_out) {
+  const Timeline timeline = load_timeline(paths);
+  const std::string text = render_timeline(timeline, trace_id);
+  if (text.empty()) {
+    if (trace_id != 0)
+      std::printf("trace 0x%llx not found in %zu dump(s)\n",
+                  static_cast<unsigned long long>(trace_id), paths.size());
+    else
+      std::printf("no traced requests in %zu dump(s)\n", paths.size());
+  } else {
+    std::printf("%s", text.c_str());
+  }
+  if (!merged_out.empty()) {
+    if (!write_merged_trace(timeline, merged_out))
+      throw std::runtime_error("cannot write " + merged_out);
+    std::printf("merged trace (%zu events) -> %s\n", timeline.events.size(),
+                merged_out.c_str());
+  }
+  return trace_id != 0 && text.empty() ? 1 : 0;
+}
+
 }  // namespace
 
 int run_inspect(int argc, const char* const* argv) {
@@ -379,6 +444,34 @@ int run_inspect(int argc, const char* const* argv) {
           throw std::runtime_error("unknown flag: " + args[i]);
       }
       return cmd_serve(args[1], now_ms, max_age_ms);
+    }
+
+    if (cmd == "slo" && args.size() == 2) return cmd_slo(args[1]);
+
+    if (cmd == "timeline" && args.size() >= 2) {
+      std::vector<std::string> paths;
+      std::uint64_t trace_id = 0;
+      std::string merged_out;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--trace-id") {
+          if (i + 1 >= args.size())
+            throw std::runtime_error("--trace-id needs a value");
+          trace_id = std::stoull(args[++i], nullptr, 0);  // 0x... or decimal.
+          if (trace_id == 0)
+            throw std::runtime_error("--trace-id must be nonzero");
+        } else if (args[i] == "--merged-out") {
+          if (i + 1 >= args.size())
+            throw std::runtime_error("--merged-out needs a value");
+          merged_out = args[++i];
+        } else if (!args[i].empty() && args[i][0] == '-') {
+          throw std::runtime_error("unknown flag: " + args[i]);
+        } else {
+          paths.push_back(args[i]);
+        }
+      }
+      if (paths.empty())
+        throw std::runtime_error("timeline needs at least one trace dump");
+      return cmd_timeline(paths, trace_id, merged_out);
     }
 
     std::fprintf(stderr, "solsched-inspect: bad command line\n\n%s", kUsage);

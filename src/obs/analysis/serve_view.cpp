@@ -38,6 +38,10 @@ ServeStatus parse_serve_status(const std::string& json_text) {
   out.requests = u64_of(doc, "requests");
   out.decisions = u64_of(doc, "decisions");
   out.fallbacks = u64_of(doc, "fallbacks");
+  out.fallback_no_controller = u64_of(doc, "fallback_no_controller");
+  out.fallback_corrupt = u64_of(doc, "fallback_corrupt");
+  out.fallback_budget = u64_of(doc, "fallback_budget");
+  out.fallback_sched = u64_of(doc, "fallback_sched");
   out.malformed = u64_of(doc, "malformed");
   out.shed = u64_of(doc, "shed");
   out.timeouts = u64_of(doc, "timeouts");
@@ -48,6 +52,28 @@ ServeStatus parse_serve_status(const std::string& json_text) {
   out.latency_sum_us = u64_of(doc, "latency_sum_us");
   out.p50_us = u64_of(doc, "p50_us");
   out.p99_us = u64_of(doc, "p99_us");
+  out.availability = doc.number_or("availability", 1.0);
+  if (const JsonValue* slo = doc.find("slo"); slo && slo->is_object()) {
+    out.has_slo = true;
+    out.slo.target_availability = slo->number_or("target_availability");
+    out.slo.target_p99_us = u64_of(*slo, "target_p99_us");
+    out.slo.fast_window_s = u64_of(*slo, "fast_window_s");
+    out.slo.slow_window_s = u64_of(*slo, "slow_window_s");
+    out.slo.burn_alert = slo->number_or("burn_alert");
+    out.slo.availability_fast = slo->number_or("availability_fast", 1.0);
+    out.slo.availability_slow = slo->number_or("availability_slow", 1.0);
+    out.slo.burn_fast = slo->number_or("burn_fast");
+    out.slo.burn_slow = slo->number_or("burn_slow");
+    out.slo.p99_fast_us = u64_of(*slo, "p99_fast_us");
+    out.slo.p99_slow_us = u64_of(*slo, "p99_slow_us");
+    const auto bool_of = [&](const char* key) {
+      const JsonValue* v = slo->find(key);
+      return v != nullptr && v->kind == JsonValue::Kind::kBool && v->boolean;
+    };
+    out.slo.alert_availability = bool_of("alert_availability");
+    out.slo.alert_p99 = bool_of("alert_p99");
+    out.slo.alert = bool_of("alert");
+  }
   return out;
 }
 
@@ -65,6 +91,14 @@ std::string render_serve_status(const ServeStatus& status,
   std::ostringstream out;
   char line[256];
   out << "solsched-serve  state " << status.state;
+  // Snapshot age tells the reader how fresh everything below is; a stale
+  // "running" snapshot names the age the daemon has been silent for.
+  if (now_wall_ms > status.wall_ms) {
+    const double age_s =
+        static_cast<double>(now_wall_ms - status.wall_ms) / 1000.0;
+    std::snprintf(line, sizeof(line), "  (age %.1f s)", age_s);
+    out << line;
+  }
   if (serve_status_is_stale(status, now_wall_ms, max_age_ms))
     out << "  (stale: daemon gone?)";
   out << "\n";
@@ -84,6 +118,15 @@ std::string render_serve_status(const ServeStatus& status,
       static_cast<unsigned long long>(status.decisions),
       static_cast<unsigned long long>(status.fallbacks),
       static_cast<unsigned long long>(status.reloads));
+  out << line;
+  std::snprintf(
+      line, sizeof(line),
+      "  rungs: no_controller %llu  corrupt %llu  budget %llu  "
+      "sched_fallback %llu\n",
+      static_cast<unsigned long long>(status.fallback_no_controller),
+      static_cast<unsigned long long>(status.fallback_corrupt),
+      static_cast<unsigned long long>(status.fallback_budget),
+      static_cast<unsigned long long>(status.fallback_sched));
   out << line;
   std::snprintf(
       line, sizeof(line),
@@ -107,6 +150,36 @@ std::string render_serve_status(const ServeStatus& status,
                 static_cast<unsigned long long>(status.p99_us),
                 static_cast<unsigned long long>(status.latency_count));
   out << line;
+  std::snprintf(line, sizeof(line), "  availability %.4f\n",
+                status.availability);
+  out << line;
+  if (status.has_slo) {
+    std::snprintf(line, sizeof(line),
+                  "  slo: target availability %.4f  target p99 %llu us  "
+                  "windows %llu/%llu s  burn alert >= %.1f\n",
+                  status.slo.target_availability,
+                  static_cast<unsigned long long>(status.slo.target_p99_us),
+                  static_cast<unsigned long long>(status.slo.fast_window_s),
+                  static_cast<unsigned long long>(status.slo.slow_window_s),
+                  status.slo.burn_alert);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "  slo: availability %.4f/%.4f  burn %.2f/%.2f  "
+                  "p99 %llu/%llu us (fast/slow)\n",
+                  status.slo.availability_fast, status.slo.availability_slow,
+                  status.slo.burn_fast, status.slo.burn_slow,
+                  static_cast<unsigned long long>(status.slo.p99_fast_us),
+                  static_cast<unsigned long long>(status.slo.p99_slow_us));
+    out << line;
+    if (status.slo.alert) {
+      out << "  slo: ALERT";
+      if (status.slo.alert_availability) out << " availability-burn";
+      if (status.slo.alert_p99) out << " p99-latency";
+      out << "\n";
+    } else {
+      out << "  slo: ok\n";
+    }
+  }
   return out.str();
 }
 

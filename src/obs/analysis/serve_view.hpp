@@ -27,6 +27,12 @@ struct ServeStatus {
   std::uint64_t requests = 0;
   std::uint64_t decisions = 0;
   std::uint64_t fallbacks = 0;
+  /// Degradation-ladder rung counts (absent keys parse as 0, so pre-rung
+  /// status files still load).
+  std::uint64_t fallback_no_controller = 0;
+  std::uint64_t fallback_corrupt = 0;
+  std::uint64_t fallback_budget = 0;
+  std::uint64_t fallback_sched = 0;
   std::uint64_t malformed = 0;
   std::uint64_t shed = 0;
   std::uint64_t timeouts = 0;
@@ -37,6 +43,29 @@ struct ServeStatus {
   std::uint64_t latency_sum_us = 0;
   std::uint64_t p50_us = 0;
   std::uint64_t p99_us = 0;
+  /// Lifetime good-verdict fraction; 1.0 for an idle daemon (and for
+  /// pre-availability status files, where the key is absent).
+  double availability = 1.0;
+
+  /// SLO block (present only when the daemon was started with targets).
+  struct Slo {
+    double target_availability = 0.0;
+    std::uint64_t target_p99_us = 0;
+    std::uint64_t fast_window_s = 0;
+    std::uint64_t slow_window_s = 0;
+    double burn_alert = 0.0;
+    double availability_fast = 1.0;
+    double availability_slow = 1.0;
+    double burn_fast = 0.0;
+    double burn_slow = 0.0;
+    std::uint64_t p99_fast_us = 0;
+    std::uint64_t p99_slow_us = 0;
+    bool alert_availability = false;
+    bool alert_p99 = false;
+    bool alert = false;
+  };
+  bool has_slo = false;
+  Slo slo;
 };
 
 /// Parses a serve status.json document. Throws std::runtime_error on

@@ -1,0 +1,177 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace solsched::obs {
+namespace {
+
+bool parse_positive_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && std::isfinite(*out) &&
+         *out > 0.0;
+}
+
+bool parse_positive_u64(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || v == 0) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool parse_slo_config(const std::string& spec, SloConfig* config,
+                      std::string* error) {
+  SloConfig out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      if (error) *error = "slo: expected key=value, got '" + item + "'";
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    bool ok = false;
+    if (key == "availability") {
+      ok = parse_positive_double(value, &out.target_availability) &&
+           out.target_availability < 1.0;
+    } else if (key == "p99-us") {
+      ok = parse_positive_u64(value, &out.target_p99_us);
+    } else if (key == "fast-s") {
+      ok = parse_positive_u64(value, &out.fast_window_s);
+    } else if (key == "slow-s") {
+      ok = parse_positive_u64(value, &out.slow_window_s);
+    } else if (key == "burn") {
+      ok = parse_positive_double(value, &out.burn_alert);
+    } else {
+      if (error) *error = "slo: unknown key '" + key + "'";
+      return false;
+    }
+    if (!ok) {
+      if (error) *error = "slo: bad value for '" + key + "': '" + value + "'";
+      return false;
+    }
+  }
+  if (out.fast_window_s > out.slow_window_s) {
+    if (error) *error = "slo: fast-s must not exceed slow-s";
+    return false;
+  }
+  *config = out;
+  return true;
+}
+
+SloEngine::SloEngine(SloConfig config, std::vector<std::uint64_t> bounds_us)
+    : config_(config), bounds_us_(std::move(bounds_us)) {
+  last_.configured = config_.enabled();
+}
+
+SloEngine::WindowDelta SloEngine::window_locked(
+    std::uint64_t window_s) const {
+  WindowDelta delta;
+  if (samples_.empty()) return delta;
+  const SloSample& newest = samples_.back();
+  // Base: the newest sample at least window_s older than the head, falling
+  // back to the oldest retained (early in a run the window is simply
+  // "since start").
+  const SloSample* base = &samples_.front();
+  for (const SloSample& s : samples_) {
+    if (newest.wall_ms - s.wall_ms >= window_s * 1000) base = &s;
+    else break;
+  }
+  if (base == &newest) return delta;
+  delta.total = newest.total - base->total;
+  delta.bad = newest.bad - base->bad;
+  if (newest.latency_buckets.size() == base->latency_buckets.size()) {
+    delta.buckets = newest.latency_buckets;
+    for (std::size_t i = 0; i < delta.buckets.size(); ++i)
+      delta.buckets[i] -= base->latency_buckets[i];
+  }
+  return delta;
+}
+
+namespace {
+
+std::uint64_t bucket_p99(const std::vector<std::uint64_t>& bounds_us,
+                         const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0 || bounds_us.empty()) return 0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(0.99 * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank)
+      return i < bounds_us.size() ? bounds_us[i] : 2 * bounds_us.back();
+  }
+  return 2 * bounds_us.back();
+}
+
+}  // namespace
+
+SloEngine::Status SloEngine::evaluate_locked() const {
+  Status s;
+  s.configured = config_.enabled();
+  const WindowDelta fast = window_locked(config_.fast_window_s);
+  const WindowDelta slow = window_locked(config_.slow_window_s);
+  if (fast.total > 0)
+    s.availability_fast = 1.0 - static_cast<double>(fast.bad) /
+                                    static_cast<double>(fast.total);
+  if (slow.total > 0)
+    s.availability_slow = 1.0 - static_cast<double>(slow.bad) /
+                                    static_cast<double>(slow.total);
+  s.p99_fast_us = bucket_p99(bounds_us_, fast.buckets);
+  s.p99_slow_us = bucket_p99(bounds_us_, slow.buckets);
+  if (config_.target_availability > 0.0) {
+    const double budget = 1.0 - config_.target_availability;
+    s.burn_fast = (1.0 - s.availability_fast) / budget;
+    s.burn_slow = (1.0 - s.availability_slow) / budget;
+    s.alert_availability = s.burn_fast >= config_.burn_alert &&
+                           s.burn_slow >= config_.burn_alert;
+  }
+  if (config_.target_p99_us > 0) {
+    // The latency objective alerts on the same two-window principle: the
+    // breach must be visible in both the reactive and the smoothing
+    // window before it pages.
+    s.alert_p99 = s.p99_fast_us > config_.target_p99_us &&
+                  s.p99_slow_us > config_.target_p99_us;
+  }
+  return s;
+}
+
+SloEngine::Status SloEngine::observe(const SloSample& sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) {
+    // Seed a zero base at the first observation's instant so early windows
+    // measure "since start", not "since an arbitrary nonzero snapshot".
+    SloSample origin;
+    origin.wall_ms = sample.wall_ms;
+    origin.latency_buckets.assign(sample.latency_buckets.size(), 0);
+    samples_.push_back(std::move(origin));
+  }
+  samples_.push_back(sample);
+  // Retain one sample beyond the slow window so its delta base survives.
+  const std::uint64_t horizon_ms = config_.slow_window_s * 1000;
+  while (samples_.size() > 2 &&
+         sample.wall_ms - samples_[1].wall_ms >= horizon_ms)
+    samples_.pop_front();
+  last_ = evaluate_locked();
+  return last_;
+}
+
+SloEngine::Status SloEngine::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_;
+}
+
+}  // namespace solsched::obs

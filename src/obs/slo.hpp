@@ -1,0 +1,115 @@
+// Declarative SLO targets with multi-window burn-rate alerting.
+//
+// An SLO here is the operator's contract for the serving path: a target
+// availability (good verdicts / all verdicts) and/or a target p99 latency.
+// The engine consumes one cumulative-counter sample per status tick and
+// answers "are we eating the error budget fast enough to care?" using the
+// standard multi-window burn-rate construction: with budget = 1 - target,
+// the burn rate over a window is (bad fraction observed in the window) /
+// budget, and the alert fires only when BOTH a fast window (reacts in
+// seconds, noisy alone) and a slow window (smooths blips, slow alone)
+// exceed the threshold. A burn of 1.0 spends the budget exactly at the
+// sustainable rate; the default threshold of 2.0 fires at double-speed
+// spend and stays quiet through isolated hiccups that the slow window
+// absorbs.
+//
+// The engine is deliberately independent of the metrics registry: callers
+// feed it plain cumulative counters (the serve daemon feeds ServeStats,
+// which stays truthful with SOLSCHED_OBS unset), so SLO evaluation works
+// in obs-off runs. All methods are thread-safe; status() is cheap enough
+// for every status.json rewrite.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace solsched::obs {
+
+/// Targets and window shape. Default-constructed = disabled (the daemon
+/// runs SLO-free unless the operator configures one).
+struct SloConfig {
+  /// Target good fraction in (0,1); 0 disables the availability objective.
+  double target_availability = 0.0;
+  /// Target p99 latency in µs; 0 disables the latency objective.
+  std::uint64_t target_p99_us = 0;
+  std::uint64_t fast_window_s = 300;   ///< Page-fast window.
+  std::uint64_t slow_window_s = 3600;  ///< Confirmation window.
+  /// Burn-rate threshold both windows must exceed to alert.
+  double burn_alert = 2.0;
+
+  bool enabled() const noexcept {
+    return target_availability > 0.0 || target_p99_us > 0;
+  }
+};
+
+/// Parses "availability=0.999,p99-us=5000,fast-s=30,slow-s=60,burn=2"
+/// (every key optional, any order). False + *error on unknown keys or
+/// out-of-range values.
+bool parse_slo_config(const std::string& spec, SloConfig* config,
+                      std::string* error);
+
+/// One observation of cumulative (never decreasing) totals.
+struct SloSample {
+  std::uint64_t wall_ms = 0;
+  std::uint64_t total = 0;  ///< Requests that reached any verdict.
+  std::uint64_t bad = 0;    ///< Shed + timed out + errored (subset of total).
+  /// Cumulative latency-histogram bucket counts (serve::kLatencyBoundsUs
+  /// layout: one count per bound plus overflow). May be empty when the
+  /// p99 objective is disabled.
+  std::vector<std::uint64_t> latency_buckets;
+};
+
+class SloEngine {
+ public:
+  /// `bounds_us` are the bucket upper bounds matching SloSample's counts.
+  SloEngine(SloConfig config, std::vector<std::uint64_t> bounds_us);
+
+  struct Status {
+    bool configured = false;
+    /// Good fraction per window; 1.0 when the window saw no traffic (no
+    /// requests cannot mean "unavailable" — the budget is not spent).
+    double availability_fast = 1.0;
+    double availability_slow = 1.0;
+    double burn_fast = 0.0;
+    double burn_slow = 0.0;
+    /// Windowed p99 (µs) from bucket deltas; 0 when idle.
+    std::uint64_t p99_fast_us = 0;
+    std::uint64_t p99_slow_us = 0;
+    bool alert_availability = false;
+    bool alert_p99 = false;
+    bool alerting() const noexcept { return alert_availability || alert_p99; }
+  };
+
+  /// Folds one sample in and re-evaluates. Samples older than the slow
+  /// window (plus one boundary sample, kept so deltas always have a base)
+  /// are discarded.
+  Status observe(const SloSample& sample);
+
+  /// Last evaluation (zero-traffic defaults before the first observe()).
+  Status status() const;
+
+  const SloConfig& config() const noexcept { return config_; }
+
+ private:
+  Status evaluate_locked() const;
+
+  /// Windowed delta between the newest sample and the newest sample at
+  /// least `window_s` older (or the oldest retained).
+  struct WindowDelta {
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+  WindowDelta window_locked(std::uint64_t window_s) const;
+
+  SloConfig config_;
+  std::vector<std::uint64_t> bounds_us_;
+  mutable std::mutex mutex_;
+  std::deque<SloSample> samples_;
+  Status last_;
+};
+
+}  // namespace solsched::obs

@@ -17,9 +17,11 @@ Clock::time_point process_origin() noexcept {
 
 struct TraceEvent {
   std::string name;
+  char ph = 'X';             ///< 'X' complete span, 's'/'f' flow endpoints.
   std::uint64_t ts_us = 0;
-  std::uint64_t dur_us = 0;
+  std::uint64_t dur_us = 0;  ///< Meaningful for 'X' only.
   std::size_t tid = 0;
+  std::uint64_t id = 0;      ///< Trace/flow id; 0 = none.
 };
 
 /// Bounded buffer: ~100 ms of dense dp.pareto_options spans fit with room
@@ -40,16 +42,20 @@ TraceBuffer& trace_buffer() {
 
 std::atomic<bool> g_trace_events{false};
 
-void record_trace_event(const char* name, std::uint64_t start_us,
-                        std::uint64_t end_us) {
+void push_trace_event(TraceEvent event) {
   TraceBuffer& buffer = trace_buffer();
   std::lock_guard<std::mutex> lock(buffer.mutex);
   if (buffer.events.size() >= kMaxTraceEvents) {
     ++buffer.dropped;
     return;
   }
-  buffer.events.push_back(TraceEvent{std::string(name), start_us,
-                                     end_us - start_us, thread_ordinal()});
+  buffer.events.push_back(std::move(event));
+}
+
+void record_trace_event(const char* name, std::uint64_t start_us,
+                        std::uint64_t end_us) {
+  push_trace_event(TraceEvent{std::string(name), 'X', start_us,
+                              end_us - start_us, thread_ordinal(), 0});
 }
 
 Counter& span_counter(const char* name, const char* suffix) {
@@ -89,6 +95,13 @@ std::uint64_t now_us() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                             process_origin())
+          .count());
+}
+
+std::uint64_t wall_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 
@@ -142,6 +155,20 @@ ScopedSpan::~ScopedSpan() {
     record_trace_event(name, start_us_, end);
 }
 
+void record_span_event(const std::string& name, std::uint64_t ts_us,
+                       std::uint64_t dur_us, std::uint64_t trace_id) {
+  if (!g_trace_events.load(std::memory_order_relaxed)) return;
+  push_trace_event(
+      TraceEvent{name, 'X', ts_us, dur_us, thread_ordinal(), trace_id});
+}
+
+void record_flow_event(const std::string& name, std::uint64_t trace_id,
+                       bool start, std::uint64_t ts_us) {
+  if (!g_trace_events.load(std::memory_order_relaxed)) return;
+  push_trace_event(TraceEvent{name, start ? 's' : 'f', ts_us, 0,
+                              thread_ordinal(), trace_id});
+}
+
 void set_trace_events_enabled(bool on) noexcept {
   g_trace_events.store(on, std::memory_order_relaxed);
 }
@@ -177,12 +204,29 @@ bool write_chrome_trace(const std::string& path) {
   std::fprintf(f, "{\"traceEvents\":[");
   for (std::size_t i = 0; i < buffer.events.size(); ++i) {
     const TraceEvent& e = buffer.events[i];
-    std::fprintf(f,
-                 "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
-                 "\"ts\":%llu,\"dur\":%llu}",
-                 i ? "," : "", json_escape_name(e.name).c_str(), e.tid,
-                 static_cast<unsigned long long>(e.ts_us),
-                 static_cast<unsigned long long>(e.dur_us));
+    if (e.ph == 'X') {
+      std::fprintf(f,
+                   "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+                   "\"ts\":%llu,\"dur\":%llu",
+                   i ? "," : "", json_escape_name(e.name).c_str(), e.tid,
+                   static_cast<unsigned long long>(e.ts_us),
+                   static_cast<unsigned long long>(e.dur_us));
+      // Trace-id args only on tagged spans: untagged span bytes stay
+      // identical to the pre-flow sink output.
+      if (e.id != 0)
+        std::fprintf(f, ",\"args\":{\"trace\":\"0x%llx\"}",
+                     static_cast<unsigned long long>(e.id));
+      std::fprintf(f, "}");
+    } else {
+      // Flow endpoints; "bp":"e" binds the finish to its enclosing slice.
+      std::fprintf(f,
+                   "%s\n{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%c\","
+                   "\"pid\":1,\"tid\":%zu,\"ts\":%llu,\"id\":\"0x%llx\"%s}",
+                   i ? "," : "", json_escape_name(e.name).c_str(), e.ph,
+                   e.tid, static_cast<unsigned long long>(e.ts_us),
+                   static_cast<unsigned long long>(e.id),
+                   e.ph == 'f' ? ",\"bp\":\"e\"" : "");
+    }
   }
   std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
   return std::fclose(f) == 0;

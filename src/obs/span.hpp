@@ -61,6 +61,12 @@ class ScopedSpan {
 /// Microseconds since process start (steady clock).
 std::uint64_t now_us() noexcept;
 
+/// Microseconds since the Unix epoch (system clock). Request-timeline spans
+/// use this base instead of now_us() so client and server dumps — written
+/// by different processes with different steady-clock origins — land on one
+/// shared axis and stitch into a single merged timeline.
+std::uint64_t wall_us() noexcept;
+
 // ---- Chrome trace_event sink ---------------------------------------------
 // A bounded in-memory buffer of completed spans. Arm it around the region
 // of interest, then write_chrome_trace() produces a JSON object loadable by
@@ -72,6 +78,22 @@ bool trace_events_enabled() noexcept;
 void clear_trace_events();
 std::size_t trace_event_count();
 std::size_t dropped_trace_event_count();
+
+/// Manually records one completed span ("ph":"X") with explicit timestamps
+/// — for timelines whose stage boundaries are captured as clock reads, not
+/// scopes (the serve request path). A nonzero trace_id is emitted as
+/// "args":{"trace":"0x<hex>"} so offline tooling can group every span of
+/// one request across files. No-op unless the sink is armed.
+void record_span_event(const std::string& name, std::uint64_t ts_us,
+                       std::uint64_t dur_us, std::uint64_t trace_id = 0);
+
+/// Records a flow event ("ph":"s" start / "ph":"f" finish, bound to the
+/// enclosing slice) keyed by trace_id. A start on the client's request span
+/// and a finish on the server's timeline span with the same id make the
+/// trace viewer draw the cross-process arrow that stitches the two dumps.
+/// No-op unless the sink is armed.
+void record_flow_event(const std::string& name, std::uint64_t trace_id,
+                       bool start, std::uint64_t ts_us);
 
 /// Writes the buffered events as Chrome trace JSON; false on I/O failure.
 bool write_chrome_trace(const std::string& path);

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/span.hpp"
+
 namespace solsched::serve {
 namespace {
 
@@ -98,12 +100,13 @@ void ServeClient::backoff(std::size_t attempt_index) {
 
 ServeClient::AttemptStatus ServeClient::attempt(
     FrameType type, const std::vector<std::uint8_t>& payload,
-    FrameType expected, std::vector<std::uint8_t>* out) {
+    FrameType expected, std::vector<std::uint8_t>* out,
+    std::uint16_t version) {
   if (!connect_if_needed()) {
     last_error_ = {ErrorCode::kInternal, "connect failed"};
     return AttemptStatus::kTransient;
   }
-  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload, version);
   if (!write_all(fd_, frame.data(), frame.size())) {
     last_error_ = {ErrorCode::kInternal, "send failed"};
     disconnect();
@@ -144,9 +147,14 @@ ServeClient::AttemptStatus ServeClient::attempt(
     last_error_ = error;
     switch (error.code) {
       case ErrorCode::kOverloaded:
-      case ErrorCode::kTimeout:
-      case ErrorCode::kShuttingDown:
+        ++seen_overloaded_;
         return AttemptStatus::kTransient;  // Back off and try again.
+      case ErrorCode::kTimeout:
+        ++seen_timeout_;
+        return AttemptStatus::kTransient;
+      case ErrorCode::kShuttingDown:
+        ++seen_shutting_down_;
+        return AttemptStatus::kTransient;
       default:
         return AttemptStatus::kPermanent;
     }
@@ -163,13 +171,14 @@ ServeClient::AttemptStatus ServeClient::attempt(
 ServeClient::Result ServeClient::call(FrameType type,
                                       const std::vector<std::uint8_t>& payload,
                                       FrameType expected,
-                                      std::vector<std::uint8_t>* out) {
+                                      std::vector<std::uint8_t>* out,
+                                      std::uint16_t version) {
   for (std::size_t i = 0; i < options_.max_attempts; ++i) {
     if (i > 0) {
       ++retries_;
       backoff(i - 1);
     }
-    switch (attempt(type, payload, expected, out)) {
+    switch (attempt(type, payload, expected, out, version)) {
       case AttemptStatus::kDone:
         return Result::kOk;
       case AttemptStatus::kPermanent:
@@ -183,10 +192,23 @@ ServeClient::Result ServeClient::call(FrameType type,
 
 ServeClient::Result ServeClient::query(const QueryRequest& request,
                                        DecisionReply* reply) {
+  // A traced query books the whole round trip — retries, backoff and all —
+  // as one client-side span on the wall clock, plus a flow start the
+  // server-side timeline span completes. That is exactly the latency the
+  // caller experienced, so the server's stage durations should sum to
+  // (slightly under) this span.
+  const bool traced = request.trace.active() && obs::trace_events_enabled();
+  const std::uint64_t start_wall = traced ? obs::wall_us() : 0;
   std::vector<std::uint8_t> body;
   const Result result =
       call(FrameType::kQuery, encode_query(request), FrameType::kDecision,
-           &body);
+           &body, query_wire_version(request));
+  if (traced) {
+    obs::record_span_event("serve.client.request", start_wall,
+                           obs::wall_us() - start_wall, request.trace.trace_id);
+    obs::record_flow_event("serve.request", request.trace.trace_id,
+                           /*start=*/true, start_wall);
+  }
   if (result != Result::kOk) return result;
   if (decode_decision(body.data(), body.size(), reply) != FrameVerdict::kOk) {
     last_error_ = {ErrorCode::kInternal, "decision reply undecodable"};

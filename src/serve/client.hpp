@@ -63,6 +63,15 @@ class ServeClient {
   std::size_t reconnects() const noexcept { return reconnects_; }
   std::size_t retries() const noexcept { return retries_; }
 
+  // Transient refusals seen across all attempts. Retries mask these from
+  // the per-call Result, but an SLO-minded caller (loadgen) still wants to
+  // know how often the daemon shed or timed out under it.
+  std::size_t seen_overloaded() const noexcept { return seen_overloaded_; }
+  std::size_t seen_timeout() const noexcept { return seen_timeout_; }
+  std::size_t seen_shutting_down() const noexcept {
+    return seen_shutting_down_;
+  }
+
  private:
   enum class AttemptStatus {
     kDone,       ///< Got the expected reply.
@@ -70,14 +79,17 @@ class ServeClient {
     kPermanent,  ///< Typed refusal; stop retrying.
   };
 
-  /// One round trip over a (re)established connection.
+  /// One round trip over a (re)established connection. `version` is the
+  /// wire version stamped on the outgoing frame (v2 for traced queries).
   AttemptStatus attempt(FrameType type,
                         const std::vector<std::uint8_t>& payload,
-                        FrameType expected, std::vector<std::uint8_t>* out);
+                        FrameType expected, std::vector<std::uint8_t>* out,
+                        std::uint16_t version);
 
   /// Runs the retry loop around attempt().
   Result call(FrameType type, const std::vector<std::uint8_t>& payload,
-              FrameType expected, std::vector<std::uint8_t>* out);
+              FrameType expected, std::vector<std::uint8_t>* out,
+              std::uint16_t version = kProtocolVersion);
 
   bool connect_if_needed();
   void disconnect();
@@ -89,6 +101,9 @@ class ServeClient {
   ErrorReply last_error_;
   std::size_t reconnects_ = 0;
   std::size_t retries_ = 0;
+  std::size_t seen_overloaded_ = 0;
+  std::size_t seen_timeout_ = 0;
+  std::size_t seen_shutting_down_ = 0;
 };
 
 }  // namespace solsched::serve

@@ -136,6 +136,15 @@ const char* verdict_name(FrameVerdict verdict) noexcept {
   return "unknown";
 }
 
+std::uint64_t derive_trace_id(std::uint64_t seed, std::uint64_t n) noexcept {
+  // splitmix64: every (seed, n) pair lands on a well-mixed 64-bit id.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (n + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 means "untraced" on the wire.
+}
+
 std::uint64_t payload_fnv1a(const std::uint8_t* data,
                             std::size_t size) noexcept {
   std::uint64_t h = 1469598103934665603ull;
@@ -161,7 +170,8 @@ FrameVerdict decode_header(const std::uint8_t* data, std::size_t size,
   cur.take_u32(&len);
   cur.take_u64(&hash);
   if (magic != kFrameMagic) return FrameVerdict::kBadMagic;
-  if (version != kProtocolVersion) return FrameVerdict::kBadVersion;
+  if (version < kProtocolVersion || version > kMaxProtocolVersion)
+    return FrameVerdict::kBadVersion;
   if (len > kMaxPayload) return FrameVerdict::kBadLength;
   if (!known_frame_type(type)) return FrameVerdict::kBadType;
   out->version = version;
@@ -180,12 +190,13 @@ FrameVerdict verify_payload(const FrameHeader& header,
   return FrameVerdict::kOk;
 }
 
-std::vector<std::uint8_t> encode_frame(
-    FrameType type, const std::vector<std::uint8_t>& payload) {
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint16_t version) {
   std::vector<std::uint8_t> out;
   out.reserve(kFrameHeaderSize + payload.size());
   put_u32(out, kFrameMagic);
-  put_u16(out, kProtocolVersion);
+  put_u16(out, version);
   put_u16(out, static_cast<std::uint16_t>(type));
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   put_u64(out, payload_fnv1a(payload.data(), payload.size()));
@@ -204,11 +215,15 @@ std::vector<std::uint8_t> encode_query(const QueryRequest& request) {
   put_u32(out, request.deadline_ms);
   put_f64_vec(out, request.last_period_solar_w);
   put_f64_vec(out, request.cap_voltages);
+  if (request.trace.active()) {
+    put_u64(out, request.trace.trace_id);
+    put_u64(out, request.trace.parent_span_id);
+  }
   return out;
 }
 
 FrameVerdict decode_query(const std::uint8_t* data, std::size_t size,
-                          QueryRequest* out) noexcept {
+                          std::uint16_t version, QueryRequest* out) noexcept {
   Cursor cur{data, size};
   QueryRequest q;
   if (!cur.take_u64(&q.controller_key) || !cur.take_u32(&q.day) ||
@@ -216,8 +231,21 @@ FrameVerdict decode_query(const std::uint8_t* data, std::size_t size,
       !cur.take_u64(&q.dead_mask) || !cur.take_f64(&q.accumulated_dmr) ||
       !cur.take_u32(&q.deadline_ms) ||
       !take_f64_vec(cur, kMaxSolarSlots, &q.last_period_solar_w) ||
-      !take_f64_vec(cur, kMaxCaps, &q.cap_voltages) || !cur.done())
+      !take_f64_vec(cur, kMaxCaps, &q.cap_voltages))
     return FrameVerdict::kBadPayload;
+  // The trace extension is version-gated: a v2 query must carry exactly
+  // the two extension words (a truncated extension is rejected, not
+  // zero-filled) and a v1 query must not carry them — full-consumption
+  // strictness in both directions.
+  if (version >= kProtocolVersionTraced) {
+    if (!cur.take_u64(&q.trace.trace_id) ||
+        !cur.take_u64(&q.trace.parent_span_id))
+      return FrameVerdict::kBadPayload;
+    // Zero means "untraced", and untraced queries must travel as v1 — a
+    // v2 frame with a zero id is malformed, not quietly accepted.
+    if (q.trace.trace_id == 0) return FrameVerdict::kBadPayload;
+  }
+  if (!cur.done()) return FrameVerdict::kBadPayload;
   *out = std::move(q);
   return FrameVerdict::kOk;
 }

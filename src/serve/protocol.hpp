@@ -12,6 +12,14 @@
 // cost the daemon one reply, not a crash. Bounds are enforced before any
 // allocation sized from the wire (payload <= kMaxPayload, vector counts
 // capped), so a hostile length field cannot OOM the process either.
+//
+// Versioning: version 1 is the baseline wire format; version 2 adds an
+// optional trace extension (trace_id + parent_span_id, 16 bytes) to the
+// *query* payload only — every other payload is identical in both
+// versions. The extension is gated on the header version, so a v1 peer's
+// frames still parse unchanged, an untraced query encodes to the exact v1
+// bytes, and replies always travel as v1 (byte-identical to the pre-trace
+// protocol — the property the tier-1 kill/restart drill compares on).
 #pragma once
 
 #include <cstddef>
@@ -24,6 +32,9 @@ namespace solsched::serve {
 /// Frame header constants. The magic spells "SLSV" on the wire.
 inline constexpr std::uint32_t kFrameMagic = 0x56534C53u;
 inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Version 2 = version 1 plus the trace extension on query payloads.
+inline constexpr std::uint16_t kProtocolVersionTraced = 2;
+inline constexpr std::uint16_t kMaxProtocolVersion = kProtocolVersionTraced;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Upper bound on a payload; anything larger is rejected before allocation.
 inline constexpr std::uint32_t kMaxPayload = 1u << 20;
@@ -63,6 +74,22 @@ inline constexpr std::uint16_t kFallbackNoController = 16;
 inline constexpr std::uint16_t kFallbackCorruptController = 17;
 inline constexpr std::uint16_t kFallbackBudgetExhausted = 18;
 
+/// Trace context carried by version-2 query frames. trace_id 0 = untraced
+/// (the query encodes as plain v1 bytes); a traced request's id links the
+/// client-side span to the server-side stage timeline through Chrome flow
+/// events, so two dumps stitch into one picture of the round trip.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Deterministic trace-id derivation (splitmix64 over seed + ordinal):
+/// loadgen stamps every request with derive_trace_id(seed, n) so a tier-1
+/// drill can name the slow request it wants the server-side breakdown of.
+/// Never returns 0 (0 means "untraced" on the wire).
+std::uint64_t derive_trace_id(std::uint64_t seed, std::uint64_t n) noexcept;
+
 /// One node-state query. Mirrors the DBN input of the proposed scheduler:
 /// previous period's measured solar, every capacitor voltage, accumulated
 /// DMR — plus the serve-layer envelope (controller key, deadline).
@@ -76,7 +103,14 @@ struct QueryRequest {
   std::uint32_t deadline_ms = 0;     ///< Per-request budget; 0 = unbounded.
   std::vector<double> last_period_solar_w;
   std::vector<double> cap_voltages;
+  TraceContext trace;                ///< v2 extension; inactive on v1 frames.
 };
+
+/// The header version a query must travel under: v2 when traced, v1 (the
+/// exact pre-trace bytes) otherwise.
+inline std::uint16_t query_wire_version(const QueryRequest& request) noexcept {
+  return request.trace.active() ? kProtocolVersionTraced : kProtocolVersion;
+}
 
 /// The (cap, alpha, te) decision. `fallback_code` explains degradation:
 /// 0 = the DBN plan was served, anything else = the LSA baseline plan with
@@ -142,17 +176,25 @@ FrameVerdict decode_header(const std::uint8_t* data, std::size_t size,
 FrameVerdict verify_payload(const FrameHeader& header, const std::uint8_t* data,
                             std::size_t size) noexcept;
 
-/// Encodes header + payload into one wire buffer.
+/// Encodes header + payload into one wire buffer. `version` is the header
+/// version to stamp (queries carrying a trace extension must stamp
+/// kProtocolVersionTraced; everything else defaults to the v1 baseline).
 std::vector<std::uint8_t> encode_frame(FrameType type,
-                                       const std::vector<std::uint8_t>& payload);
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint16_t version = kProtocolVersion);
 
 // ---- payload codecs -------------------------------------------------------
 // Encoders are total; decoders are strict (full consumption, bounds checked)
 // and return kOk or kBadPayload — never throw, never over-read.
 
+/// Trace-aware: appends the 16-byte trace extension iff request.trace is
+/// active; an untraced request produces the exact v1 payload bytes.
 std::vector<std::uint8_t> encode_query(const QueryRequest& request);
+/// `version` gates the extension grammar: v1 payloads must end at the v1
+/// fields, v2 payloads must carry exactly the 16-byte extension — either
+/// way a mismatch is kBadPayload, never an over-read.
 FrameVerdict decode_query(const std::uint8_t* data, std::size_t size,
-                          QueryRequest* out) noexcept;
+                          std::uint16_t version, QueryRequest* out) noexcept;
 
 std::vector<std::uint8_t> encode_decision(const DecisionReply& reply);
 FrameVerdict decode_decision(const std::uint8_t* data, std::size_t size,

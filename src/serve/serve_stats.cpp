@@ -3,9 +3,17 @@
 namespace solsched::serve {
 
 void ServeStats::record_decision(std::uint64_t latency_us,
-                                 bool fallback) noexcept {
+                                 std::uint16_t fallback_code) noexcept {
   decisions_.fetch_add(1, kRelaxed);
-  if (fallback) fallbacks_.fetch_add(1, kRelaxed);
+  if (fallback_code != 0) {
+    fallbacks_.fetch_add(1, kRelaxed);
+    switch (fallback_code) {
+      case 16: fallback_no_controller_.fetch_add(1, kRelaxed); break;
+      case 17: fallback_corrupt_.fetch_add(1, kRelaxed); break;
+      case 18: fallback_budget_.fetch_add(1, kRelaxed); break;
+      default: fallback_sched_.fetch_add(1, kRelaxed); break;
+    }
+  }
   latency_count_.fetch_add(1, kRelaxed);
   latency_sum_us_.fetch_add(latency_us, kRelaxed);
   std::size_t bucket = kLatencyBoundsUs.size();  // Overflow by default.
@@ -50,6 +58,10 @@ ServeStats::Snapshot ServeStats::snapshot() const noexcept {
   s.requests = requests_.load(kRelaxed);
   s.decisions = decisions_.load(kRelaxed);
   s.fallbacks = fallbacks_.load(kRelaxed);
+  s.fallback_no_controller = fallback_no_controller_.load(kRelaxed);
+  s.fallback_corrupt = fallback_corrupt_.load(kRelaxed);
+  s.fallback_budget = fallback_budget_.load(kRelaxed);
+  s.fallback_sched = fallback_sched_.load(kRelaxed);
   s.malformed = malformed_.load(kRelaxed);
   s.shed = shed_.load(kRelaxed);
   s.timeouts = timeouts_.load(kRelaxed);
@@ -65,6 +77,7 @@ ServeStats::Snapshot ServeStats::snapshot() const noexcept {
     counts[i] = buckets_[i].load(kRelaxed);
   s.p50_us = percentile_us(counts, s.latency_count, 0.50);
   s.p99_us = percentile_us(counts, s.latency_count, 0.99);
+  s.latency_buckets = counts;
   return s;
 }
 

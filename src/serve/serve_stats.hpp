@@ -28,7 +28,13 @@ inline constexpr std::array<std::uint64_t, 12> kLatencyBoundsUs = {
 class ServeStats {
  public:
   void record_request() noexcept { requests_.fetch_add(1, kRelaxed); }
-  void record_decision(std::uint64_t latency_us, bool fallback) noexcept;
+  /// `fallback_code` is the DecisionReply code: 0 = the DBN plan was
+  /// served; 1..4 = a sched-layer fallback; 16/17/18 = the serve-layer
+  /// degradation rungs. Each rung keeps its own counter so status.json
+  /// (and `solsched-inspect serve`) can say *which* rung a degraded
+  /// deployment is standing on, not just that it degraded.
+  void record_decision(std::uint64_t latency_us,
+                       std::uint16_t fallback_code) noexcept;
   void record_malformed() noexcept { malformed_.fetch_add(1, kRelaxed); }
   void record_shed() noexcept { shed_.fetch_add(1, kRelaxed); }
   void record_timeout() noexcept { timeouts_.fetch_add(1, kRelaxed); }
@@ -44,6 +50,11 @@ class ServeStats {
     std::uint64_t requests = 0;
     std::uint64_t decisions = 0;
     std::uint64_t fallbacks = 0;
+    /// Degradation-ladder rung counts (subsets of `fallbacks`).
+    std::uint64_t fallback_no_controller = 0;  ///< Code 16.
+    std::uint64_t fallback_corrupt = 0;        ///< Code 17.
+    std::uint64_t fallback_budget = 0;         ///< Code 18.
+    std::uint64_t fallback_sched = 0;          ///< Codes 1..4.
     std::uint64_t malformed = 0;
     std::uint64_t shed = 0;
     std::uint64_t timeouts = 0;
@@ -56,6 +67,9 @@ class ServeStats {
     std::uint64_t latency_sum_us = 0;
     std::uint64_t p50_us = 0;  ///< Bucket upper bound; 0 when empty.
     std::uint64_t p99_us = 0;
+    /// Raw cumulative bucket counts (kLatencyBoundsUs layout + overflow),
+    /// for consumers that window the distribution (the SLO engine).
+    std::array<std::uint64_t, kLatencyBoundsUs.size() + 1> latency_buckets{};
   };
   Snapshot snapshot() const noexcept;
 
@@ -72,6 +86,10 @@ class ServeStats {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> decisions_{0};
   std::atomic<std::uint64_t> fallbacks_{0};
+  std::atomic<std::uint64_t> fallback_no_controller_{0};
+  std::atomic<std::uint64_t> fallback_corrupt_{0};
+  std::atomic<std::uint64_t> fallback_budget_{0};
+  std::atomic<std::uint64_t> fallback_sched_{0};
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> timeouts_{0};

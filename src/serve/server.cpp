@@ -71,6 +71,24 @@ void json_string(std::ostringstream& out, const std::string& text) {
   out << '"';
 }
 
+/// Fixed-precision fraction for status.json (availability, burn rates).
+void json_fraction(std::ostringstream& out, double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", x);
+  out << buf;
+}
+
+/// Degradation-ladder rung label for a DecisionReply fallback code.
+const char* rung_name(std::uint16_t fallback_code) {
+  switch (fallback_code) {
+    case kFallbackNone: return "hit";
+    case kFallbackNoController: return "no_controller";
+    case kFallbackCorruptController: return "corrupt";
+    case kFallbackBudgetExhausted: return "budget";
+    default: return "sched_fallback";  // sched::FallbackReason 1..4.
+  }
+}
+
 }  // namespace
 
 Server::Server(Options options)
@@ -79,6 +97,10 @@ Server::Server(Options options)
                                       options_.assume_infer_us}) {
   if (options_.queue_depth == 0) options_.queue_depth = 1;
   if (options_.workers == 0) options_.workers = 1;
+  if (options_.slo.enabled())
+    slo_ = std::make_unique<obs::SloEngine>(
+        options_.slo, std::vector<std::uint64_t>(kLatencyBoundsUs.begin(),
+                                                 kLatencyBoundsUs.end()));
   const std::size_t loaded = engine_.load_all();
   std::fprintf(stderr, "solsched-serve: %zu controller(s) loaded from %s\n",
                loaded, options_.cache_dir.c_str());
@@ -183,6 +205,12 @@ void Server::stop() {
   if (status_thread_.joinable()) status_thread_.join();
 
   ::unlink(options_.socket_path.c_str());
+  // Final tick after the status thread is gone: the stopped snapshot and
+  // the time-series tail both reflect the very last counters, and a traced
+  // session's spans are flushed rather than lost with the process.
+  observe_tick();
+  if (!options_.trace_path.empty() && obs::trace_events_enabled())
+    obs::write_chrome_trace(options_.trace_path);
   write_status("stopped");
 }
 
@@ -268,15 +296,21 @@ void Server::connection_main(std::shared_ptr<Conn> conn) {
         break;
       }
       case FrameType::kQuery: {
+        // Timeline stamps only when the trace sink is armed — the clock
+        // reads stay off the obs-off hot path.
+        const bool timing = obs::trace_events_enabled();
+        const std::uint64_t recv_wall = timing ? obs::wall_us() : 0;
         QueryRequest query;
-        if (decode_query(payload.data(), payload.size(), &query) !=
-            FrameVerdict::kOk) {
+        if (decode_query(payload.data(), payload.size(), fh.version,
+                         &query) != FrameVerdict::kOk) {
           stats_.record_malformed();
           OBS_COUNTER_ADD("serve.malformed", 1);
           send_error(conn, ErrorCode::kMalformed, "bad query payload", true);
           break;
         }
-        handle_query(conn, std::move(query));
+        const std::uint64_t decode_dur =
+            timing ? obs::wall_us() - recv_wall : 0;
+        handle_query(conn, std::move(query), recv_wall, decode_dur);
         break;
       }
       default:
@@ -292,7 +326,8 @@ void Server::connection_main(std::shared_ptr<Conn> conn) {
 }
 
 void Server::handle_query(const std::shared_ptr<Conn>& conn,
-                          QueryRequest query) {
+                          QueryRequest query, std::uint64_t recv_wall_us,
+                          std::uint64_t decode_dur_us) {
   stats_.record_request();
   OBS_COUNTER_ADD("serve.requests", 1);
   if (stopping_.load(std::memory_order_acquire)) {
@@ -302,6 +337,9 @@ void Server::handle_query(const std::shared_ptr<Conn>& conn,
   Job job;
   job.conn = conn;
   job.enqueue_us = obs::now_us();
+  job.recv_wall_us = recv_wall_us;
+  job.decode_dur_us = decode_dur_us;
+  job.enqueue_wall_us = recv_wall_us + decode_dur_us;
   // The effective budget is the tighter of the client's deadline and the
   // server-side cap; 0 on both sides means unbounded.
   std::uint64_t budget_ms = query.deadline_ms;
@@ -351,6 +389,12 @@ void Server::worker_main() {
 
 void Server::process_job(Job job) {
   const std::uint64_t now = obs::now_us();
+  // Traced requests book a wall-clock stage timeline: every clock read
+  // below is gated on this so untraced traffic pays nothing extra.
+  const bool traced =
+      job.query.trace.active() && obs::trace_events_enabled();
+  const std::uint64_t trace_id = job.query.trace.trace_id;
+  const std::uint64_t dequeue_wall = traced ? obs::wall_us() : 0;
   // Deadline re-check on dequeue: a request that died waiting in the queue
   // gets the typed timeout, never a late decision the node cannot use.
   if (job.deadline_us > 0 && now >= job.deadline_us) {
@@ -358,6 +402,19 @@ void Server::process_job(Job job) {
     OBS_COUNTER_ADD("serve.timeouts", 1);
     send_error(job.conn, ErrorCode::kTimeout, "deadline expired in queue",
                true);
+    if (traced) {
+      // Even a timed-out request leaves its trace: the whole server-side
+      // story was the queue wait.
+      obs::record_span_event("serve.req", job.recv_wall_us,
+                             obs::wall_us() - job.recv_wall_us, trace_id);
+      obs::record_flow_event("serve.request", trace_id, /*start=*/false,
+                             dequeue_wall);
+      obs::record_span_event("serve.req.decode", job.recv_wall_us,
+                             job.decode_dur_us, trace_id);
+      obs::record_span_event("serve.req.queue_wait", job.enqueue_wall_us,
+                             dequeue_wall - job.enqueue_wall_us, trace_id);
+      obs::record_span_event("serve.req.timeout", dequeue_wall, 0, trace_id);
+    }
     return;
   }
   const std::uint64_t remaining_us =
@@ -370,18 +427,72 @@ void Server::process_job(Job job) {
     outcome.ok = false;
     outcome.error = {ErrorCode::kInternal, e.what()};
   }
+  const std::uint64_t engine_end_wall = traced ? obs::wall_us() : 0;
   if (!outcome.ok) {
     send_error(job.conn, outcome.error.code, outcome.error.message, true);
+    if (traced) {
+      obs::record_span_event("serve.req", job.recv_wall_us,
+                             obs::wall_us() - job.recv_wall_us, trace_id);
+      obs::record_flow_event("serve.request", trace_id, /*start=*/false,
+                             dequeue_wall);
+      obs::record_span_event("serve.req.decode", job.recv_wall_us,
+                             job.decode_dur_us, trace_id);
+      obs::record_span_event("serve.req.queue_wait", job.enqueue_wall_us,
+                             dequeue_wall - job.enqueue_wall_us, trace_id);
+      obs::record_span_event("serve.req.engine.error", dequeue_wall,
+                             engine_end_wall - dequeue_wall, trace_id);
+    }
     return;
   }
   const std::uint64_t latency_us = obs::now_us() - job.enqueue_us;
-  stats_.record_decision(latency_us, outcome.reply.used_fallback);
+  stats_.record_decision(latency_us, outcome.reply.fallback_code);
   if (outcome.reply.used_fallback) OBS_COUNTER_ADD("serve.fallbacks", 1);
+  // Per-rung counters name which step of the degradation ladder answered.
+  switch (outcome.reply.fallback_code) {
+    case kFallbackNone:
+      OBS_COUNTER_ADD("serve.engine.hit", 1);
+      break;
+    case kFallbackNoController:
+      OBS_COUNTER_ADD("serve.engine.no_controller", 1);
+      break;
+    case kFallbackCorruptController:
+      OBS_COUNTER_ADD("serve.engine.corrupt", 1);
+      break;
+    case kFallbackBudgetExhausted:
+      OBS_COUNTER_ADD("serve.engine.budget", 1);
+      break;
+    default:
+      OBS_COUNTER_ADD("serve.engine.sched_fallback", 1);
+      break;
+  }
   OBS_COUNTER_ADD("serve.decisions", 1);
   OBS_HISTOGRAM_OBSERVE("serve.request_ms", latency_bounds_ms(),
                         static_cast<double>(latency_us) / 1000.0);
-  send_frame(job.conn, FrameType::kDecision, encode_decision(outcome.reply),
-             true);
+  const std::vector<std::uint8_t> reply_payload =
+      encode_decision(outcome.reply);
+  const std::uint64_t encode_end_wall = traced ? obs::wall_us() : 0;
+  send_frame(job.conn, FrameType::kDecision, reply_payload, true);
+  if (traced) {
+    const std::uint64_t write_end_wall = obs::wall_us();
+    // All spans land on this worker thread's track with wall-clock
+    // timestamps, so the client's request span (a different process, same
+    // axis) encloses them once the two dumps are merged.
+    obs::record_span_event("serve.req", job.recv_wall_us,
+                           write_end_wall - job.recv_wall_us, trace_id);
+    obs::record_flow_event("serve.request", trace_id, /*start=*/false,
+                           dequeue_wall);
+    obs::record_span_event("serve.req.decode", job.recv_wall_us,
+                           job.decode_dur_us, trace_id);
+    obs::record_span_event("serve.req.queue_wait", job.enqueue_wall_us,
+                           dequeue_wall - job.enqueue_wall_us, trace_id);
+    obs::record_span_event(
+        std::string("serve.req.engine.") + rung_name(outcome.reply.fallback_code),
+        dequeue_wall, engine_end_wall - dequeue_wall, trace_id);
+    obs::record_span_event("serve.req.encode", engine_end_wall,
+                           encode_end_wall - engine_end_wall, trace_id);
+    obs::record_span_event("serve.req.write", encode_end_wall,
+                           write_end_wall - encode_end_wall, trace_id);
+  }
 }
 
 void Server::send_frame(const std::shared_ptr<Conn>& conn, FrameType type,
@@ -446,6 +557,11 @@ std::string Server::status_json(const std::string& state) const {
   out << "  \"requests\": " << s.requests << ",\n";
   out << "  \"decisions\": " << s.decisions << ",\n";
   out << "  \"fallbacks\": " << s.fallbacks << ",\n";
+  out << "  \"fallback_no_controller\": " << s.fallback_no_controller
+      << ",\n";
+  out << "  \"fallback_corrupt\": " << s.fallback_corrupt << ",\n";
+  out << "  \"fallback_budget\": " << s.fallback_budget << ",\n";
+  out << "  \"fallback_sched\": " << s.fallback_sched << ",\n";
   out << "  \"malformed\": " << s.malformed << ",\n";
   out << "  \"shed\": " << s.shed << ",\n";
   out << "  \"timeouts\": " << s.timeouts << ",\n";
@@ -455,9 +571,82 @@ std::string Server::status_json(const std::string& state) const {
   out << "  \"latency_count\": " << s.latency_count << ",\n";
   out << "  \"latency_sum_us\": " << s.latency_sum_us << ",\n";
   out << "  \"p50_us\": " << s.p50_us << ",\n";
-  out << "  \"p99_us\": " << s.p99_us << "\n";
-  out << "}\n";
+  out << "  \"p99_us\": " << s.p99_us << ",\n";
+  // Lifetime availability: good verdicts over all verdicts. `errors`
+  // already counts every refusal (shed and timeouts included — see
+  // send_error), so the denominator is decisions + errors. An idle daemon
+  // is fully available.
+  const std::uint64_t verdicts = s.decisions + s.errors;
+  const double availability =
+      verdicts > 0
+          ? static_cast<double>(s.decisions) / static_cast<double>(verdicts)
+          : 1.0;
+  out << "  \"availability\": ";
+  json_fraction(out, availability);
+  if (slo_) {
+    const obs::SloEngine::Status slo = slo_->status();
+    const obs::SloConfig& cfg = slo_->config();
+    out << ",\n  \"slo\": {\n";
+    out << "    \"target_availability\": ";
+    json_fraction(out, cfg.target_availability);
+    out << ",\n";
+    out << "    \"target_p99_us\": " << cfg.target_p99_us << ",\n";
+    out << "    \"fast_window_s\": " << cfg.fast_window_s << ",\n";
+    out << "    \"slow_window_s\": " << cfg.slow_window_s << ",\n";
+    out << "    \"burn_alert\": ";
+    json_fraction(out, cfg.burn_alert);
+    out << ",\n";
+    out << "    \"availability_fast\": ";
+    json_fraction(out, slo.availability_fast);
+    out << ",\n";
+    out << "    \"availability_slow\": ";
+    json_fraction(out, slo.availability_slow);
+    out << ",\n";
+    out << "    \"burn_fast\": ";
+    json_fraction(out, slo.burn_fast);
+    out << ",\n";
+    out << "    \"burn_slow\": ";
+    json_fraction(out, slo.burn_slow);
+    out << ",\n";
+    out << "    \"p99_fast_us\": " << slo.p99_fast_us << ",\n";
+    out << "    \"p99_slow_us\": " << slo.p99_slow_us << ",\n";
+    out << "    \"alert_availability\": "
+        << (slo.alert_availability ? "true" : "false") << ",\n";
+    out << "    \"alert_p99\": " << (slo.alert_p99 ? "true" : "false")
+        << ",\n";
+    out << "    \"alert\": " << (slo.alerting() ? "true" : "false") << "\n";
+    out << "  }";
+  }
+  out << "\n}\n";
   return out.str();
+}
+
+void Server::observe_tick() {
+  if (slo_) {
+    const ServeStats::Snapshot s = stats_.snapshot();
+    obs::SloSample sample;
+    sample.wall_ms = wall_ms_now();
+    // `errors` is the superset refusal counter (shed, timeouts, internal —
+    // everything except malformed, which never reached a verdict).
+    sample.bad = s.errors;
+    sample.total = s.decisions + s.errors;
+    sample.latency_buckets.assign(s.latency_buckets.begin(),
+                                  s.latency_buckets.end());
+    const obs::SloEngine::Status slo = slo_->observe(sample);
+    OBS_GAUGE_SET("serve.slo.availability_fast", slo.availability_fast);
+    OBS_GAUGE_SET("serve.slo.availability_slow", slo.availability_slow);
+    OBS_GAUGE_SET("serve.slo.burn_fast", slo.burn_fast);
+    OBS_GAUGE_SET("serve.slo.burn_slow", slo.burn_slow);
+    OBS_GAUGE_SET("serve.slo.p99_fast_us", slo.p99_fast_us);
+    if (slo.alerting()) OBS_COUNTER_ADD("serve.slo.alert_ticks", 1);
+  }
+  if (!options_.timeseries_path.empty() && obs::enabled()) {
+    if (!tsdb_)
+      tsdb_ = std::make_unique<obs::TimeseriesStore>(
+          options_.timeseries_capacity);
+    tsdb_->sample(wall_ms_now(), obs::MetricsRegistry::global().snapshot());
+    tsdb_->write_jsonl(options_.timeseries_path);
+  }
 }
 
 void Server::write_status(const std::string& state) const {
@@ -481,6 +670,7 @@ void Server::status_main() {
         lock, std::chrono::milliseconds(options_.status_interval_ms));
     if (stop_requested_) break;
     lock.unlock();
+    observe_tick();
     write_status("running");
     lock.lock();
   }

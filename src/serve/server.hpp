@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "fault/serve_faults.hpp"
+#include "obs/slo.hpp"
+#include "obs/tsdb.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
 #include "serve/serve_stats.hpp"
@@ -50,6 +52,16 @@ class Server {
     std::uint64_t status_interval_ms = 500;  ///< 0 = status only on stop.
     std::uint64_t assume_infer_us = 0;       ///< Engine budget override.
     fault::ServeFaultPlan faults{};          ///< Reply-path fault hook.
+    /// Chrome trace dump written on graceful stop (when the sink is
+    /// armed); "" disables the flush.
+    std::string trace_path;
+    /// timeseries.jsonl location; "" disables the store. Sampling rides
+    /// the status cadence and is additionally gated on obs::enabled(), so
+    /// an obs-off run never allocates the ring.
+    std::string timeseries_path;
+    std::size_t timeseries_capacity = 720;  ///< Points retained (ring).
+    /// SLO targets; default-constructed = SLO evaluation off.
+    obs::SloConfig slo{};
   };
 
   /// Loads every cached controller, binds and listens. Stale socket files
@@ -102,14 +114,26 @@ class Server {
     QueryRequest query;
     std::uint64_t enqueue_us = 0;
     std::uint64_t deadline_us = 0;  ///< Absolute steady µs; 0 = unbounded.
+    /// Wall-clock request timeline (0 unless the trace sink is armed):
+    /// frame fully read at recv_wall_us, decode took decode_dur_us, the
+    /// job entered the queue at enqueue_wall_us.
+    std::uint64_t recv_wall_us = 0;
+    std::uint64_t decode_dur_us = 0;
+    std::uint64_t enqueue_wall_us = 0;
   };
 
   void accept_main();
   void connection_main(std::shared_ptr<Conn> conn);
   void worker_main();
   void status_main();
-  void handle_query(const std::shared_ptr<Conn>& conn, QueryRequest query);
+  void handle_query(const std::shared_ptr<Conn>& conn, QueryRequest query,
+                    std::uint64_t recv_wall_us, std::uint64_t decode_dur_us);
   void process_job(Job job);
+
+  /// One SLO + time-series sampling step (status thread; also once during
+  /// stop() after that thread joined, so the final tick sees the last
+  /// counters).
+  void observe_tick();
 
   /// Encodes and writes one frame; query replies pass the fault hook.
   void send_frame(const std::shared_ptr<Conn>& conn, FrameType type,
@@ -123,6 +147,8 @@ class Server {
   Options options_;
   DecisionEngine engine_;
   ServeStats stats_;
+  std::unique_ptr<obs::SloEngine> slo_;        ///< Null when SLO-free.
+  std::unique_ptr<obs::TimeseriesStore> tsdb_; ///< Lazy; status thread only.
 
   // Atomic: stop() closes the listener from another thread while
   // accept_main() is reading it into accept().

@@ -38,6 +38,55 @@ const char* kServeStatus = R"({
   "p99_us": 500
 })";
 
+// The same snapshot with the PR-9 observability extensions: degradation
+// rungs, lifetime availability, and the SLO block.
+const char* kServeStatusWithSlo = R"({
+  "status": "solsched-serve-v1",
+  "state": "running",
+  "wall_ms": 5000000,
+  "pid": 4242,
+  "socket": "/tmp/solsched.sock",
+  "controllers": 3,
+  "workers": 2,
+  "queue_capacity": 64,
+  "queue_depth": 5,
+  "queue_peak": 17,
+  "requests": 1000,
+  "decisions": 950,
+  "fallbacks": 12,
+  "fallback_no_controller": 6,
+  "fallback_corrupt": 2,
+  "fallback_budget": 3,
+  "fallback_sched": 1,
+  "malformed": 3,
+  "shed": 20,
+  "timeouts": 7,
+  "errors": 50,
+  "reloads": 2,
+  "faults_injected": 0,
+  "latency_count": 950,
+  "latency_sum_us": 95000,
+  "p50_us": 100,
+  "p99_us": 500,
+  "availability": 0.95,
+  "slo": {
+    "target_availability": 0.99,
+    "target_p99_us": 5000,
+    "fast_window_s": 30,
+    "slow_window_s": 60,
+    "burn_alert": 2.0,
+    "availability_fast": 0.9,
+    "availability_slow": 0.93,
+    "burn_fast": 10.0,
+    "burn_slow": 7.0,
+    "p99_fast_us": 450,
+    "p99_slow_us": 400,
+    "alert_availability": true,
+    "alert_p99": false,
+    "alert": true
+  }
+})";
+
 TEST(ServeView, ParseStatusReadsEveryField) {
   const ServeStatus s = parse_serve_status(kServeStatus);
   EXPECT_EQ(s.state, "running");
@@ -61,6 +110,34 @@ TEST(ServeView, ParseStatusReadsEveryField) {
   EXPECT_EQ(s.latency_sum_us, 95000u);
   EXPECT_EQ(s.p50_us, 100u);
   EXPECT_EQ(s.p99_us, 500u);
+  // Pre-PR-9 files carry no rung/availability/SLO keys: defaults apply.
+  EXPECT_EQ(s.fallback_no_controller, 0u);
+  EXPECT_DOUBLE_EQ(s.availability, 1.0);
+  EXPECT_FALSE(s.has_slo);
+}
+
+TEST(ServeView, ParseReadsRungsAvailabilityAndSloBlock) {
+  const ServeStatus s = parse_serve_status(kServeStatusWithSlo);
+  EXPECT_EQ(s.fallback_no_controller, 6u);
+  EXPECT_EQ(s.fallback_corrupt, 2u);
+  EXPECT_EQ(s.fallback_budget, 3u);
+  EXPECT_EQ(s.fallback_sched, 1u);
+  EXPECT_DOUBLE_EQ(s.availability, 0.95);
+  ASSERT_TRUE(s.has_slo);
+  EXPECT_DOUBLE_EQ(s.slo.target_availability, 0.99);
+  EXPECT_EQ(s.slo.target_p99_us, 5000u);
+  EXPECT_EQ(s.slo.fast_window_s, 30u);
+  EXPECT_EQ(s.slo.slow_window_s, 60u);
+  EXPECT_DOUBLE_EQ(s.slo.burn_alert, 2.0);
+  EXPECT_DOUBLE_EQ(s.slo.availability_fast, 0.9);
+  EXPECT_DOUBLE_EQ(s.slo.availability_slow, 0.93);
+  EXPECT_DOUBLE_EQ(s.slo.burn_fast, 10.0);
+  EXPECT_DOUBLE_EQ(s.slo.burn_slow, 7.0);
+  EXPECT_EQ(s.slo.p99_fast_us, 450u);
+  EXPECT_EQ(s.slo.p99_slow_us, 400u);
+  EXPECT_TRUE(s.slo.alert_availability);
+  EXPECT_FALSE(s.slo.alert_p99);
+  EXPECT_TRUE(s.slo.alert);
 }
 
 TEST(ServeView, RejectsDegenerateDocuments) {
@@ -103,6 +180,29 @@ TEST(ServeView, RenderCarriesCountersAndStaleNote) {
   EXPECT_NE(render_serve_status(s, 5000000 + 60000).find(
                 "(stale: daemon gone?)"),
             std::string::npos);
+}
+
+TEST(ServeView, RenderReportsAgeRungsAvailabilityAndSloVerdict) {
+  const ServeStatus s = parse_serve_status(kServeStatusWithSlo);
+  // A fresh snapshot (2.5 s old): age is reported, no stale note.
+  const std::string fresh = render_serve_status(s, 5000000 + 2500);
+  EXPECT_NE(fresh.find("(age 2.5 s)"), std::string::npos);
+  EXPECT_EQ(fresh.find("stale"), std::string::npos);
+  EXPECT_NE(fresh.find(
+                "rungs: no_controller 6  corrupt 2  budget 3  "
+                "sched_fallback 1"),
+            std::string::npos);
+  EXPECT_NE(fresh.find("availability 0.9500"), std::string::npos);
+  EXPECT_NE(fresh.find("slo: target availability 0.9900"), std::string::npos);
+  EXPECT_NE(fresh.find("burn 10.00/7.00"), std::string::npos);
+  EXPECT_NE(fresh.find("slo: ALERT availability-burn"), std::string::npos);
+  EXPECT_EQ(fresh.find("p99-latency"), std::string::npos);
+
+  // Same snapshot with the alert cleared renders the quiet verdict.
+  ServeStatus ok = s;
+  ok.slo.alert = false;
+  ok.slo.alert_availability = false;
+  EXPECT_NE(render_serve_status(ok).find("slo: ok"), std::string::npos);
 }
 
 }  // namespace

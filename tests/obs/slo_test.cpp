@@ -1,0 +1,169 @@
+// SLO engine: config grammar, multi-window burn-rate arithmetic, the
+// two-window alert gate (fast alone must not page), the p99 objective, and
+// zero-traffic neutrality (an idle window spends no budget).
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace solsched::obs {
+namespace {
+
+const std::vector<std::uint64_t> kBounds = {100, 200};
+
+SloSample sample_at(std::uint64_t wall_ms, std::uint64_t total,
+                    std::uint64_t bad,
+                    std::vector<std::uint64_t> buckets = {}) {
+  SloSample s;
+  s.wall_ms = wall_ms;
+  s.total = total;
+  s.bad = bad;
+  s.latency_buckets = std::move(buckets);
+  return s;
+}
+
+TEST(SloConfig, ParseGrammar) {
+  SloConfig c;
+  std::string error;
+  ASSERT_TRUE(parse_slo_config(
+      "availability=0.999,p99-us=5000,fast-s=30,slow-s=60,burn=2.5", &c,
+      &error))
+      << error;
+  EXPECT_DOUBLE_EQ(c.target_availability, 0.999);
+  EXPECT_EQ(c.target_p99_us, 5000u);
+  EXPECT_EQ(c.fast_window_s, 30u);
+  EXPECT_EQ(c.slow_window_s, 60u);
+  EXPECT_DOUBLE_EQ(c.burn_alert, 2.5);
+  EXPECT_TRUE(c.enabled());
+
+  // Empty spec parses to the disabled default.
+  ASSERT_TRUE(parse_slo_config("", &c, &error));
+  EXPECT_FALSE(c.enabled());
+
+  EXPECT_FALSE(parse_slo_config("availability=1.0", &c, &error));
+  EXPECT_FALSE(parse_slo_config("availability=0", &c, &error));
+  EXPECT_FALSE(parse_slo_config("availability=nope", &c, &error));
+  EXPECT_FALSE(parse_slo_config("p99-us=0", &c, &error));
+  EXPECT_FALSE(parse_slo_config("unknown-key=1", &c, &error));
+  EXPECT_FALSE(parse_slo_config("availability", &c, &error));
+  // The fast window must fit inside the slow one.
+  EXPECT_FALSE(parse_slo_config("availability=0.9,fast-s=60,slow-s=30", &c,
+                                &error));
+}
+
+SloConfig availability_config() {
+  SloConfig c;
+  c.target_availability = 0.9;  // budget = 0.1
+  c.fast_window_s = 30;
+  c.slow_window_s = 60;
+  c.burn_alert = 2.0;
+  return c;
+}
+
+TEST(SloEngine, BurnRateMathOverTwoWindows) {
+  SloEngine engine(availability_config(), kBounds);
+
+  // t=1s: 100 requests, all good. Both windows read "since start".
+  auto s = engine.observe(sample_at(1000, 100, 0));
+  EXPECT_TRUE(s.configured);
+  EXPECT_DOUBLE_EQ(s.availability_fast, 1.0);
+  EXPECT_DOUBLE_EQ(s.burn_fast, 0.0);
+  EXPECT_FALSE(s.alerting());
+
+  // t=31s: 100 more requests, 30 bad. Fast window (last 30s) sees 30/100
+  // bad -> availability 0.7 -> burn (0.3 / 0.1) = 3.0. Slow window still
+  // spans the clean start: 30/200 bad -> burn 1.5. Fast alone must NOT
+  // page: that is the whole point of the second window.
+  s = engine.observe(sample_at(31000, 200, 30));
+  EXPECT_DOUBLE_EQ(s.availability_fast, 0.7);
+  EXPECT_DOUBLE_EQ(s.burn_fast, 3.0);
+  EXPECT_DOUBLE_EQ(s.availability_slow, 0.85);
+  EXPECT_DOUBLE_EQ(s.burn_slow, 1.5);
+  EXPECT_FALSE(s.alert_availability);
+
+  // t=61s: the bleed continues (30 more bad in 100). Now both windows
+  // burn at 3.0 >= 2.0 -> alert.
+  s = engine.observe(sample_at(61000, 300, 60));
+  EXPECT_DOUBLE_EQ(s.burn_fast, 3.0);
+  EXPECT_DOUBLE_EQ(s.burn_slow, 3.0);
+  EXPECT_TRUE(s.alert_availability);
+  EXPECT_TRUE(s.alerting());
+  // status() replays the last evaluation.
+  EXPECT_TRUE(engine.status().alert_availability);
+
+  // t=121s: fully recovered for a whole minute; both windows clean again.
+  s = engine.observe(sample_at(91000, 400, 60));
+  s = engine.observe(sample_at(121000, 500, 60));
+  EXPECT_DOUBLE_EQ(s.burn_fast, 0.0);
+  EXPECT_FALSE(s.alert_availability);
+}
+
+TEST(SloEngine, ZeroTrafficWindowsSpendNoBudget) {
+  SloEngine engine(availability_config(), kBounds);
+  // No traffic at all: availability defaults to 1.0, burn 0, no alert.
+  auto s = engine.observe(sample_at(1000, 0, 0));
+  EXPECT_DOUBLE_EQ(s.availability_fast, 1.0);
+  EXPECT_DOUBLE_EQ(s.availability_slow, 1.0);
+  EXPECT_DOUBLE_EQ(s.burn_fast, 0.0);
+  EXPECT_FALSE(s.alerting());
+  // An idle stretch after real traffic is equally neutral.
+  s = engine.observe(sample_at(31000, 100, 100));
+  s = engine.observe(sample_at(91000, 100, 100));
+  EXPECT_DOUBLE_EQ(s.availability_fast, 1.0);
+  EXPECT_DOUBLE_EQ(s.burn_fast, 0.0);
+}
+
+TEST(SloEngine, P99ObjectiveNeedsBothWindowsToBreach) {
+  SloConfig config;
+  config.target_p99_us = 150;
+  config.fast_window_s = 30;
+  config.slow_window_s = 60;
+  SloEngine engine(config, kBounds);
+
+  // Bucket layout: {<=100, <=200, overflow}.
+  auto s = engine.observe(sample_at(1000, 100, 0, {100, 0, 0}));
+  EXPECT_EQ(s.p99_fast_us, 100u);
+  EXPECT_FALSE(s.alert_p99);
+
+  // The next 100 requests all land in the 200 us bucket: the fast window
+  // breaches (200 > 150) and the slow window - which spans 200 requests,
+  // rank 198 - lands in the 200 us bucket too. Both breach -> alert.
+  s = engine.observe(sample_at(31000, 200, 0, {100, 100, 0}));
+  EXPECT_EQ(s.p99_fast_us, 200u);
+  EXPECT_EQ(s.p99_slow_us, 200u);
+  EXPECT_TRUE(s.alert_p99);
+  EXPECT_FALSE(s.alert_availability);  // No availability target configured.
+
+  // Overflow-bucket tail reports the 2x sentinel, still a breach.
+  s = engine.observe(sample_at(61000, 300, 0, {100, 100, 100}));
+  EXPECT_EQ(s.p99_fast_us, 400u);
+}
+
+TEST(SloEngine, RetainsADeltaBaseBeyondTheSlowWindow) {
+  SloEngine engine(availability_config(), kBounds);
+  // Two hours of one-minute ticks: the deque must stay bounded (eviction)
+  // while windowed deltas stay correct at the end.
+  std::uint64_t total = 0;
+  SloEngine::Status s;
+  for (std::uint64_t minute = 1; minute <= 120; ++minute) {
+    total += 100;
+    s = engine.observe(sample_at(minute * 60 * 1000, total, 0));
+  }
+  EXPECT_DOUBLE_EQ(s.availability_fast, 1.0);
+  EXPECT_DOUBLE_EQ(s.availability_slow, 1.0);
+  EXPECT_DOUBLE_EQ(s.burn_slow, 0.0);
+  EXPECT_FALSE(s.alerting());
+}
+
+TEST(SloEngine, UnconfiguredEngineNeverAlerts) {
+  SloEngine engine(SloConfig{}, kBounds);
+  const auto s = engine.observe(sample_at(1000, 100, 100));
+  EXPECT_FALSE(s.configured);
+  EXPECT_FALSE(s.alerting());
+  EXPECT_DOUBLE_EQ(s.burn_fast, 0.0);
+}
+
+}  // namespace
+}  // namespace solsched::obs

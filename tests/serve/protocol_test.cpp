@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -31,7 +32,8 @@ TEST(Protocol, QueryRoundTripIsExact) {
   const QueryRequest q = sample_query();
   const auto payload = encode_query(q);
   QueryRequest back;
-  ASSERT_EQ(decode_query(payload.data(), payload.size(), &back),
+  ASSERT_EQ(decode_query(payload.data(), payload.size(), kProtocolVersion,
+                         &back),
             FrameVerdict::kOk);
   EXPECT_EQ(back.controller_key, q.controller_key);
   EXPECT_EQ(back.day, q.day);
@@ -43,6 +45,66 @@ TEST(Protocol, QueryRoundTripIsExact) {
   EXPECT_EQ(back.deadline_ms, q.deadline_ms);
   EXPECT_EQ(back.last_period_solar_w, q.last_period_solar_w);
   EXPECT_EQ(back.cap_voltages, q.cap_voltages);
+  EXPECT_FALSE(back.trace.active());
+}
+
+TEST(Protocol, TracedQueryRoundTripsUnderV2) {
+  QueryRequest q = sample_query();
+  q.trace.trace_id = 0x1122334455667788ull;
+  q.trace.parent_span_id = 0x99aabbccddeeff00ull;
+  const auto payload = encode_query(q);
+  QueryRequest back;
+  ASSERT_EQ(decode_query(payload.data(), payload.size(),
+                         kProtocolVersionTraced, &back),
+            FrameVerdict::kOk);
+  EXPECT_EQ(back.trace.trace_id, q.trace.trace_id);
+  EXPECT_EQ(back.trace.parent_span_id, q.trace.parent_span_id);
+  EXPECT_EQ(back.controller_key, q.controller_key);
+  EXPECT_EQ(back.cap_voltages, q.cap_voltages);
+  EXPECT_EQ(query_wire_version(q), kProtocolVersionTraced);
+  EXPECT_EQ(query_wire_version(sample_query()), kProtocolVersion);
+}
+
+TEST(Protocol, UntracedQueryPayloadIsExactV1Bytes) {
+  // The byte-identity contract: adding the trace extension must not move a
+  // single bit of an untraced query.
+  QueryRequest traced = sample_query();
+  traced.trace.trace_id = 7;
+  const auto v1 = encode_query(sample_query());
+  const auto v2 = encode_query(traced);
+  EXPECT_EQ(v2.size(), v1.size() + 16);
+  EXPECT_TRUE(std::equal(v1.begin(), v1.end(), v2.begin()));
+}
+
+TEST(Protocol, VersionGatesTheExtensionGrammar) {
+  // v2 payload under a v1 grammar: 16 trailing bytes = kBadPayload.
+  QueryRequest traced = sample_query();
+  traced.trace.trace_id = 7;
+  const auto v2_payload = encode_query(traced);
+  QueryRequest back;
+  EXPECT_EQ(decode_query(v2_payload.data(), v2_payload.size(),
+                         kProtocolVersion, &back),
+            FrameVerdict::kBadPayload);
+  // v1 payload under a v2 grammar: the extension is required, not optional.
+  const auto v1_payload = encode_query(sample_query());
+  EXPECT_EQ(decode_query(v1_payload.data(), v1_payload.size(),
+                         kProtocolVersionTraced, &back),
+            FrameVerdict::kBadPayload);
+  // A zero trace id on a v2 frame is also malformed: zero means "untraced",
+  // and untraced queries must travel as v1.
+  auto zero_id = v2_payload;
+  std::fill(zero_id.end() - 16, zero_id.end() - 8, std::uint8_t{0});
+  EXPECT_EQ(decode_query(zero_id.data(), zero_id.size(),
+                         kProtocolVersionTraced, &back),
+            FrameVerdict::kBadPayload);
+}
+
+TEST(Protocol, DeriveTraceIdIsDeterministicAndNeverZero) {
+  EXPECT_EQ(derive_trace_id(1, 0), derive_trace_id(1, 0));
+  EXPECT_NE(derive_trace_id(1, 0), derive_trace_id(1, 1));
+  EXPECT_NE(derive_trace_id(1, 0), derive_trace_id(2, 0));
+  for (std::uint64_t n = 0; n < 64; ++n)
+    EXPECT_NE(derive_trace_id(0, n), 0u);
 }
 
 TEST(Protocol, DecisionAndErrorAndReloadRoundTrip) {
@@ -158,13 +220,15 @@ TEST(Protocol, OversizedWireCountsAreRejectedBeforeAllocation) {
   q.cap_voltages.assign(kMaxCaps + 1, 1.0);
   auto payload = encode_query(q);
   QueryRequest back;
-  EXPECT_EQ(decode_query(payload.data(), payload.size(), &back),
+  EXPECT_EQ(decode_query(payload.data(), payload.size(), kProtocolVersion,
+                         &back),
             FrameVerdict::kBadPayload);
 
   q = sample_query();
   q.last_period_solar_w.assign(kMaxSolarSlots + 1, 0.0);
   payload = encode_query(q);
-  EXPECT_EQ(decode_query(payload.data(), payload.size(), &back),
+  EXPECT_EQ(decode_query(payload.data(), payload.size(), kProtocolVersion,
+                         &back),
             FrameVerdict::kBadPayload);
 }
 
@@ -172,13 +236,26 @@ TEST(Protocol, TruncatedPayloadsAreBadNotCrashes) {
   const auto payload = encode_query(sample_query());
   QueryRequest back;
   for (std::size_t cut = 0; cut < payload.size(); ++cut)
-    EXPECT_NE(decode_query(payload.data(), cut, &back), FrameVerdict::kOk)
+    EXPECT_NE(decode_query(payload.data(), cut, kProtocolVersion, &back),
+              FrameVerdict::kOk)
         << "decode accepted a " << cut << "-byte prefix";
   // Trailing garbage is equally malformed: full consumption is required.
   auto padded = payload;
   padded.push_back(0);
-  EXPECT_EQ(decode_query(padded.data(), padded.size(), &back),
+  EXPECT_EQ(decode_query(padded.data(), padded.size(), kProtocolVersion,
+                         &back),
             FrameVerdict::kBadPayload);
+
+  // Same sweep for a traced payload: every truncation of the extension
+  // (including a partial 8-byte id) is kBadPayload, never an over-read.
+  QueryRequest traced = sample_query();
+  traced.trace.trace_id = 0xdeadbeefull;
+  traced.trace.parent_span_id = 0xfeedull;
+  const auto v2 = encode_query(traced);
+  for (std::size_t cut = 0; cut < v2.size(); ++cut)
+    EXPECT_NE(decode_query(v2.data(), cut, kProtocolVersionTraced, &back),
+              FrameVerdict::kOk)
+        << "v2 decode accepted a " << cut << "-byte prefix";
 }
 
 // The headline robustness drill: 1000 adversarial frames — random bytes,
@@ -189,6 +266,11 @@ TEST(Protocol, FuzzThousandHostileFramesNeverCrash) {
   util::Rng rng(0x5345525645ull);
   const auto valid_payload = encode_query(sample_query());
   const auto valid_frame = encode_frame(FrameType::kQuery, valid_payload);
+  QueryRequest traced = sample_query();
+  traced.trace.trace_id = 0x7261636564ull;
+  const auto traced_frame =
+      encode_frame(FrameType::kQuery, encode_query(traced),
+                   kProtocolVersionTraced);
 
   std::size_t accepted = 0;
   for (int i = 0; i < 1000; ++i) {
@@ -201,9 +283,10 @@ TEST(Protocol, FuzzThousandHostileFramesNeverCrash) {
       for (auto& b : bytes)
         b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
     } else {
-      // A valid frame with 1-4 mutated bytes: the hash must catch payload
-      // damage, the header checks everything else.
-      bytes = valid_frame;
+      // A valid v1 or v2 frame with 1-4 mutated bytes: the hash must catch
+      // payload damage, the header checks everything else. Flips landing
+      // in the version field exercise the cross-version grammar.
+      bytes = i % 4 == 1 ? valid_frame : traced_frame;
       const int flips = rng.uniform_int(1, 4);
       for (int f = 0; f < flips; ++f) {
         const auto pos = static_cast<std::size_t>(
@@ -222,11 +305,15 @@ TEST(Protocol, FuzzThousandHostileFramesNeverCrash) {
         FrameVerdict::kOk)
       continue;
     QueryRequest q;
-    if (decode_query(payload, header.payload_len, &q) == FrameVerdict::kOk) {
+    if (decode_query(payload, header.payload_len, header.version, &q) ==
+        FrameVerdict::kOk) {
       ++accepted;
       // Anything that decodes obeys the wire bounds.
       EXPECT_LE(q.cap_voltages.size(), kMaxCaps);
       EXPECT_LE(q.last_period_solar_w.size(), kMaxSolarSlots);
+      // A v2-accepted payload carries a nonzero id by grammar.
+      if (header.version >= kProtocolVersionTraced)
+        EXPECT_TRUE(q.trace.active());
     }
   }
   // Mutated frames whose flips all landed in the payload get caught by the

@@ -24,6 +24,9 @@
 #include "campaign/artifact_cache.hpp"
 #include "core/pipeline.hpp"
 #include "obs/analysis/serve_view.hpp"
+#include "obs/analysis/timeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/client.hpp"
 #include "util/rng.hpp"
 
@@ -316,6 +319,88 @@ TEST(ServeEndToEnd, ClientBackoffSurvivesDaemonRestart) {
   EXPECT_EQ(after.te_mask, before.te_mask);
   EXPECT_EQ(after.select_cap, before.select_cap);
   server.stop();
+}
+
+TEST(ServeEndToEnd, TracedQueryLeavesDecisionBytesIdentical) {
+  // The observability-off contract, end to end: with the obs switch dark,
+  // a v2 (traced) query must produce the exact decision bytes of its v1
+  // twin — tracing changes the envelope, never the answer.
+  ASSERT_FALSE(solsched::obs::enabled());
+  const TestDirs d = fresh_dirs("serve_byteident");
+  Server server(server_options(d));
+  server.start();
+
+  ServeClient client(client_options(d));
+  DecisionReply plain, traced;
+  ASSERT_EQ(client.query(valid_query(), &plain), ServeClient::Result::kOk);
+  QueryRequest q = valid_query();
+  q.trace.trace_id = derive_trace_id(42, 0);
+  q.trace.parent_span_id = 7;
+  ASSERT_EQ(client.query(q, &traced), ServeClient::Result::kOk);
+  // encode_decision is a pure function of the reply struct, so comparing
+  // encodings compares the wire bytes the two replies traveled as.
+  EXPECT_EQ(encode_decision(plain), encode_decision(traced));
+  server.stop();
+}
+
+TEST(ServeEndToEnd, TracedRequestStitchesIntoOneTimeline) {
+  const TestDirs d = fresh_dirs("serve_timeline");
+  Server::Options options = server_options(d);
+  options.trace_path = d.root + "/server_trace.json";
+  solsched::obs::set_enabled(true);
+  solsched::obs::set_trace_events_enabled(true);
+
+  const std::uint64_t trace_id = derive_trace_id(7, 3);
+  {
+    Server server(options);
+    server.start();
+    ServeClient client(client_options(d));
+    QueryRequest q = valid_query();
+    q.trace.trace_id = trace_id;
+    DecisionReply reply;
+    ASSERT_EQ(client.query(q, &reply), ServeClient::Result::kOk);
+    server.stop();  // Graceful stop flushes the dump: the satellite contract.
+  }
+  solsched::obs::set_trace_events_enabled(false);
+  solsched::obs::set_enabled(false);
+  solsched::obs::clear_trace_events();
+
+  // Client and server share this process, hence one span sink: the dump the
+  // daemon flushed on stop holds both sides of the round trip. (The genuine
+  // two-file merge is timeline_test's and the tier-1 drill's job.)
+  const auto timeline =
+      solsched::obs::analysis::load_timeline({options.trace_path});
+  const auto breakdowns = solsched::obs::analysis::request_breakdowns(timeline);
+  const solsched::obs::analysis::RequestBreakdown* b = nullptr;
+  for (const auto& candidate : breakdowns)
+    if (candidate.trace_id == trace_id) b = &candidate;
+  ASSERT_NE(b, nullptr) << "trace id absent from the merged dumps";
+
+  // Both sides contributed: the client span wraps the server span, and the
+  // stage spans partition (a subset of) the server span. Wall-clock slack
+  // covers rounding at the µs edges.
+  EXPECT_GT(b->client_latency_us, 0u);
+  EXPECT_GT(b->server_total_us, 0u);
+  EXPECT_GT(b->stage_sum_us, 0u);
+  EXPECT_LE(b->server_total_us, b->client_latency_us + 50);
+  EXPECT_LE(b->stage_sum_us, b->server_total_us + 50);
+  EXPECT_GE(b->spans.size(), 5u);  // client + serve.req + >=3 stages.
+
+  // The flow arrow survives the merge: one start, one finish, same id.
+  std::size_t starts = 0, finishes = 0;
+  for (const auto& ev : timeline.events) {
+    if (ev.trace_id != trace_id) continue;
+    if (ev.ph == 's') ++starts;
+    if (ev.ph == 'f') ++finishes;
+  }
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(finishes, 1u);
+
+  // The plain-text renderer names the trace and the breakdown lines.
+  const std::string text =
+      solsched::obs::analysis::render_timeline(timeline, trace_id);
+  EXPECT_NE(text.find("serve.req"), std::string::npos);
+  EXPECT_NE(text.find("serve.client.request"), std::string::npos);
 }
 
 TEST(ServeEndToEnd, ShutdownFrameUnblocksWaitAndStatusFileIsParseable) {

@@ -7,21 +7,32 @@
 //   solsched-serve reload  --socket S --key K                      hot-reload
 //   solsched-serve ping    --socket S                              liveness
 //   solsched-serve stop    --socket S                              drain+exit
+//   solsched-serve watch   <status.json>                           dashboard
 //
 // Exit-code contract:
-//   0  success — query/loadgen: every request answered with a decision
+//   0  success — query/loadgen: every request answered with a decision;
+//      watch: the daemon reached a clean "stopped" state
 //   1  failure — retries exhausted, a typed refusal, or a daemon fault
 //   2  usage error (bad flags, malformed key/CSV)
+//   3  watch only: status is stale (daemon presumed killed) or --once saw
+//      a still-running daemon
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/serve_faults.hpp"
+#include "obs/analysis/serve_view.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
@@ -37,24 +48,36 @@ void on_signal(int) { g_signal = 1; }
 int usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: solsched-serve <run|query|loadgen|reload|ping|stop> [--help]\n"
+      "usage: solsched-serve <run|query|loadgen|reload|ping|stop|watch>"
+      " [--help]\n"
       "  run     --socket S --cache-dir C [--status P] [--workers N]\n"
       "          [--queue-depth N] [--timeout-ms MS] [--status-interval-ms MS]\n"
       "          [--assume-infer-us US] [--fault \"drop=0.1,...\"]\n"
+      "          [--slo \"availability=0.999,p99-us=5000,fast-s=300,"
+      "slow-s=3600,burn=2\"]\n"
+      "          [--timeseries P] [--timeseries-capacity N] [--trace-out P]\n"
       "  query   --socket S --key HEX --voltages V1,V2,... [--solar W1,...]\n"
       "          [--cap I] [--day D] [--period P] [--dmr X] [--dead-mask M]\n"
-      "          [--deadline-ms MS] [retry flags]\n"
+      "          [--deadline-ms MS] [--trace-out P] [retry flags]\n"
       "  loadgen --socket S --key HEX --count N [--clients N] [--caps N]\n"
-      "          [--slots N] [--seed S] [--deadline-ms MS] [retry flags]\n"
+      "          [--slots N] [--seed S] [--deadline-ms MS] [--trace-out P]\n"
+      "          [retry flags]\n"
       "  reload  --socket S --key HEX\n"
       "  ping    --socket S\n"
       "  stop    --socket S\n"
+      "  watch   <status.json> [--plain] [--once] [--interval-ms MS]\n"
+      "          [--max-age-ms MS]\n"
       "\n"
       "retry flags: --max-attempts N --base-backoff-ms MS --max-backoff-ms MS\n"
       "             --recv-timeout-ms MS --jitter-seed S\n"
       "\n"
+      "--trace-out arms the Chrome trace sink and stamps every query with a\n"
+      "trace id; the daemon's --trace-out dump and the client's stitch into\n"
+      "one timeline via `solsched-inspect timeline`.\n"
+      "\n"
       "exit codes: 0 success; 1 refusal/exhausted retries/daemon fault;\n"
-      "            2 usage error\n");
+      "            2 usage error; 3 watch: stale status or still running\n"
+      "            with --once\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -150,6 +173,12 @@ int cmd_run(int argc, const char* const* argv) {
                "assume inference costs this many us for budget checks");
   cli.add_flag("fault", "",
                "reply fault plan: seed=,drop=,delay=,delay-ms=,corrupt=");
+  cli.add_flag("slo", "",
+               "SLO targets: availability=,p99-us=,fast-s=,slow-s=,burn=");
+  cli.add_flag("timeseries", "", "metrics ring JSONL path (empty = off)");
+  cli.add_flag("timeseries-capacity", "720", "metrics ring size (samples)");
+  cli.add_flag("trace-out", "",
+               "Chrome trace dump written on stop (arms the span sink)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "solsched-serve run: %s\n", cli.error().c_str());
     return 2;
@@ -172,6 +201,22 @@ int cmd_run(int argc, const char* const* argv) {
   options.status_interval_ms = cli.get_uint("status-interval-ms", 3600000);
   options.assume_infer_us = cli.get_uint("assume-infer-us");
   options.faults = fault::ServeFaultPlan::parse(cli.get("fault"));
+  if (!cli.get("slo").empty()) {
+    std::string error;
+    if (!obs::parse_slo_config(cli.get("slo"), &options.slo, &error)) {
+      std::fprintf(stderr, "solsched-serve run: --slo: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  options.timeseries_path = cli.get("timeseries");
+  options.timeseries_capacity =
+      static_cast<std::size_t>(cli.get_uint("timeseries-capacity", 1 << 20));
+  options.trace_path = cli.get("trace-out");
+  // Observability flags self-arm: asking for a timeseries or trace dump IS
+  // opting in, no SOLSCHED_OBS needed on top.
+  if (!options.timeseries_path.empty() || !options.trace_path.empty())
+    obs::set_enabled(true);
+  if (!options.trace_path.empty()) obs::set_trace_events_enabled(true);
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -199,6 +244,10 @@ int cmd_query(int argc, const char* const* argv) {
   cli.add_flag("dmr", "0", "accumulated deadline miss rate");
   cli.add_flag("dead-mask", "0", "bitmask of stuck-dead capacitors");
   cli.add_flag("deadline-ms", "0", "per-request deadline budget (0 = none)");
+  cli.add_flag("trace-id", "0",
+               "explicit trace id (hex with 0x prefix or decimal; 0 = derive)",
+               util::Cli::FlagType::kString);
+  cli.add_flag("trace-out", "", "client Chrome trace dump path (arms tracing)");
   add_retry_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "solsched-serve query: %s\n", cli.error().c_str());
@@ -224,6 +273,30 @@ int cmd_query(int argc, const char* const* argv) {
   request.cap_voltages = parse_csv("voltages", cli.get("voltages"));
   request.last_period_solar_w = parse_csv("solar", cli.get("solar"));
 
+  const std::string trace_out = cli.get("trace-out");
+  std::uint64_t trace_id = 0;
+  {
+    const std::string text = cli.get("trace-id");
+    errno = 0;
+    char* end = nullptr;
+    trace_id = std::strtoull(text.c_str(), &end, 0);
+    if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+      std::fprintf(stderr,
+                   "solsched-serve query: --trace-id: invalid \"%s\"\n",
+                   text.c_str());
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) {
+    obs::set_enabled(true);
+    obs::set_trace_events_enabled(true);
+    if (trace_id == 0)
+      trace_id = serve::derive_trace_id(cli.get_seed("jitter-seed"), 0);
+  }
+  // A bare --trace-id (no client dump) still rides the wire: the daemon's
+  // dump tags its stage spans with it even when this side records nothing.
+  request.trace.trace_id = trace_id;
+
   serve::ServeClient client(client_options(cli));
   serve::DecisionReply reply;
   const auto result = client.query(request, &reply);
@@ -236,6 +309,15 @@ int cmd_query(int argc, const char* const* argv) {
     return 1;
   }
   print_decision(reply);
+  if (!trace_out.empty()) {
+    if (!obs::write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "solsched-serve query: cannot write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "solsched-serve query: trace 0x%llx -> %s\n",
+                 static_cast<unsigned long long>(trace_id), trace_out.c_str());
+  }
   return 0;
 }
 
@@ -249,6 +331,8 @@ int cmd_loadgen(int argc, const char* const* argv) {
   cli.add_flag("slots", "10", "solar slots in generated queries");
   cli.add_flag("seed", "1", "query-generation seed");
   cli.add_flag("deadline-ms", "0", "per-request deadline (0 = none)");
+  cli.add_flag("trace-out", "",
+               "client Chrome trace dump path (arms tracing, stamps ids)");
   add_retry_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "solsched-serve loadgen: %s\n", cli.error().c_str());
@@ -273,10 +357,19 @@ int cmd_loadgen(int argc, const char* const* argv) {
   const std::uint32_t deadline_ms =
       static_cast<std::uint32_t>(cli.get_uint("deadline-ms", 3600000));
   const serve::ServeClient::Options base_options = client_options(cli);
+  const std::string trace_out = cli.get("trace-out");
+  const bool traced = !trace_out.empty();
+  if (traced) {
+    obs::set_enabled(true);
+    obs::set_trace_events_enabled(true);
+  }
 
   struct ClientTally {
     std::size_t ok = 0, refused = 0, exhausted = 0;
     std::size_t retries = 0, reconnects = 0;
+    std::size_t shed_seen = 0, timeout_seen = 0, shutdown_seen = 0;
+    std::uint64_t slowest_trace_id = 0;
+    std::uint64_t slowest_us = 0;
   };
   std::vector<ClientTally> tallies(clients == 0 ? 1 : clients);
   std::vector<std::thread> threads;
@@ -300,8 +393,26 @@ int cmd_loadgen(int argc, const char* const* argv) {
           request.cap_voltages.push_back(rng.uniform(0.5, 5.0));
         for (std::size_t m = 0; m < n_slots; ++m)
           request.last_period_solar_w.push_back(rng.uniform(0.0, 0.2));
+        // Deterministic per-request id: client c's i-th query always gets
+        // derive_trace_id(seed, c*count + i), so a rerun with the same
+        // flags names the same requests.
+        if (traced)
+          request.trace.trace_id =
+              serve::derive_trace_id(seed, c * count + i);
         serve::DecisionReply reply;
-        switch (client.query(request, &reply)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = client.query(request, &reply);
+        if (traced) {
+          const auto elapsed_us = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+          if (elapsed_us >= tallies[c].slowest_us) {
+            tallies[c].slowest_us = elapsed_us;
+            tallies[c].slowest_trace_id = request.trace.trace_id;
+          }
+        }
+        switch (result) {
           case serve::ServeClient::Result::kOk: ++tallies[c].ok; break;
           case serve::ServeClient::Result::kRefused:
             ++tallies[c].refused;
@@ -313,6 +424,9 @@ int cmd_loadgen(int argc, const char* const* argv) {
       }
       tallies[c].retries = client.retries();
       tallies[c].reconnects = client.reconnects();
+      tallies[c].shed_seen = client.seen_overloaded();
+      tallies[c].timeout_seen = client.seen_timeout();
+      tallies[c].shutdown_seen = client.seen_shutting_down();
     });
   }
   for (auto& t : threads) t.join();
@@ -323,11 +437,39 @@ int cmd_loadgen(int argc, const char* const* argv) {
     total.exhausted += tally.exhausted;
     total.retries += tally.retries;
     total.reconnects += tally.reconnects;
+    total.shed_seen += tally.shed_seen;
+    total.timeout_seen += tally.timeout_seen;
+    total.shutdown_seen += tally.shutdown_seen;
+    if (tally.slowest_us >= total.slowest_us) {
+      total.slowest_us = tally.slowest_us;
+      total.slowest_trace_id = tally.slowest_trace_id;
+    }
   }
   std::printf(
       "loadgen: ok %zu refused %zu exhausted %zu retries %zu reconnects %zu\n",
       total.ok, total.refused, total.exhausted, total.retries,
       total.reconnects);
+  // Client-side availability: answered / attempted. The daemon's own
+  // status.json availability can read higher — retries hide transient
+  // refusals from this number but count as errors server-side.
+  const std::size_t attempted = total.ok + total.refused + total.exhausted;
+  std::printf("loadgen: shed-seen %zu timeout-seen %zu shutdown-seen %zu "
+              "availability %.6f\n",
+              total.shed_seen, total.timeout_seen, total.shutdown_seen,
+              attempted == 0 ? 1.0
+                             : static_cast<double>(total.ok) /
+                                   static_cast<double>(attempted));
+  if (traced) {
+    if (!obs::write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "solsched-serve loadgen: cannot write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("loadgen: slowest trace 0x%llx (%.3f ms) -> %s\n",
+                static_cast<unsigned long long>(total.slowest_trace_id),
+                static_cast<double>(total.slowest_us) / 1000.0,
+                trace_out.c_str());
+  }
   return total.refused == 0 && total.exhausted == 0 ? 0 : 1;
 }
 
@@ -357,6 +499,95 @@ int cmd_reload(int argc, const char* const* argv) {
   std::printf("reload %s: %s\n", ack.ok ? "ok" : "failed",
               ack.message.c_str());
   return ack.ok ? 0 : 1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  return std::string(std::istreambuf_iterator<char>(file),
+                     std::istreambuf_iterator<char>());
+}
+
+std::uint64_t wall_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// `watch <status.json>`: live dashboard over the daemon's status file,
+/// the serve twin of `solsched-campaign watch`. Exits 0 when the daemon
+/// writes its terminal "stopped" snapshot, 3 when the snapshot goes stale
+/// (daemon presumed killed) or when --once finds it still running. The
+/// status path is the one positional argument; util::Cli rejects
+/// positionals, so it is peeled off before flag parsing.
+int cmd_watch(int argc, const char* const* argv) {
+  std::string path;
+  std::vector<const char*> rest = {argc > 0 ? argv[0] : "watch"};
+  for (int i = 1; i < argc; ++i) {
+    if (path.empty() && argv[i][0] != '-')
+      path = argv[i];
+    else
+      rest.push_back(argv[i]);
+  }
+  util::Cli cli;
+  cli.add_flag("plain", "false", "no ANSI escapes / screen clearing (CI logs)");
+  cli.add_flag("once", "false", "render one snapshot and exit");
+  cli.add_flag("interval-ms", "500", "poll cadence while the daemon runs");
+  cli.add_flag("max-age-ms", "5000", "running snapshot older than this = stale");
+  if (!cli.parse(static_cast<int>(rest.size()), rest.data())) {
+    std::fprintf(stderr, "solsched-serve watch: %s\n", cli.error().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) return usage(stdout);
+  if (path.empty()) {
+    std::fprintf(stderr, "solsched-serve watch: status.json path required\n");
+    return 2;
+  }
+  const bool plain = cli.get_bool("plain");
+  const bool once = cli.get_bool("once");
+  const std::uint64_t max_age_ms = cli.get_uint("max-age-ms", 86400000);
+  const auto interval = std::chrono::milliseconds(
+      cli.get_uint("interval-ms", 600000) > 0
+          ? cli.get_uint("interval-ms", 600000)
+          : 500);
+
+  bool first = true;
+  for (;;) {
+    obs::analysis::ServeStatus status;
+    try {
+      status = obs::analysis::parse_serve_status(read_file(path));
+    } catch (const std::exception& e) {
+      if (once) {
+        std::fprintf(stderr, "solsched-serve watch: %s\n", e.what());
+        std::fprintf(stderr,
+                     "(no status snapshot — was the daemon run with "
+                     "--status?)\n");
+        return 2;
+      }
+      // The daemon may not have written its first snapshot yet; wait.
+      std::this_thread::sleep_for(interval);
+      continue;
+    }
+    const std::uint64_t now = wall_now_ms();
+    if (!plain && !first) std::fputs("\033[H\033[2J", stdout);
+    first = false;
+    std::fputs(
+        obs::analysis::render_serve_status(status, now, max_age_ms).c_str(),
+        stdout);
+    std::fflush(stdout);
+    if (status.state == "stopped") return 0;
+    if (obs::analysis::serve_status_is_stale(status, now, max_age_ms)) {
+      std::fprintf(stderr,
+                   "solsched-serve watch: status is stale (last update "
+                   "%llu ms ago) — the daemon is gone without a \"stopped\" "
+                   "snapshot (kill -9?)\n",
+                   static_cast<unsigned long long>(now - status.wall_ms));
+      return 3;
+    }
+    if (once) return 3;  // Still running: incomplete from this vantage.
+    std::this_thread::sleep_for(interval);
+  }
 }
 
 int cmd_simple(int argc, const char* const* argv, bool stop) {
@@ -396,6 +627,7 @@ int main(int argc, char** argv) {
     if (cmd == "reload") return cmd_reload(argc - 1, argv + 1);
     if (cmd == "ping") return cmd_simple(argc - 1, argv + 1, false);
     if (cmd == "stop") return cmd_simple(argc - 1, argv + 1, true);
+    if (cmd == "watch") return cmd_watch(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "solsched-serve: %s\n", e.what());
     return 2;
