@@ -38,11 +38,11 @@ int main() {
       const auto rows = core::run_comparison(graph, days[static_cast<std::size_t>(d)],
                                              bench::paper_node(), &controller,
                                              config);
-      const core::ComparisonRow& proposed = core::row_of(rows, "Proposed");
-      const double inter = core::row_of(rows, "Inter-task").dmr;
-      const double intra = core::row_of(rows, "Intra-task").dmr;
+      const core::ComparisonRow& proposed = core::row_of(rows, "proposed");
+      const double inter = core::row_of(rows, "inter").dmr;
+      const double intra = core::row_of(rows, "intra").dmr;
       const double prop = proposed.dmr;
-      const double opt = core::row_of(rows, "Optimal").dmr;
+      const double opt = core::row_of(rows, "optimal").dmr;
       if (inter > 0.0)
         worst_red = std::max(worst_red, (inter - prop) / inter);
       sum_gap += prop - opt;

@@ -92,10 +92,10 @@ int main() {
                 attr.total_misses == sim_misses ? "ok" : "BROKEN");
   }
 
-  const double dmr_prop = core::row_of(rows, "Proposed").dmr;
-  const double dmr_opt = core::row_of(rows, "Optimal").dmr;
-  const double dmr_inter = core::row_of(rows, "Inter-task").dmr;
-  const double dmr_intra = core::row_of(rows, "Intra-task").dmr;
+  const double dmr_prop = core::row_of(rows, "proposed").dmr;
+  const double dmr_opt = core::row_of(rows, "optimal").dmr;
+  const double dmr_inter = core::row_of(rows, "inter").dmr;
+  const double dmr_intra = core::row_of(rows, "intra").dmr;
   std::printf("\nProposed-to-Optimal DMR gap: %s; Proposed vs Inter/Intra: "
               "%+.1f / %+.1f points\n",
               util::fmt_pct(dmr_prop - dmr_opt, 2).c_str(),

@@ -25,15 +25,15 @@ int main() {
         task::scaled_power(task::ecg_benchmark(), scale);
     const core::TrainedController controller = bench::train_for(graph, 8);
     core::ComparisonConfig config;
-    config.run_intra = false;
+    config.scheduler_ids = {"inter", "proposed", "optimal"};
     const auto rows = core::run_comparison(graph, test_trace,
                                            bench::paper_node(), &controller,
                                            config);
     table.add_row({util::fmt(scale, 2) + "x",
                    util::fmt(graph.total_energy_j(), 1) + " J",
-                   util::fmt_pct(core::row_of(rows, "Inter-task").dmr),
-                   util::fmt_pct(core::row_of(rows, "Proposed").dmr),
-                   util::fmt_pct(core::row_of(rows, "Optimal").dmr)});
+                   util::fmt_pct(core::row_of(rows, "inter").dmr),
+                   util::fmt_pct(core::row_of(rows, "proposed").dmr),
+                   util::fmt_pct(core::row_of(rows, "optimal").dmr)});
   }
   std::printf("%s", table.str().c_str());
   std::printf("\nreading: compare the Proposed column to the Inter-task "

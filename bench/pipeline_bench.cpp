@@ -99,7 +99,7 @@ RunResult run_once(bool fast, std::size_t threads) {
       result.compare_ms = ms_between(t1, t2);
       result.train_mse = trained.train_mse;
       result.oracle_dmr = trained.oracle_dmr;
-      result.optimal_row_dmr = core::row_of(rows, "Optimal").dmr;
+      result.optimal_row_dmr = core::row_of(rows, "optimal").dmr;
     }
   }
   return result;
@@ -135,7 +135,7 @@ obs::MetricsSnapshot instrumented_pass(std::size_t threads) {
   if (!obs::write_chrome_trace("pipeline_bench.trace.json"))
     std::fprintf(stderr, "cannot write pipeline_bench.trace.json\n");
   core::write_text_file("pipeline_bench.metrics.json", snapshot.to_json());
-  const core::ComparisonRow& optimal = core::row_of(rows, "Optimal");
+  const core::ComparisonRow& optimal = core::row_of(rows, "optimal");
   if (optimal.events)
     core::write_text_file("pipeline_bench.events.jsonl",
                           optimal.events->to_jsonl());

@@ -28,10 +28,10 @@ int main() {
     const auto rows = core::run_comparison(graph, test_window,
                                            bench::paper_node(), &controller,
                                            {});
-    const double inter = core::row_of(rows, "Inter-task").dmr;
-    const double intra = core::row_of(rows, "Intra-task").dmr;
-    const double prop = core::row_of(rows, "Proposed").dmr;
-    const double opt = core::row_of(rows, "Optimal").dmr;
+    const double inter = core::row_of(rows, "inter").dmr;
+    const double intra = core::row_of(rows, "intra").dmr;
+    const double prop = core::row_of(rows, "proposed").dmr;
+    const double opt = core::row_of(rows, "optimal").dmr;
     margins.push_back(inter - prop);
     gaps.push_back(prop - opt);
     char margin[32];

@@ -111,17 +111,17 @@ int main(int argc, char** argv) {
         core::train_pipeline(graph, training, node, core::PipelineConfig{});
     if (scale == 1.0) nominal = controller;
     core::ComparisonConfig config;
-    config.run_intra = false;
+    config.scheduler_ids = {"inter", "proposed", "optimal"};
     config.record_events = !events_out.empty() && scale == 1.0;
     const auto rows =
         core::run_comparison(graph, test, node, &controller, config);
     if (config.record_events)
-      nominal_events = core::row_of(rows, "Proposed").events;
+      nominal_events = core::row_of(rows, "proposed").events;
     table.add_row({util::fmt(scale, 2) + "x",
                    util::fmt(test.total_energy_j() / 3.0, 0),
-                   util::fmt_pct(core::row_of(rows, "Inter-task").dmr),
-                   util::fmt_pct(core::row_of(rows, "Proposed").dmr),
-                   util::fmt_pct(core::row_of(rows, "Optimal").dmr)});
+                   util::fmt_pct(core::row_of(rows, "inter").dmr),
+                   util::fmt_pct(core::row_of(rows, "proposed").dmr),
+                   util::fmt_pct(core::row_of(rows, "optimal").dmr)});
   }
   std::printf("%s", table.str().c_str());
   std::printf("\nreading: the scheduler buys a chunk of the DMR a bigger "

@@ -77,8 +77,8 @@ int main(int argc, char** argv) {
     std::printf("%-12s %7.1f%% %11.1f%%\n", row.algo.c_str(), 100.0 * row.dmr,
                 100.0 * row.energy_utilization);
 
-  const double proposed = core::row_of(rows, "Proposed").dmr;
-  const double baseline = core::row_of(rows, "Inter-task").dmr;
+  const double proposed = core::row_of(rows, "proposed").dmr;
+  const double baseline = core::row_of(rows, "inter").dmr;
   std::printf("\nproposed vs WCMA-LSA baseline: %.1f%% -> %.1f%% DMR\n",
               100.0 * baseline, 100.0 * proposed);
   return 0;

@@ -7,11 +7,14 @@
 # reconnect, bit-identical decisions across the restart), the serve
 # observability drill (SLO burn-rate alert under an injected delay fault,
 # timeseries ring flush, a traced request stitched across the client and
-# server Chrome-trace dumps), a
+# server Chrome-trace dumps), the scheduler-registry zoo suite
+# (`ctest -L sched`: id->factory->name round-trips, 1-vs-N-thread
+# bit-identity across the zoo, campaign journals keyed by canonical id,
+# spec-axis/registry drift), a
 # SOLSCHED_SIMD=OFF scalar-fallback build with a cross-build
-# controller-decision check, plus the concurrency/obs/telemetry/serve/tsdb
-# suites rerun under ThreadSanitizer, the fault suite rerun under
-# UndefinedBehaviorSanitizer, and the simd parity suite rerun under
+# controller-decision check, plus the concurrency/obs/telemetry/serve/
+# tsdb/sched suites rerun under ThreadSanitizer, the fault suite rerun
+# under UndefinedBehaviorSanitizer, and the simd parity suite rerun under
 # AddressSanitizer+UBSan.
 #
 #   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir] [scalar-build-dir] [asan-build-dir]
@@ -51,6 +54,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L analysis
   BENCH_pipeline.json BENCH_pipeline.json \
   BENCH_ann.json BENCH_ann.json \
   BENCH_serve.json BENCH_serve.json --max-regress 15%
+
+echo "== tier 1: scheduler registry zoo ($BUILD_DIR) =="
+# The sched label: every registered policy round-trips id -> factory ->
+# name(), the whole controller-free zoo simulates bit-identically at 1 vs
+# 4 threads, a ccedf/laedf/greedy campaign journals rows keyed by the
+# canonical ids, and the campaign scheduler axis is pinned to the registry
+# (drift test), so a new registry entry cannot silently miss the spec
+# vocabulary.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L sched
 
 echo "== tier 1: campaign kill/resume smoke ($BUILD_DIR) =="
 # The campaign suite, then the CLI-level crash-safety drill: one
@@ -228,11 +240,14 @@ SOLSCHED_THREADS=1 "$SCALAR_DIR/tools/solsched-campaign" run \
 cmp "$XBUILD_TMP/simd/journal.jsonl" "$XBUILD_TMP/scalar/journal.jsonl"
 echo "scalar and SIMD builds journal bit-identical wam+ecg decisions"
 
-echo "== tier 1: TSan rerun of concurrency + obs + telemetry + serve + tsdb ($TSAN_DIR) =="
+echo "== tier 1: TSan rerun of concurrency + obs + telemetry + serve + tsdb + sched ($TSAN_DIR) =="
+# sched rides along because the registry is consulted concurrently from
+# every comparison job and the zoo suite runs 4-thread sweeps — exactly
+# where a mutable-registry regression would race.
 cmake -B "$TSAN_DIR" -S . -DSOLSCHED_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS"
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -L "concurrency|obs|telemetry|serve|tsdb"
+  -L "concurrency|obs|telemetry|serve|tsdb|sched"
 
 echo "== tier 1: UBSan rerun of fault suite ($UBSAN_DIR) =="
 cmake -B "$UBSAN_DIR" -S . -DSOLSCHED_SANITIZE=undefined

@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "sched/registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -212,8 +213,15 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // serialize/deserialize round trip even on the train path, so a scenario's
   // rows never depend on whether its controller came from cache or from
   // this process (see artifact_cache.hpp).
+  // Train only when the axis lists a policy that actually needs a
+  // controller (registry metadata, not a hard-coded name check).
+  const bool needs_controller = std::any_of(
+      spec.schedulers.begin(), spec.schedulers.end(),
+      [](const std::string& id) {
+        return sched::Registry::global().at(id).needs_controller;
+      });
   std::map<std::string, Artifact> artifacts;
-  if (spec.has_scheduler("proposed") && !remaining.empty()) {
+  if (needs_controller && !remaining.empty()) {
     OBS_SPAN("campaign.train");
     ArtifactCache cache(config.cache_dir.empty() ? config.dir + "/cache"
                                                  : config.cache_dir);
@@ -259,13 +267,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // ---- Shard execution: dynamic claiming over the pool. ------------------
   const fault::FaultPlan base_plan = spec.fault_plan();
   core::ComparisonConfig cmp_template;
-  cmp_template.run_inter = spec.has_scheduler("inter");
-  cmp_template.run_intra = spec.has_scheduler("intra");
-  cmp_template.run_proposed = spec.has_scheduler("proposed");
-  cmp_template.run_optimal = spec.has_scheduler("optimal");
-  cmp_template.run_edf = spec.has_scheduler("edf");
-  cmp_template.run_asap = spec.has_scheduler("asap");
-  cmp_template.run_duty = spec.has_scheduler("duty");
+  cmp_template.scheduler_ids = spec.schedulers;
   cmp_template.dp = pipeline_config(spec).dp;
 
   std::vector<ShardRecord> fresh(remaining.size());

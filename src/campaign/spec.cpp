@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sched/registry.hpp"
 #include "task/benchmarks.hpp"
 
 namespace solsched::campaign {
@@ -88,8 +89,23 @@ std::vector<double> parse_double_list(const std::string& text,
 
 const std::vector<std::string> kWorkloads = {"wam",   "ecg",   "shm",
                                              "rand1", "rand2", "rand3"};
-const std::vector<std::string> kSchedulers = {
-    "inter", "intra", "proposed", "optimal", "edf", "asap", "duty"};
+
+/// The scheduler axis vocabulary is the registry's: every registered
+/// policy is a valid axis value, and nothing else — the list can never
+/// drift from what run_comparison can actually build.
+const std::vector<std::string>& scheduler_ids() {
+  static const std::vector<std::string> ids = sched::Registry::global().ids();
+  return ids;
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
 
 std::vector<std::string> parse_name_list(const std::string& text,
                                          const std::string& key,
@@ -97,7 +113,8 @@ std::vector<std::string> parse_name_list(const std::string& text,
   std::vector<std::string> out;
   for (const std::string& part : split(text, ',')) {
     if (std::find(known.begin(), known.end(), part) == known.end())
-      fail("key " + key + ": unknown name \"" + part + "\"");
+      fail("key " + key + ": unknown name \"" + part +
+           "\" (known: " + join(known) + ")");
     if (std::find(out.begin(), out.end(), part) != out.end())
       fail("key " + key + ": duplicate \"" + part + "\"");
     out.push_back(part);
@@ -122,7 +139,11 @@ const char* day_kind_name(solar::DayKind kind) {
     case solar::DayKind::kOvercast: return "overcast";
     case solar::DayKind::kRainy: return "rainy";
   }
-  return "clear";
+  // Unreachable for valid enum values. An out-of-range value (memory
+  // corruption, a cast gone wrong) must not silently canonicalize as
+  // "clear" — that would corrupt spec digests and journal keys.
+  throw std::logic_error("CampaignSpec: day_kind_name: invalid DayKind " +
+                         std::to_string(static_cast<int>(kind)));
 }
 
 std::string render_double(double value) {
@@ -167,7 +188,7 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
       for (double i : spec.intensities)
         if (i < 0.0) fail("key intensities: negative intensity");
     } else if (key == "schedulers") {
-      spec.schedulers = parse_name_list(value, key, kSchedulers);
+      spec.schedulers = parse_name_list(value, key, scheduler_ids());
     } else if (key == "fault") {
       fault::FaultPlan::parse(value);  // Validate now, fail at parse time.
       spec.fault_spec = value;

@@ -55,9 +55,12 @@ struct CampaignSpec {
   std::size_t dp_buckets = 0;       ///< 0 = OptimalConfig default.
   std::size_t pretrain_epochs = 0;  ///< 0 = RbmTrainConfig default.
   std::size_t finetune_epochs = 0;  ///< 0 = MlpTrainConfig default.
-  /// Policy rows per scenario: inter|intra|proposed|optimal|edf|asap|duty.
-  /// The offline pipeline runs (once per workload) only when "proposed" is
-  /// listed; without it every row uses the node's default bank.
+  /// Policy rows per scenario: any canonical sched::Registry id (the
+  /// validation list is derived from the registry, so every registered
+  /// policy — including the energy-aware zoo — is a valid axis value).
+  /// The offline pipeline runs (once per workload) only when a policy
+  /// that needs a trained controller is listed; without one every row
+  /// uses the node's default bank.
   std::vector<std::string> schedulers = {"inter", "intra", "proposed",
                                          "optimal"};
 

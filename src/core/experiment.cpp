@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -10,11 +11,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
-#include "sched/asap.hpp"
-#include "sched/duty_cycle.hpp"
-#include "sched/edf.hpp"
-#include "sched/intra_task.hpp"
-#include "sched/lsa_inter.hpp"
+#include "sched/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace solsched::core {
@@ -23,14 +20,15 @@ namespace {
 ComparisonRow run_one(const task::TaskGraph& graph,
                       const solar::SolarTrace& trace,
                       const nvp::NodeConfig& node, nvp::Scheduler& policy,
-                      std::string name, bool record_events,
+                      std::string id, std::string name, bool record_events,
                       const fault::FaultInjector* faults = nullptr) {
   ComparisonRow row;
+  row.id = std::move(id);
   row.algo = std::move(name);
   // Span names are dynamic (one per policy row), so the ScopedSpan is built
   // only when obs is on — the string allocation never hits the disabled path.
   std::optional<obs::ScopedSpan> span;
-  if (obs::enabled()) span.emplace("experiment.row." + row.algo);
+  if (obs::enabled()) span.emplace("experiment.row." + row.id);
   if (record_events) row.events = std::make_shared<obs::SimTrace>();
   row.sim = nvp::simulate(graph, trace, policy, node, row.events.get(), faults);
   row.dmr = row.sim.overall_dmr();
@@ -71,6 +69,55 @@ nvp::NodeConfig single_cap_baseline(const nvp::NodeConfig& effective,
   return baseline_node;
 }
 
+/// The scheduler-facing slice of a comparison: everything a registry
+/// factory may need, assembled once per (run, intensity). The dp cache
+/// defaults to the pipeline's period-option cache so the Optimal row hits
+/// on nearly every period of the shared trace.
+sched::SchedulerContext make_context(const TrainedController* trained,
+                                     sched::OptimalConfig dp,
+                                     const fault::FaultInjector* faults) {
+  sched::SchedulerContext ctx;
+  ctx.dp = std::move(dp);
+  ctx.faults = faults;
+  if (trained) {
+    ctx.model = &trained->model;
+    ctx.online = trained->online;
+    if (!ctx.dp.shared_cache) ctx.dp.shared_cache = trained->option_cache;
+  }
+  return ctx;
+}
+
+/// One job per listed registry entry, in registration order (the row order
+/// contract of ComparisonConfig::scheduler_ids). Unknown ids throw before
+/// any job runs; entries needing a controller are skipped when untrained.
+/// `ctx`, the nodes, graph and trace are captured by reference and must
+/// outlive the returned jobs.
+std::vector<std::function<ComparisonRow()>> registry_jobs(
+    const task::TaskGraph& graph, const solar::SolarTrace& trace,
+    const nvp::NodeConfig& effective, const nvp::NodeConfig& baseline_node,
+    const std::vector<std::string>& ids, const sched::SchedulerContext& ctx,
+    bool has_controller, bool record_events) {
+  const sched::Registry& registry = sched::Registry::global();
+  for (const std::string& id : ids) (void)registry.at(id);  // Validate all.
+
+  std::vector<std::function<ComparisonRow()>> jobs;
+  for (const sched::SchedulerInfo& info : registry.entries()) {
+    if (std::find(ids.begin(), ids.end(), info.id) == ids.end()) continue;
+    if (info.needs_controller && !has_controller) continue;
+    const nvp::NodeConfig& node = info.sized_bank ? effective : baseline_node;
+    jobs.push_back([&graph, &trace, &node, &info, &ctx, record_events] {
+      auto policy = info.factory(ctx);
+      return run_one(graph, trace, node, *policy, info.id, policy->name(),
+                     record_events, ctx.faults);
+    });
+  }
+  return jobs;
+}
+
+bool lists(const std::vector<std::string>& ids, const char* id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
 }  // namespace
 
 std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
@@ -82,64 +129,24 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
   // trained controller is supplied.
   const nvp::NodeConfig& effective = trained ? trained->node : node;
 
-  // The single-storage baselines ([3], [9], ASAP, EDF) never re-select
-  // capacitors: they assume one super capacitor fixed at design time. They
-  // get the best *single* choice our sizing flow would make — the mean of
-  // the per-day optima (the H = 1 cluster) — on the same physical bank.
-  // Without sizing data they fall back to the largest capacitor.
+  // The single-storage baselines ([3], [9], ASAP, EDF, the energy-aware
+  // zoo) never re-select capacitors: they assume one super capacitor fixed
+  // at design time. They get the best *single* choice our sizing flow
+  // would make — the mean of the per-day optima (the H = 1 cluster) — on
+  // the same physical bank. Without sizing data they fall back to the
+  // largest capacitor. Registry entries with `sized_bank` (proposed,
+  // optimal) run on the full sized bank instead.
   const nvp::NodeConfig baseline_node = single_cap_baseline(effective, trained);
 
-  // Policy rows are independent simulations: collect one factory per
-  // enabled row, run them on the thread pool into pre-sized slots, and
-  // return in the declaration order — identical rows at any thread count.
-  std::vector<std::function<ComparisonRow()>> row_jobs;
-  if (config.run_asap)
-    row_jobs.push_back([&] {
-      sched::AsapScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events, config.faults);
-    });
-  if (config.run_edf)
-    row_jobs.push_back([&] {
-      sched::EdfScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events, config.faults);
-    });
-  if (config.run_duty)
-    row_jobs.push_back([&] {
-      sched::DutyCycleScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events, config.faults);
-    });
-  if (config.run_inter)
-    row_jobs.push_back([&] {
-      sched::LsaInterScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events, config.faults);
-    });
-  if (config.run_intra)
-    row_jobs.push_back([&] {
-      sched::IntraTaskScheduler policy;
-      return run_one(graph, trace, baseline_node, policy, policy.name(),
-                     config.record_events, config.faults);
-    });
-  if (config.run_proposed && trained)
-    row_jobs.push_back([&] {
-      auto policy = make_proposed(*trained);
-      policy->attach_faults(config.faults);
-      return run_one(graph, trace, effective, *policy, policy->name(),
-                     config.record_events, config.faults);
-    });
-  if (config.run_optimal)
-    row_jobs.push_back([&] {
-      sched::OptimalConfig dp = config.dp;
-      // Reuse the pipeline's period-option cache when available: the same
-      // trace + node means this DP run hits on nearly every period.
-      if (!dp.shared_cache && trained) dp.shared_cache = trained->option_cache;
-      sched::OptimalScheduler policy(std::move(dp));
-      return run_one(graph, trace, effective, policy, policy.name(),
-                     config.record_events, config.faults);
-    });
+  // Policy rows are independent simulations: one registry-built factory
+  // per listed id, run on the thread pool into pre-sized slots, returned
+  // in registration order — identical rows at any thread count.
+  const sched::SchedulerContext ctx =
+      make_context(trained, config.dp, config.faults);
+  const std::vector<std::function<ComparisonRow()>> row_jobs =
+      registry_jobs(graph, trace, effective, baseline_node,
+                    config.scheduler_ids, ctx, trained != nullptr,
+                    config.record_events);
 
   std::vector<ComparisonRow> rows(row_jobs.size());
   util::parallel_for(row_jobs.size(),
@@ -148,10 +155,17 @@ std::vector<ComparisonRow> run_comparison(const task::TaskGraph& graph,
 }
 
 const ComparisonRow& row_of(const std::vector<ComparisonRow>& rows,
-                            const std::string& algo) {
-  for (const auto& row : rows)
-    if (row.algo == algo) return row;
-  throw std::out_of_range("row_of: no such algorithm: " + algo);
+                            const std::string& id) {
+  std::string present;
+  for (const auto& row : rows) {
+    if (row.id == id) return row;
+    if (!present.empty()) present += ", ";
+    present += row.id;
+  }
+  throw std::out_of_range("row_of: no row with id \"" + id +
+                          "\" (rows: " + (present.empty() ? "none" : present) +
+                          "; registry ids: " +
+                          sched::Registry::global().known_ids() + ")");
 }
 
 std::vector<ResiliencePoint> run_resilience_sweep(
@@ -172,6 +186,17 @@ std::vector<ResiliencePoint> run_resilience_sweep(
     injectors.push_back(std::make_unique<fault::FaultInjector>(
         config.plan.scaled(intensity), trace.grid()));
 
+  // One scheduler context per intensity (the injectors differ), in stable
+  // storage: the jobs capture them by reference.
+  std::vector<sched::SchedulerContext> contexts;
+  contexts.reserve(config.intensities.size());
+  for (std::size_t i = 0; i < config.intensities.size(); ++i)
+    contexts.push_back(
+        make_context(trained, sched::OptimalConfig{}, injectors[i].get()));
+
+  const bool with_volatile = config.volatile_ablation && trained &&
+                             lists(config.scheduler_ids, "proposed");
+
   // Flatten (intensity x policy) into one job list so the pool sees every
   // simulation at once (nested parallel regions would serialize).
   struct Job {
@@ -180,38 +205,20 @@ std::vector<ResiliencePoint> run_resilience_sweep(
   };
   std::vector<Job> jobs;
   for (std::size_t i = 0; i < config.intensities.size(); ++i) {
-    const fault::FaultInjector* fx = injectors[i].get();
-    if (config.run_inter)
-      jobs.push_back({i, [&, fx] {
-                        sched::LsaInterScheduler policy;
-                        return run_one(graph, trace, baseline_node, policy,
-                                       policy.name(),
-                                       config.record_events, fx);
+    const sched::SchedulerContext& ctx = contexts[i];
+    for (auto& run :
+         registry_jobs(graph, trace, effective, baseline_node,
+                       config.scheduler_ids, ctx, trained != nullptr,
+                       config.record_events))
+      jobs.push_back({i, std::move(run)});
+    if (with_volatile)
+      jobs.push_back({i, [&graph, &trace, &volatile_node, &ctx, &config] {
+                        auto policy = sched::make_scheduler("proposed", ctx);
+                        return run_one(graph, trace, volatile_node, *policy,
+                                       "proposed_volatile",
+                                       "Proposed (volatile)",
+                                       config.record_events, ctx.faults);
                       }});
-    if (config.run_intra)
-      jobs.push_back({i, [&, fx] {
-                        sched::IntraTaskScheduler policy;
-                        return run_one(graph, trace, baseline_node, policy,
-                                       policy.name(),
-                                       config.record_events, fx);
-                      }});
-    if (config.run_proposed && trained) {
-      jobs.push_back({i, [&, fx] {
-                        auto policy = make_proposed(*trained);
-                        policy->attach_faults(fx);
-                        return run_one(graph, trace, effective, *policy,
-                                       policy->name(),
-                                       config.record_events, fx);
-                      }});
-      if (config.volatile_ablation)
-        jobs.push_back({i, [&, fx] {
-                          auto policy = make_proposed(*trained);
-                          policy->attach_faults(fx);
-                          return run_one(graph, trace, volatile_node, *policy,
-                                         "Proposed (volatile)",
-                                         config.record_events, fx);
-                        }});
-    }
   }
 
   std::vector<ComparisonRow> flat(jobs.size());

@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "nvp/node_sim.hpp"
+#include "sched/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/mathx.hpp"
@@ -147,8 +149,20 @@ TrainedController train_pipeline(const task::TaskGraph& graph,
 
 std::unique_ptr<sched::ProposedScheduler> make_proposed(
     const TrainedController& controller) {
-  return std::make_unique<sched::ProposedScheduler>(controller.model,
-                                                    controller.online);
+  sched::SchedulerContext ctx;
+  ctx.model = &controller.model;
+  ctx.online = controller.online;
+  std::unique_ptr<nvp::Scheduler> policy = sched::make_scheduler("proposed", ctx);
+  // The registry hands back the base interface; this helper's consumers
+  // (the serve engine, ablation tools) need the Proposed-specific
+  // accessors, so narrow the type here — the one place that knows the
+  // "proposed" entry builds a ProposedScheduler.
+  auto* proposed = dynamic_cast<sched::ProposedScheduler*>(policy.get());
+  if (!proposed)
+    throw std::logic_error(
+        "make_proposed: registry entry \"proposed\" built an unexpected type");
+  policy.release();
+  return std::unique_ptr<sched::ProposedScheduler>(proposed);
 }
 
 }  // namespace solsched::core

@@ -1,0 +1,95 @@
+// Pluggable scheduler registry: canonical id -> {display name, factory}.
+//
+// Every policy the experiment layer, campaigns or the serving daemon can
+// instantiate lives behind one name->factory table, so the set of known
+// schedulers is defined exactly once. The campaign spec's validation list,
+// the comparison runner's row loop and `core::make_proposed` all derive
+// from it — adding a scheduler means adding one registry entry (plus its
+// class) and every sweep, journal and report picks it up for free.
+//
+// Ids are the canonical vocabulary ("inter", "edf", ...): campaign axes,
+// `row_of` lookups and error messages all speak ids. Display names
+// (`Scheduler::name()`, e.g. "Inter-task") remain what human-facing tables
+// and the journal's `algo` field print — the original trio keeps its
+// paper-era display names so pre-registry journals stay byte-identical,
+// while new zoo entries use their id as the display name.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "nvp/scheduler.hpp"
+#include "sched/optimal.hpp"
+#include "sched/proposed.hpp"
+
+namespace solsched::sched {
+
+/// Everything any factory may need. Plain pointers are non-owning and may
+/// be null; a factory whose entry is marked `needs_controller` requires
+/// `model` to be set. Factories copy what they keep (the model by value,
+/// the DP config including its shared cache), so the context itself only
+/// needs to live for the factory call — but `faults` is retained by the
+/// proposed policy and must outlive the built scheduler.
+struct SchedulerContext {
+  const ProposedModel* model = nullptr;  ///< Trained DBN; null = untrained.
+  ProposedConfig online{};               ///< Thresholds for "proposed".
+  OptimalConfig dp{};                    ///< DP knobs (incl. shared cache).
+  /// Controller-corruption stream for the proposed policy (DESIGN.md §11);
+  /// the simulator-level fault tables are passed to nvp::simulate
+  /// separately, so only "proposed" consumes this here.
+  const fault::FaultInjector* faults = nullptr;
+};
+
+/// One registered policy.
+struct SchedulerInfo {
+  std::string id;            ///< Canonical id, e.g. "inter".
+  std::string display_name;  ///< What the built policy's name() returns.
+  /// Factory precondition: requires SchedulerContext::model (a trained
+  /// controller). Experiment runners skip such entries when untrained.
+  bool needs_controller = false;
+  /// Simulate on the sized multi-capacitor bank (the pipeline's node)
+  /// rather than the single-capacitor baseline hardware.
+  bool sized_bank = false;
+  std::function<std::unique_ptr<nvp::Scheduler>(const SchedulerContext&)>
+      factory;
+};
+
+/// The process-wide scheduler table. Built once (thread-safe Meyers
+/// singleton), read-only afterwards, so concurrent shard execution can
+/// consult it freely. Entry order is the fixed execution order of
+/// comparison rows — it matches the pre-registry hard-wired order for the
+/// original seven policies, keeping existing journals byte-identical.
+class Registry {
+ public:
+  static const Registry& global();
+
+  /// All entries in registration order.
+  const std::vector<SchedulerInfo>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Entry for `id`, or null when unknown.
+  const SchedulerInfo* find(const std::string& id) const noexcept;
+
+  /// Entry for `id`; throws std::out_of_range listing the known ids.
+  const SchedulerInfo& at(const std::string& id) const;
+
+  /// Canonical ids in registration order.
+  std::vector<std::string> ids() const;
+
+  /// "inter, intra, ..." — for self-diagnosing error messages.
+  std::string known_ids() const;
+
+ private:
+  Registry();
+  std::vector<SchedulerInfo> entries_;
+};
+
+/// Builds the policy registered under `id` (throws like Registry::at).
+std::unique_ptr<nvp::Scheduler> make_scheduler(const std::string& id,
+                                               const SchedulerContext& ctx);
+
+}  // namespace solsched::sched

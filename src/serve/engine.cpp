@@ -177,6 +177,10 @@ DecisionEngine::Outcome DecisionEngine::decide(const QueryRequest& request,
   ctx.last_period_solar_w = request.last_period_solar_w;
 
   const std::uint64_t t0 = obs::now_us();
+  // Built through the scheduler registry's "proposed" entry (via
+  // core::make_proposed), so a served decision is constructed exactly like
+  // an offline comparison row — the offline-parity contract holds by
+  // construction, not by keeping two call sites in sync.
   auto scheduler = core::make_proposed(controller);
   const nvp::PeriodPlan plan = scheduler->begin_period(ctx);
   const std::uint64_t cost_us = obs::now_us() - t0;

@@ -14,17 +14,28 @@ TEST(Experiment, RunsConfiguredPolicies) {
   const auto node = test::small_node(grid);
 
   ComparisonConfig config;
-  config.run_proposed = false;  // No trained controller supplied.
-  config.run_edf = true;
+  config.scheduler_ids = {"edf", "inter", "intra", "optimal"};
   config.dp.energy_buckets = 8;
   const auto rows =
       run_comparison(test::indep3(), trace, node, nullptr, config);
-  ASSERT_EQ(rows.size(), 4u);  // EDF, Inter, Intra, Optimal.
-  EXPECT_NO_THROW(row_of(rows, "Inter-task"));
-  EXPECT_NO_THROW(row_of(rows, "Intra-task"));
-  EXPECT_NO_THROW(row_of(rows, "Optimal"));
-  EXPECT_NO_THROW(row_of(rows, "EDF"));
-  EXPECT_THROW(row_of(rows, "Proposed"), std::out_of_range);
+  ASSERT_EQ(rows.size(), 4u);  // Registry order: EDF, Inter, Intra, Optimal.
+  EXPECT_NO_THROW(row_of(rows, "inter"));
+  EXPECT_NO_THROW(row_of(rows, "intra"));
+  EXPECT_NO_THROW(row_of(rows, "optimal"));
+  EXPECT_NO_THROW(row_of(rows, "edf"));
+  EXPECT_THROW(row_of(rows, "proposed"), std::out_of_range);
+  // Lookups key on canonical ids; display names are not a key.
+  EXPECT_THROW(row_of(rows, "Inter-task"), std::out_of_range);
+  EXPECT_EQ(row_of(rows, "inter").algo, "Inter-task");
+  EXPECT_EQ(row_of(rows, "edf").algo, "EDF");
+  // A mismatch error is self-diagnosing: it lists the known ids.
+  try {
+    row_of(rows, "fifo");
+    FAIL() << "row_of accepted an unknown id";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("inter"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("greedy"), std::string::npos);
+  }
   for (const auto& row : rows) {
     EXPECT_GE(row.dmr, 0.0);
     EXPECT_LE(row.dmr, 1.0);
@@ -39,12 +50,12 @@ TEST(Experiment, OptimalNeverWorseThanBaselinesHere) {
   const auto gen = test::scaled_generator(grid, 52);
   const auto trace = gen.generate_day(solar::DayKind::kOvercast, grid);
   ComparisonConfig config;
-  config.run_proposed = false;
+  config.scheduler_ids = {"inter", "intra", "optimal"};
   const auto rows = run_comparison(task::ecg_benchmark(), trace,
                                    test::small_node(grid), nullptr, config);
-  const double opt = row_of(rows, "Optimal").dmr;
-  EXPECT_LE(opt, row_of(rows, "Inter-task").dmr + 0.02);
-  EXPECT_LE(opt, row_of(rows, "Intra-task").dmr + 0.02);
+  const double opt = row_of(rows, "optimal").dmr;
+  EXPECT_LE(opt, row_of(rows, "inter").dmr + 0.02);
+  EXPECT_LE(opt, row_of(rows, "intra").dmr + 0.02);
 }
 
 TEST(Experiment, ProposedIncludedWithController) {
@@ -64,7 +75,7 @@ TEST(Experiment, ProposedIncludedWithController) {
 
   const auto rows = run_comparison(test::indep3(), test_trace,
                                    test::small_node(grid), &controller, {});
-  EXPECT_NO_THROW(row_of(rows, "Proposed"));
+  EXPECT_NO_THROW(row_of(rows, "proposed"));
   // All policies ran on the *sized* bank from the controller.
   for (const auto& row : rows)
     for (const auto& p : row.sim.periods)

@@ -269,7 +269,7 @@ TEST(FaultSim, ResilienceSweepDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial[0].rows[0].sim.total_power_failure_slots(), 0u);
   EXPECT_GT(serial[1].rows[0].sim.total_power_failure_slots(), 0u);
   // The volatile ablation row exists and loses progress under blackout.
-  const auto& vol = core::row_of(serial[1].rows, "Proposed (volatile)");
+  const auto& vol = core::row_of(serial[1].rows, "proposed_volatile");
   EXPECT_GT(vol.sim.total_lost_progress_s(), 0.0);
   // And the report renders every row.
   const std::string table = core::resilience_table(serial);
@@ -285,8 +285,7 @@ TEST(FaultSim, FaultEventTraceIdenticalAcrossThreadCounts) {
   const fault::FaultInjector fx(blackout_plan(), grid);
 
   core::ComparisonConfig cmp;
-  cmp.run_optimal = false;
-  cmp.run_proposed = false;
+  cmp.scheduler_ids = {"inter", "intra"};
   cmp.record_events = true;
   cmp.faults = &fx;
 

@@ -42,9 +42,9 @@ TEST(EndToEnd, FullComparisonOrdering) {
   const auto rows =
       core::run_comparison(task::ecg_benchmark(), f.test_trace,
                            f.controller.node, &f.controller, config);
-  const double opt = core::row_of(rows, "Optimal").dmr;
-  const double prop = core::row_of(rows, "Proposed").dmr;
-  const double inter = core::row_of(rows, "Inter-task").dmr;
+  const double opt = core::row_of(rows, "optimal").dmr;
+  const double prop = core::row_of(rows, "proposed").dmr;
+  const double inter = core::row_of(rows, "inter").dmr;
 
   // Paper orderings: Optimal <= everyone; Proposed competitive with the
   // single-period baselines (allow slack for the tiny training set here).

@@ -108,9 +108,8 @@ TEST(EnergyLedger, BitIdenticalAcrossThreadCounts) {
   const auto run_rows = [&](std::size_t threads) {
     util::ThreadPool::set_global_threads(threads);
     core::ComparisonConfig config;
-    config.run_proposed = false;  // No trained controller in this test.
-    config.run_optimal = false;
-    config.run_edf = true;
+    // No trained controller in this test; no "optimal" keeps it fast.
+    config.scheduler_ids = {"edf", "inter", "intra"};
     config.record_events = true;
     return core::run_comparison(test::indep3(), trace, node, nullptr, config);
   };

@@ -33,10 +33,9 @@ ObsRun run_at(std::size_t threads) {
   const auto node = test::small_node(grid);
 
   ComparisonConfig config;
-  config.run_proposed = false;  // No trained controller in this test.
-  config.run_optimal = false;   // Keep the tiny run fast.
-  config.run_edf = true;
-  config.run_asap = true;
+  // No trained controller in this test; no "optimal" keeps the tiny run
+  // fast. Rows come back in registry order: ASAP, EDF, Inter, Intra.
+  config.scheduler_ids = {"asap", "edf", "inter", "intra"};
   config.record_events = true;
   const auto rows = run_comparison(graph, trace, node, nullptr, config);
 
